@@ -1,0 +1,20 @@
+"""Figure 3 — tuple-distribution CDF across 4,096 ranks, 1 vs 8 sub-buckets.
+
+Paper: 1 sub-bucket leaves the largest rank ~10x the smallest; 8
+sub-buckets compress the spread to ~2x.
+"""
+
+from repro.experiments import fig3
+from repro.experiments.common import ExperimentDefaults
+
+
+def test_fig3_tuple_distribution(once, defaults):
+    # full-size stand-in graph: this is a pure placement measurement
+    d = ExperimentDefaults(scale_shift=0, full=defaults.full, seed=defaults.seed)
+    result = once(fig3.run_fig3, d)
+    print()
+    print(fig3.render(result))
+    r1, r8 = result.reports[1], result.reports[8]
+    assert r1.total_tuples == r8.total_tuples
+    # balancing must cut the imbalance by at least ~2x (paper: 10x -> 2x)
+    assert r8.ratio_max_mean < r1.ratio_max_mean / 2

@@ -1,0 +1,21 @@
+"""Figure 4 — CC local-join time vs rank count, 1 vs 8 sub-buckets.
+
+Paper: the 1-sub-bucket run stops improving past ~2k ranks (hub rank
+saturates); 8 sub-buckets keep local join shrinking to 16,384 ranks.
+"""
+
+from repro.experiments import fig4
+
+
+def test_fig4_cc_local_join(once, defaults):
+    result = once(fig4.run_fig4, defaults)
+    print()
+    print(fig4.render(result))
+    ranks = sorted(next(iter(result.local_join.values())))
+    lo, hi = ranks[0], ranks[-1]
+    balanced_gain = result.local_join[8][lo] / result.local_join[8][hi]
+    unbalanced_gain = result.local_join[1][lo] / result.local_join[1][hi]
+    print(f"local-join gain {lo}->{hi} ranks: "
+          f"1 sub-bucket x{unbalanced_gain:.2f}, 8 sub-buckets x{balanced_gain:.2f}")
+    # balancing must extract more scaling from the same rank budget
+    assert balanced_gain > unbalanced_gain

@@ -1,0 +1,22 @@
+"""Figure 5 — SSSP strong scaling (twitter stand-in, 30 sources).
+
+Paper: 96% runtime reduction 256 -> 16,384 ranks; near-perfect scaling
+until ~2k, still improving (26%) from 8,192 to 16,384.  At our reduced
+graph scale the saturation point arrives earlier (see EXPERIMENTS.md
+"Calibration"), but the monotone-decrease shape holds.
+"""
+
+from repro.experiments import fig5
+
+
+def test_fig5_sssp_strong_scaling(once, defaults):
+    result = once(fig5.run_fig5, defaults)
+    print()
+    print(fig5.render(result))
+    ranks = sorted(result.total)
+    # total modeled time decreases from the smallest to the largest config
+    assert result.total[ranks[-1]] < result.total[ranks[0]]
+    # and the early doubling is the most profitable (near-linear region)
+    first_gain = result.total[ranks[0]] / result.total[ranks[1]]
+    last_gain = result.total[ranks[-2]] / result.total[ranks[-1]]
+    assert first_gain > last_gain

@@ -1,0 +1,22 @@
+"""Figure 6 — CC strong scaling (twitter stand-in).
+
+Paper: 96% reduction 256 -> 16,384, with a plateau at the top end where
+communication ("Other": sub-bucket rebalancing alltoallv) stops the gains.
+"""
+
+from repro.experiments import fig6
+
+
+def test_fig6_cc_strong_scaling(once, defaults):
+    result = once(fig6.run_fig6, defaults)
+    print()
+    print(fig6.render(result))
+    ranks = sorted(result.total)
+    assert result.total[ranks[-1]] < result.total[ranks[0]]
+    # the comm floor: communication share grows with rank count
+    lo_comm = result.phases[ranks[0]].get("comm", 0) + result.phases[ranks[0]].get("intra_bucket", 0)
+    hi_comm = result.phases[ranks[-1]].get("comm", 0) + result.phases[ranks[-1]].get("intra_bucket", 0)
+    lo_share = lo_comm / result.total[ranks[0]]
+    hi_share = hi_comm / result.total[ranks[-1]]
+    print(f"comm share: {lo_share:.1%} @ {ranks[0]} -> {hi_share:.1%} @ {ranks[-1]}")
+    assert hi_share > lo_share

@@ -1,0 +1,21 @@
+"""Figure 7 — per-iteration phase times, SSSP @ 1,024 ranks.
+
+Paper: a long-tail dynamic — most running time sits in the first few
+iterations; the tail is local-join-dominated while insertion (dedup_agg)
+concentrates early.
+"""
+
+from repro.experiments import fig7
+
+
+def test_fig7_iteration_trace(once, defaults):
+    result = once(fig7.run_fig7, defaults)
+    print()
+    print(fig7.render(result))
+    half = max(3, len(result.trace) // 2)
+    head = result.head_fraction(half)
+    print(f"first {half} of {len(result.trace)} iterations hold {head:.0%}")
+    assert head > 0.6  # the run is front-loaded
+    totals = [sum(t.phase_seconds.values()) for t in result.trace]
+    # the long tail: late iterations are far cheaper than the peak
+    assert min(totals[-2:]) < max(totals) / 3

@@ -1,0 +1,22 @@
+"""Table II — the SuiteSparse stand-in suite at 256 and 512 ranks.
+
+Paper shape: healthy 256->512 improvement on the larger graphs; mesh
+graphs (ml_geer, stokes) need far more iterations than social/web graphs
+and their CC is disproportionately expensive.
+"""
+
+from repro.experiments import table2
+
+
+def test_table2_suitesparse(once, defaults):
+    rows = once(table2.run_table2, defaults)
+    print()
+    print(table2.render(rows))
+    by = {r.graph: r for r in rows}
+    for r in rows:
+        # scaling 256 -> 512 helps on every graph
+        assert r.sssp_seconds[512] < r.sssp_seconds[256]
+        assert r.cc_seconds[512] < r.cc_seconds[256]
+    if "freescale1" in by and "flickr" in by:
+        # mesh/circuit diameter >> social diameter (Iters column shape)
+        assert by["freescale1"].sssp_iters > by["flickr"].sssp_iters

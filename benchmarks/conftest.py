@@ -1,0 +1,32 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(§V) via :mod:`repro.experiments` and prints the rendered rows/series (run
+with ``-s`` to see them).  Experiments are deterministic end-to-end runs,
+so each executes once per benchmark (``rounds=1``).
+
+Sizing knobs:
+
+* ``REPRO_SCALE_SHIFT`` — extra graph down-scaling (default per experiment)
+* ``REPRO_FULL=1``      — the paper's full rank/dataset sweeps (slow)
+"""
+
+import pytest
+
+from repro.experiments.common import defaults_from_env
+
+
+@pytest.fixture(scope="session")
+def defaults():
+    return defaults_from_env(default_shift=2)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a deterministic experiment exactly once under the benchmark."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return run

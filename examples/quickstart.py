@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Quickstart: single-source shortest paths in ~20 lines.
+
+This is the paper's §II-C query, written through the public DSL and run on
+a small simulated cluster.  The ``$MIN`` aggregate in the recursive head
+is what makes this SSSP rather than "enumerate every path length".
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import MIN, Engine, EngineConfig, Program, Rel, vars_
+
+# Relations: edge(src, dst, weight), start(node), spath(src, dst, $MIN dist)
+edge, start, spath = Rel("edge"), Rel("start"), Rel("spath")
+f, t, m, l, w, n = vars_("f t m l w n")
+
+program = Program(
+    rules=[
+        spath(n, n, 0) <= start(n),
+        spath(f, t, MIN(l + w)) <= (spath(f, m, l), edge(m, t, w)),
+    ],
+    edb={"edge": (3, (0,)), "start": (1, (0,))},
+)
+
+engine = Engine(program, EngineConfig(n_ranks=8))
+engine.load(
+    "edge",
+    [
+        # a small weighted digraph
+        (0, 1, 4), (0, 2, 9), (1, 2, 1), (2, 3, 2), (3, 1, 1), (1, 4, 7),
+        (3, 4, 3),
+    ],
+)
+engine.load("start", [(0,)])
+
+result = engine.run()
+
+print(f"fixpoint reached in {result.iterations} iterations")
+for src, dst, dist in sorted(result.query("spath")):
+    print(f"  shortest path {src} -> {dst} has length {dist}")
+
+# The engine is honest about distribution: every tuple moved between the
+# 8 simulated ranks went through a collective, and the ledger kept score.
+comm = result.ledger.comm
+print(f"communication: {comm.bytes_total} bytes over {comm.messages} messages")
+assert (0, 4, 10) in result.query("spath")  # 0 -> 1 -> 2 -> 3 -> 4

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Writing rank programs directly against the mpi4py-style SPMD API.
+
+The engine normally hides the cluster, but the communication substrate is
+a public API (:mod:`repro.comm.asyncmpi`): rank programs are async
+functions receiving a communicator with the familiar mpi4py surface —
+``bcast`` / ``scatter`` / ``allreduce`` / ``send`` / ``recv`` — and run on
+simulated ranks with full cost accounting.
+
+This example implements a hand-rolled distributed triangle count: edges
+are scattered, each rank counts wedges it can close locally, and a final
+allreduce sums the partials.
+
+Run:  python examples/spmd_style.py
+"""
+
+import itertools
+
+from repro.comm.asyncmpi import run_spmd
+from repro.graphs import erdos_renyi
+
+
+async def triangle_count(comm, graph_edges):
+    rank, size = comm.Get_rank(), comm.Get_size()
+
+    # Root partitions edges by hash of the lower endpoint and scatters.
+    if rank == 0:
+        parts = [[] for _ in range(size)]
+        for u, v in graph_edges:
+            parts[min(u, v) % size].append((u, v))
+    else:
+        parts = None
+    my_edges = await comm.scatter(parts, root=0)
+
+    # Everyone needs the full adjacency to close wedges; build it from an
+    # allgather of the local parts (deliberately naive — it's a demo).
+    all_parts = await comm.allgather(my_edges)
+    adj = {}
+    for part in all_parts:
+        for u, v in part:
+            adj.setdefault(u, set()).add(v)
+            adj.setdefault(v, set()).add(u)
+
+    # Each undirected edge lives on exactly one rank; counting its common
+    # neighbours sees every triangle once per edge, i.e. exactly 3 times
+    # across the cluster.
+    local = sum(
+        len(adj.get(u, set()) & adj.get(v, set())) for u, v in my_edges
+    )
+    total = await comm.allreduce(local)
+    if rank == 0:
+        return total
+    return None
+
+
+def main() -> None:
+    g = erdos_renyi(60, 500, seed=7).symmetrized()
+    undirected = {tuple(sorted((int(u), int(v)))) for u, v in g.edges}
+    edges = sorted(undirected)
+
+    # Reference count for validation.
+    adj = {}
+    for u, v in edges:
+        adj.setdefault(u, set()).add(v)
+        adj.setdefault(v, set()).add(u)
+    expected = sum(
+        1
+        for u, v, w in itertools.combinations(sorted(adj), 3)
+        if v in adj[u] and w in adj[u] and w in adj[v]
+    )
+
+    results, ledger = run_spmd(8, triangle_count, edges, return_ledger=True)
+    counted = results[0]
+    # each triangle is counted once per qualifying edge orientation pair
+    print(f"distributed triangle count: {counted // 3}")
+    print(f"reference triangle count:   {expected}")
+    print(
+        f"communication: {ledger.comm.bytes_total} bytes, "
+        f"{ledger.comm.messages} messages, "
+        f"modeled {ledger.total_seconds() * 1e6:.1f} µs"
+    )
+    assert counted // 3 == expected
+
+
+if __name__ == "__main__":
+    main()

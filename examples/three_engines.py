@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""One query, three evaluators — the reproduction's confidence argument.
+
+The same SSSP program runs through:
+
+1. the **naive reference interpreter** (textbook fixpoint over sets),
+2. the **BSP engine** (the fast simulated cluster used for the paper's
+   scaling studies), and
+3. the **SPMD engine** (literal per-rank message-passing programs over
+   the mpi4py-style API — architecturally the real PARALAGG).
+
+All three must agree exactly; the BSP and SPMD engines also report what
+the computation *moved* between ranks.
+
+Run:  python examples/three_engines.py
+"""
+
+import numpy as np
+
+from repro import Engine, EngineConfig
+from repro.graphs.generators import rmat
+from repro.planner.interpreter import interpret
+from repro.queries.sssp import sssp_program
+from repro.runtime.spmd import run_spmd_engine
+
+graph = rmat(6, 4, seed=21).with_weights(np.random.default_rng(4), 12)
+facts = {"edge": graph.tuples(), "start": [(0,), (7,)]}
+config = EngineConfig(n_ranks=8, subbuckets={"edge": 4})
+program = sssp_program()
+
+# 1 — naive oracle
+oracle = interpret(program, facts)["spath"]
+print(f"interpreter:  {len(oracle)} shortest-path tuples")
+
+# 2 — BSP engine (the scaling-study workhorse)
+engine = Engine(program, config)
+for name, rows in facts.items():
+    engine.load(name, rows)
+bsp_result = engine.run()
+bsp = bsp_result.query("spath")
+print(
+    f"BSP engine:   {len(bsp)} tuples in {bsp_result.iterations} iterations, "
+    f"{bsp_result.ledger.comm.bytes_total} bytes moved"
+)
+
+# 3 — SPMD engine (per-rank async message-passing programs)
+spmd = run_spmd_engine(program, facts, config)["spath"]
+print(f"SPMD engine:  {len(spmd)} tuples")
+
+assert oracle == bsp == spmd
+print("\nall three evaluators agree — the simulation shortcut is faithful")
+
+print("\ncompiled plan (what either engine executes):")
+print(engine.explain())

@@ -1,0 +1,44 @@
+"""Comparator engines modeling the paper's baselines (Table I).
+
+The paper compares PARALAGG against RaSQL (Spark-based) and SociaLite on a
+large unified node.  Both systems are research artifacts we cannot run
+(RaSQL needs Spark 2.0.3 + a custom build; SociaLite is abandoned Java
+1.7), so — per the substitution rule — we reimplement each system's
+*algorithmic strategy* on the same simulated substrate.  The comparison
+then isolates exactly what the paper credits/blames:
+
+:class:`~repro.baselines.rasql_like.RaSQLLikeEngine`
+    Hash partitioning that ignores the aggregate structure: candidate
+    tuples are shuffled to a *global aggregation hashmap* partitioned by
+    group key, and improvements are shuffled *again* back into the
+    join layout (two all-to-alls per iteration where PARALAGG pays one);
+    static join order; no sub-bucketing.  Per-superstep driver overhead
+    (Spark job scheduling) and a driver serial fraction model why more
+    cores stop helping.
+
+:class:`~repro.baselines.socialite_like.SociaLiteLikeEngine`
+    Single-node worker partitioning: static join order, no sub-buckets,
+    cheap messaging (shared memory) but high per-tuple constants (JVM) and
+    a lock/queue serial fraction that caps scalability.
+
+:mod:`repro.baselines.stratified`
+    Vanilla-Datalog SSSP (materialize all path lengths, aggregate at the
+    end; paper §II-B) — the asymptotic strawman showing why recursive
+    aggregation exists.
+"""
+
+from repro.baselines.rasql_like import RaSQLLikeEngine, rasql_cost_model
+from repro.baselines.socialite_like import (
+    SociaLiteLikeEngine,
+    socialite_cost_model,
+)
+from repro.baselines.stratified import stratified_sssp_program, run_stratified_sssp
+
+__all__ = [
+    "RaSQLLikeEngine",
+    "rasql_cost_model",
+    "SociaLiteLikeEngine",
+    "socialite_cost_model",
+    "stratified_sssp_program",
+    "run_stratified_sssp",
+]

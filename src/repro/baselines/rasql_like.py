@@ -1,0 +1,187 @@
+"""RaSQL/BigDatalog-style engine: aggregate-oblivious distribution.
+
+Paper §IV-A: "our investigation into the implementations of both
+BigDatalog and RaSQL use a global hashmap with a special partition key to
+store intermediate results during recursive computations.  This inter-node
+recursive aggregation operation and global auxiliary structure greatly
+increases the communication overhead."
+
+This engine reproduces that strategy on our substrate:
+
+1. join-generated candidates are shuffled to a **global aggregation
+   hashmap** partitioned by group key (all-to-all #1) — the candidate
+   stream includes every non-improving tuple, since suppression can only
+   happen *after* this shuffle;
+2. improvements are shuffled **again** into the join-layout relation
+   (all-to-all #2) so the next iteration can join on them.
+
+PARALAGG pays exactly one all-to-all for the same work, because its
+placement makes the aggregation group's home rank and the join-layout home
+rank the *same* rank.  The engine also uses a static join order (Spark
+plans don't re-order per iteration) and no sub-bucketing, and its cost
+model adds Spark scheduling latency and a driver serial fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.baselines.serial import SerialFractionLedger
+from repro.comm.costmodel import CostModel
+from repro.core.local_agg import AbsorbStats
+from repro.planner.ast import Program
+from repro.relational.schema import Schema
+from repro.relational.storage import VersionedRelation
+from repro.runtime.config import EngineConfig
+from repro.runtime.engine import Engine, P_COMM, P_DEDUP
+from repro.util.hashing import HashSeed
+
+TupleT = Tuple[int, ...]
+
+
+def rasql_cost_model(compute_scale: float = 1.0) -> CostModel:
+    """Cost constants for a Spark-on-one-node deployment.
+
+    Shuffles ride the local filesystem/serialization stack (lower β, higher
+    α than MPI), and every tuple crosses a JVM (de)serialization boundary.
+    ``compute_scale`` is the same work-density κ the PARALAGG runs use, so
+    cross-engine comparisons stay apples-to-apples.
+    """
+    return CostModel(
+        alpha=2.0e-5,       # task scheduling + shuffle setup per message
+        beta=2.0e9,         # serialized shuffle bandwidth
+        tuple_probe=1.1e-7,
+        tuple_emit=6.0e-8,
+        tuple_insert=2.2e-7,
+        tuple_agg=9.0e-8,
+        tuple_serialize=1.2e-7,  # Kryo/Java serialization per tuple
+        compute_scale=compute_scale,
+    )
+
+
+class RaSQLLikeEngine(Engine):
+    """Engine variant modeling RaSQL/BigDatalog's aggregation strategy."""
+
+    #: Fraction of per-superstep compute serialized at the Spark driver.
+    SERIAL_FRACTION = 0.06
+
+    def __init__(
+        self,
+        program: Program,
+        config: Optional[EngineConfig] = None,
+        *,
+        serial_fraction: Optional[float] = None,
+    ):
+        config = replace(
+            config or EngineConfig(),
+            dynamic_join=False,           # static plan, as compiled by Spark
+            static_outer="left",
+            subbuckets={},                # no spatial load balancing
+            default_subbuckets=1,
+        )
+        if config.cost_model is None:
+            config = replace(config, cost_model=rasql_cost_model())
+        super().__init__(program, config)
+        # serial_fraction=0 isolates the *algorithmic* communication
+        # difference from Spark's driver constants (ablation use).
+        frac = self.SERIAL_FRACTION if serial_fraction is None else serial_fraction
+        self.cluster.ledger = SerialFractionLedger(
+            n_ranks=config.n_ranks, serial_fraction=frac
+        )
+        # The "global hashmap": one auxiliary store per aggregate relation,
+        # partitioned by the full group key (its own hash space).
+        self._agg_stores: Dict[str, VersionedRelation] = {}
+        for name, schema in self.compiled.schemas.items():
+            if schema.is_aggregate:
+                agg_schema = Schema(
+                    name=f"{name}__globalagg",
+                    arity=schema.arity,
+                    join_cols=tuple(range(schema.n_indep)),
+                    n_dep=schema.n_dep,
+                    aggregator=schema.aggregator,
+                    n_subbuckets=1,
+                )
+                self._agg_stores[name] = VersionedRelation(
+                    agg_schema,
+                    config.n_ranks,
+                    seed=HashSeed().derive(config.seed ^ 0xA66),
+                )
+
+    # ---------------------------------------------------------------- absorb
+
+    def _route_and_absorb(
+        self,
+        head_name: str,
+        emitted: Dict[int, List[TupleT]],
+        stats,
+    ) -> None:
+        head = self.store[head_name]
+        if not head.schema.is_aggregate:
+            super()._route_and_absorb(head_name, emitted, stats)
+            return
+        agg_rel = self._agg_stores[head_name]
+        cfg = self.config
+        cost = self.cluster.cost
+
+        # ---- all-to-all #1: candidates → global aggregation hashmap ----
+        sends: Dict[int, Dict[int, List[TupleT]]] = {}
+        n_comm = 0
+        with self.timer.phase(P_COMM):
+            for src, tuples in emitted.items():
+                if not tuples:
+                    continue
+                rows = np.asarray(tuples, dtype=np.int64)
+                ranks = agg_rel.dist.rank_of_rows(rows).tolist()
+                row: Dict[int, List[TupleT]] = {}
+                for t, dst in zip(tuples, ranks):
+                    row.setdefault(dst, []).append(t)
+                sends[src] = row
+                n_comm += len(tuples)
+            recv = self.cluster.alltoallv(
+                sends, arity=head.schema.arity, phase=P_COMM
+            )
+        stats.comm_tuples += n_comm
+        self.counters["alltoall_tuples"] += n_comm
+
+        # ---- merge into the global hashmap; harvest improvements ----
+        improved: Dict[int, List[TupleT]] = {}
+        per_rank_recv = np.zeros(cfg.n_ranks)
+        per_rank_adm = np.zeros(cfg.n_ranks)
+        with self.timer.phase(P_DEDUP):
+            for r, tuples in recv.items():
+                if not tuples:
+                    continue
+                rows = np.asarray(tuples, dtype=np.int64)
+                b_arr, s_arr = agg_rel.dist.bucket_sub_of_rows(rows)
+                buckets, subs = b_arr.tolist(), s_arr.tolist()
+                by_shard: Dict[Tuple[int, int], List[TupleT]] = {}
+                for i, t in enumerate(tuples):
+                    by_shard.setdefault((buckets[i], subs[i]), []).append(t)
+                absorb_stats = AbsorbStats()
+                out: List[TupleT] = []
+                for key, batch in by_shard.items():
+                    agg_rel.shard(*key).absorb(batch, absorb_stats, collect=out)
+                if out:
+                    improved[r] = out
+                per_rank_recv[r] = absorb_stats.received
+                per_rank_adm[r] = absorb_stats.admitted
+                stats.suppressed += absorb_stats.suppressed
+            self.cluster.ledger.add_compute_step(
+                P_DEDUP,
+                per_rank_recv * (cost.tuple_agg * cost.compute_scale)
+                + per_rank_adm * (cost.tuple_insert * cost.compute_scale),
+            )
+        self.counters["globalagg_tuples"] += int(per_rank_recv.sum())
+
+        # ---- all-to-all #2: improvements → join-layout relation ----
+        # (PARALAGG avoids this round entirely: its group home rank IS the
+        # join-layout home rank.)
+        super()._route_and_absorb(head_name, improved, stats)
+
+    def _advance_and_count(self, stratum) -> bool:
+        for rel in self._agg_stores.values():
+            rel.advance()  # keep auxiliary Δs from accumulating
+        return super()._advance_and_count(stratum)

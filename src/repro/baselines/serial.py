@@ -1,0 +1,41 @@
+"""A ledger with an Amdahl serial fraction (baseline engines).
+
+RaSQL's Spark driver and SociaLite's shared work queue serialize a slice
+of every superstep: scheduling, task dispatch, lock handoffs.  We model it
+as ``step_time = max_over_ranks + serial_fraction * sum_over_ranks`` — the
+standard Amdahl decomposition — which reproduces the paper's observation
+that both baselines stop improving past ~32–64 threads while PARALAGG
+keeps scaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.comm.ledger import PhaseLedger
+from repro.util.config import check_fraction
+
+
+@dataclass
+class SerialFractionLedger(PhaseLedger):
+    """PhaseLedger whose compute supersteps pay an Amdahl serial tax."""
+
+    serial_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        check_fraction("serial_fraction", self.serial_fraction)
+
+    def add_compute_step(self, phase: str, per_rank_seconds: np.ndarray) -> float:
+        if per_rank_seconds.shape != (self.n_ranks,):
+            raise ValueError(
+                f"expected shape ({self.n_ranks},), got {per_rank_seconds.shape}"
+            )
+        parallel = float(per_rank_seconds.max()) if self.n_ranks else 0.0
+        serial = self.serial_fraction * float(per_rank_seconds.sum())
+        step = parallel + serial
+        self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + step
+        self.rank_compute += per_rank_seconds
+        return step

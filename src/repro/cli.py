@@ -1,0 +1,245 @@
+"""``paralagg`` command-line interface.
+
+Runs queries and regenerates the paper's tables/figures from the shell::
+
+    paralagg datasets
+    paralagg run sssp --dataset twitter_like --ranks 64 --sources 0,1,2
+    paralagg run cc --dataset flickr --ranks 256 --subbuckets 8
+    paralagg experiment fig3
+    paralagg experiment table2 --full
+
+Every experiment prints the same rows/series the paper reports (see
+EXPERIMENTS.md for the side-by-side).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments import ablations, fig2, fig3, fig4, fig5, fig6, fig7, table1, table2
+from repro.experiments.common import ExperimentDefaults, defaults_from_env
+from repro.graphs.datasets import DATASETS, load_dataset
+from repro.queries.cc import run_cc
+from repro.queries.sssp import run_sssp
+from repro.runtime.config import EngineConfig
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="paralagg",
+        description="PARALAGG reproduction: communication-avoiding recursive aggregation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list the named stand-in graphs")
+
+    run = sub.add_parser("run", help="run a query on a dataset")
+    run.add_argument("query", choices=["sssp", "cc"])
+    run.add_argument("--dataset", default="twitter_like")
+    run.add_argument("--ranks", type=int, default=64)
+    run.add_argument("--subbuckets", type=int, default=8,
+                     help="spatial load-balancing factor for the edge relation")
+    run.add_argument("--sources", default="0",
+                     help="comma-separated SSSP source vertices")
+    run.add_argument("--scale-shift", type=int, default=0,
+                     help="halve the graph's linear scale this many times")
+    run.add_argument("--seed", type=int, default=42)
+    run.add_argument("--no-dynamic-join", action="store_true",
+                     help="disable Algorithm 1's per-iteration vote")
+    run.add_argument("--explain", action="store_true",
+                     help="print the compiled evaluation plan before running")
+
+    query = sub.add_parser(
+        "query", help="run a Datalog source file (surface syntax)"
+    )
+    query.add_argument("file", help="path to a .dl program")
+    query.add_argument("--ranks", type=int, default=16)
+    query.add_argument(
+        "--facts", action="append", default=[], metavar="REL=PATH",
+        help="load a relation from an edge-list file (repeatable)",
+    )
+    query.add_argument("--explain", action="store_true")
+    query.add_argument("--spmd", action="store_true",
+                       help="evaluate with the literal per-rank SPMD engine "
+                            "instead of the fast BSP driver")
+    query.add_argument("--limit", type=int, default=20,
+                       help="max tuples to print per output relation")
+
+    exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    exp.add_argument(
+        "name",
+        choices=["fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+                 "table1", "table2", "ablations", "all"],
+    )
+    exp.add_argument("--full", action="store_true",
+                     help="run the paper's full sweep (slow)")
+    exp.add_argument("--scale-shift", type=int, default=None)
+    return parser
+
+
+def _cmd_datasets() -> int:
+    for name, spec in sorted(DATASETS.items()):
+        print(f"{name:14s} stands in for {spec.paper_graph:28s} [{spec.category}]")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.dataset, seed=args.seed, scale_shift=args.scale_shift)
+    config = EngineConfig(
+        n_ranks=args.ranks,
+        dynamic_join=not args.no_dynamic_join,
+        subbuckets={"edge": args.subbuckets},
+        seed=args.seed,
+    )
+    print(f"{graph} on {args.ranks} simulated ranks")
+    if args.explain:
+        from repro.queries.cc import cc_program
+        from repro.queries.sssp import sssp_program
+        from repro.runtime.engine import Engine as _E
+
+        prog = (
+            sssp_program(args.subbuckets)
+            if args.query == "sssp"
+            else cc_program(args.subbuckets)
+        )
+        print(_E(prog, config).explain())
+    t0 = time.time()
+    if args.query == "sssp":
+        sources = [int(s) for s in args.sources.split(",") if s]
+        result = run_sssp(graph, sources, config)
+        fp = result.fixpoint
+        print(
+            f"sssp: {result.n_paths} shortest paths from {len(sources)} "
+            f"source(s) in {result.iterations} iterations"
+        )
+    else:
+        result = run_cc(graph, config)
+        fp = result.fixpoint
+        print(
+            f"cc: {result.n_components} components over "
+            f"{len(result.labels)} non-isolated vertices in "
+            f"{result.iterations} iterations"
+        )
+    print(f"wall (simulation host): {time.time() - t0:.2f}s")
+    print(f"modeled cluster time:   {fp.modeled_seconds():.6f}s")
+    for phase, seconds in sorted(fp.phase_breakdown().items()):
+        print(f"  {phase:14s} {seconds:.6f}s")
+    comm = fp.ledger.comm
+    print(f"communication: {comm.bytes_total} bytes in {comm.messages} messages")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    base = defaults_from_env()
+    defaults = ExperimentDefaults(
+        scale_shift=base.scale_shift if args.scale_shift is None else args.scale_shift,
+        full=args.full or base.full,
+        seed=base.seed,
+    )
+    t0 = time.time()
+    if args.name == "fig2":
+        print(fig2.render(fig2.run_fig2(defaults)))
+    elif args.name == "fig3":
+        print(fig3.render(fig3.run_fig3(defaults)))
+    elif args.name == "fig4":
+        print(fig4.render(fig4.run_fig4(defaults)))
+    elif args.name == "fig5":
+        print(fig5.render(fig5.run_fig5(defaults)))
+    elif args.name == "fig6":
+        print(fig6.render(fig6.run_fig6(defaults)))
+    elif args.name == "fig7":
+        print(fig7.render(fig7.run_fig7(defaults)))
+    elif args.name == "table1":
+        print(table1.render(table1.run_table1(defaults)))
+    elif args.name == "table2":
+        print(table2.render(table2.run_table2(defaults)))
+    elif args.name == "all":
+        for sub in ("fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+                    "table1", "table2", "ablations"):
+            sub_args = argparse.Namespace(
+                name=sub, full=args.full, scale_shift=args.scale_shift
+            )
+            _cmd_experiment(sub_args)
+    elif args.name == "ablations":
+        print(ablations.render(ablations.run_join_order_ablation(defaults),
+                               "Ablation — join-order selection"))
+        print()
+        print(ablations.render(ablations.run_aggregation_placement_ablation(defaults),
+                               "Ablation — aggregation placement"))
+    print(f"\n[{args.name} regenerated in {time.time() - t0:.1f}s]")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    import pathlib
+
+    import numpy as np
+
+    from repro.planner.parser import parse_program
+    from repro.runtime.engine import Engine
+
+    source = pathlib.Path(args.file).read_text()
+    parsed = parse_program(source)
+    engine = Engine(parsed.program, EngineConfig(n_ranks=args.ranks))
+    if args.explain:
+        print(engine.explain())
+    for name, rows in parsed.facts.items():
+        engine.load(name, rows)
+    file_inputs = dict(parsed.inputs)
+    for spec in args.facts:
+        rel, _, path = spec.partition("=")
+        if not path:
+            raise SystemExit(f"--facts needs REL=PATH, got {spec!r}")
+        file_inputs[rel] = path
+    all_facts = dict(parsed.facts)
+    for rel, path in file_inputs.items():
+        rows = np.loadtxt(path, dtype=np.int64, ndmin=2)
+        loaded = [tuple(int(v) for v in r) for r in rows]
+        engine.load(rel, loaded)
+        all_facts.setdefault(rel, []).extend(loaded)
+    t0 = time.time()
+    if args.spmd:
+        from repro.runtime.spmd import run_spmd_engine
+
+        relations = run_spmd_engine(
+            parsed.program, all_facts, EngineConfig(n_ranks=args.ranks)
+        )
+        lookup = relations.__getitem__
+        footer = f"[SPMD engine, wall {time.time() - t0:.2f}s]"
+    else:
+        result = engine.run()
+        lookup = result.query
+        footer = (f"[{result.iterations} iterations, "
+                  f"modeled {result.modeled_seconds():.6f}s, "
+                  f"wall {time.time() - t0:.2f}s]")
+    outputs = parsed.outputs or tuple(
+        r.head.relation for r in parsed.program.rules
+    )
+    for name in dict.fromkeys(outputs):
+        tuples = sorted(lookup(name))
+        shown = tuples[: args.limit]
+        print(f"{name}: {len(tuples)} tuple(s)")
+        for t in shown:
+            print(f"  {name}{t}")
+        if len(tuples) > len(shown):
+            print(f"  ... {len(tuples) - len(shown)} more")
+    print(footer)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "datasets":
+        return _cmd_datasets()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "query":
+        return _cmd_query(args)
+    return _cmd_experiment(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""Communication substrate — the simulated MPI cluster.
+
+The paper runs PARALAGG over MPI on the Theta supercomputer.  This
+reproduction has neither MPI nor a cluster, so (per the documented
+substitution in DESIGN.md §2) this package provides:
+
+:mod:`repro.comm.costmodel`
+    An α–β (latency–bandwidth) communication cost model plus calibrated
+    per-tuple compute rates.  Modeled time drives the strong-scaling
+    figures, since wall-clock of a single-process simulation cannot.
+:mod:`repro.comm.simcluster`
+    :class:`SimCluster` — a bulk-synchronous simulated cluster of logical
+    ranks.  Collectives (``allreduce``, ``allgather``, ``alltoallv``,
+    ``bcast``) move *real* payloads between per-rank mailboxes and charge
+    the cost model with actual serialized sizes, so communication volume is
+    measured, never assumed.
+:mod:`repro.comm.asyncmpi`
+    An mpi4py-flavoured SPMD API (``run_spmd`` + ``AsyncComm``) for writing
+    rank programs in the familiar MPI style; used by examples and tests.
+:mod:`repro.comm.ledger`
+    Per-phase accounting of compute (per-rank, max-combined per superstep)
+    and communication (global) modeled time.
+"""
+
+from repro.comm.costmodel import CostModel, CommEvent
+from repro.comm.ledger import PhaseLedger
+from repro.comm.simcluster import SimCluster
+from repro.comm.asyncmpi import AsyncComm, run_spmd
+
+__all__ = [
+    "CostModel",
+    "CommEvent",
+    "PhaseLedger",
+    "SimCluster",
+    "AsyncComm",
+    "run_spmd",
+]

@@ -1,0 +1,368 @@
+"""An mpi4py-flavoured SPMD interface over asyncio.
+
+The BSP :class:`~repro.comm.simcluster.SimCluster` is what the PARALAGG
+runtime uses internally, but a downstream user of this library expects to
+write *rank programs* in the familiar MPI style (see the mpi4py tutorial's
+idioms, which this API mirrors: lowercase methods communicate pickled
+Python objects):
+
+.. code-block:: python
+
+    async def program(comm):
+        rank, size = comm.Get_rank(), comm.Get_size()
+        data = await comm.bcast({"k": 1} if rank == 0 else None, root=0)
+        total = await comm.allreduce(rank, op=sum)
+        return total
+
+    results = run_spmd(4, program)
+
+Every rank runs as an asyncio task; collectives are rendezvous points
+(all ranks must call them in the same order, as in MPI), and point-to-point
+``send``/``recv`` match on ``(source, tag)`` with MPI's non-overtaking
+guarantee per (source, dest, tag) channel.
+
+Deadlocks (a rank waiting on a message that never comes) are detected: when
+every unfinished rank is blocked and no progress is possible, ``run_spmd``
+raises :class:`DeadlockError` instead of hanging.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+from collections import deque
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Tuple
+
+from repro.comm.costmodel import CommEvent, CostModel
+from repro.comm.ledger import PhaseLedger
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+class DeadlockError(RuntimeError):
+    """All live ranks are blocked on communication that cannot complete."""
+
+
+class _Collective:
+    """Rendezvous for one collective call site (created lazily per epoch)."""
+
+    def __init__(self, world: "_World"):
+        self.world = world
+        self.size = world.size
+        self.values: Dict[int, Any] = {}
+        self.done = asyncio.Event()
+        self.result: Any = None
+
+    async def arrive(self, rank: int, value: Any, finish: Callable[[Dict[int, Any]], Any]) -> Any:
+        self.world.progress += 1  # reaching a collective is forward motion
+        self.values[rank] = value
+        if len(self.values) == self.size:
+            self.result = finish(self.values)
+            self.world.progress += 1
+            self.done.set()
+        else:
+            self.world.blocked += 1
+            try:
+                await self.done.wait()
+            finally:
+                self.world.blocked -= 1
+        return self.result
+
+
+class _World:
+    """Shared state for one SPMD execution."""
+
+    def __init__(self, size: int, cost: CostModel):
+        self.size = size
+        self.cost = cost
+        self.ledger = PhaseLedger(size)
+        # mailbox[dst] maps (src, tag) -> deque of payloads
+        self.mailboxes: List[Dict[Tuple[int, int], deque]] = [dict() for _ in range(size)]
+        self.mail_arrived: List[asyncio.Event] = [asyncio.Event() for _ in range(size)]
+        # collectives keyed by (name, epoch-counter per name)
+        self.collectives: Dict[Tuple[str, int], _Collective] = {}
+        self.coll_epoch: Dict[str, List[int]] = {}
+        self.blocked = 0
+        self.finished = 0
+        #: Monotone counter bumped on every send, receive match, and
+        #: collective arrival/completion — the deadlock detector's
+        #: liveness signal.
+        self.progress = 0
+
+    def collective(self, name: str, rank: int) -> _Collective:
+        """Get the rendezvous instance for this rank's next call to ``name``."""
+        epochs = self.coll_epoch.setdefault(name, [0] * self.size)
+        key = (name, epochs[rank])
+        epochs[rank] += 1
+        coll = self.collectives.get(key)
+        if coll is None:
+            coll = _Collective(self)
+            self.collectives[key] = coll
+        return coll
+
+    def charge(self, kind: str, nbytes: int, messages: int, seconds: float) -> None:
+        self.ledger.add_comm(
+            CommEvent(kind=kind, phase="comm", nbytes=nbytes, messages=messages, seconds=seconds)
+        )
+
+
+def _obj_nbytes(obj: Any) -> int:
+    """Serialized size of a Python object (mpi4py lowercase methods pickle)."""
+    try:
+        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        return 64  # unpicklable sentinel; charge a nominal envelope
+
+
+class AsyncComm:
+    """Communicator handle passed to each rank program."""
+
+    def __init__(self, world: _World, rank: int):
+        self._world = world
+        self._rank = rank
+
+    # ------------------------------------------------------------- identity
+
+    def Get_rank(self) -> int:
+        return self._rank
+
+    def Get_size(self) -> int:
+        return self._world.size
+
+    @property
+    def ledger(self) -> PhaseLedger:
+        return self._world.ledger
+
+    # ------------------------------------------------------- point to point
+
+    async def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Send a pickled Python object (buffered, non-blocking delivery)."""
+        if not 0 <= dest < self._world.size:
+            raise ValueError(f"dest {dest} out of range")
+        box = self._world.mailboxes[dest]
+        box.setdefault((self._rank, tag), deque()).append(obj)
+        self._world.progress += 1
+        self._world.charge("p2p", _obj_nbytes(obj), 1,
+                           self._world.cost.p2p(_obj_nbytes(obj)))
+        self._world.mail_arrived[dest].set()
+        await asyncio.sleep(0)  # yield so receivers can progress
+
+    async def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
+        """Receive one message matching ``(source, tag)`` (blocking)."""
+        box = self._world.mailboxes[self._rank]
+        event = self._world.mail_arrived[self._rank]
+        while True:
+            for (src, t), q in box.items():
+                if q and (source in (ANY_SOURCE, src)) and (tag in (ANY_TAG, t)):
+                    self._world.progress += 1
+                    return q.popleft()
+            event.clear()
+            self._world.blocked += 1
+            try:
+                await event.wait()
+            finally:
+                self._world.blocked -= 1
+
+    async def sendrecv(self, obj: Any, dest: int, source: int = ANY_SOURCE,
+                       sendtag: int = 0, recvtag: int = ANY_TAG) -> Any:
+        await self.send(obj, dest, tag=sendtag)
+        return await self.recv(source=source, tag=recvtag)
+
+    # ------------------------------------------------------------ collectives
+
+    async def barrier(self) -> None:
+        world = self._world
+        coll = world.collective("barrier", self._rank)
+        await coll.arrive(self._rank, None, lambda values: None)
+        if self._rank == 0:
+            world.charge("barrier", 0, world.size, world.cost.barrier(world.size))
+
+    async def bcast(self, obj: Any, root: int = 0) -> Any:
+        world = self._world
+        coll = world.collective("bcast", self._rank)
+
+        def finish(values: Dict[int, Any]) -> Any:
+            payload = values[root]
+            world.charge("bcast", _obj_nbytes(payload), world.size - 1,
+                         world.cost.bcast(world.size, _obj_nbytes(payload)))
+            return payload
+
+        return await coll.arrive(self._rank, obj, finish)
+
+    async def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
+        world = self._world
+        coll = world.collective("gather", self._rank)
+
+        def finish(values: Dict[int, Any]) -> List[Any]:
+            ordered = [values[r] for r in range(world.size)]
+            nbytes = sum(_obj_nbytes(v) for v in ordered)
+            world.charge("gather", nbytes, world.size - 1,
+                         world.cost.allgather(world.size, max(1, nbytes // world.size)))
+            return ordered
+
+        result = await coll.arrive(self._rank, obj, finish)
+        return result if self._rank == root else None
+
+    async def allgather(self, obj: Any) -> List[Any]:
+        world = self._world
+        coll = world.collective("allgather", self._rank)
+
+        def finish(values: Dict[int, Any]) -> List[Any]:
+            ordered = [values[r] for r in range(world.size)]
+            nbytes = sum(_obj_nbytes(v) for v in ordered)
+            world.charge("allgather", nbytes, world.size,
+                         world.cost.allgather(world.size, max(1, nbytes // world.size)))
+            return ordered
+
+        return await coll.arrive(self._rank, obj, finish)
+
+    async def scatter(self, objs: Optional[List[Any]], root: int = 0) -> Any:
+        world = self._world
+        coll = world.collective("scatter", self._rank)
+
+        def finish(values: Dict[int, Any]) -> List[Any]:
+            payload = values[root]
+            if payload is None or len(payload) != world.size:
+                raise ValueError("scatter root must supply one value per rank")
+            nbytes = sum(_obj_nbytes(v) for v in payload)
+            world.charge("scatter", nbytes, world.size - 1,
+                         world.cost.allgather(world.size, max(1, nbytes // world.size)))
+            return payload
+
+        result = await coll.arrive(self._rank, objs, finish)
+        return result[self._rank]
+
+    async def allreduce(self, value: Any, op: Callable[[Any, Any], Any] | None = None) -> Any:
+        """Reduce with a binary ``op`` (default: ``+``); result on all ranks."""
+        world = self._world
+        coll = world.collective("allreduce", self._rank)
+
+        def finish(values: Dict[int, Any]) -> Any:
+            ordered = [values[r] for r in range(world.size)]
+            acc = ordered[0]
+            for v in ordered[1:]:
+                acc = op(acc, v) if op is not None else acc + v
+            world.charge("allreduce", _obj_nbytes(acc) * world.size, world.size,
+                         world.cost.allreduce(world.size, _obj_nbytes(acc)))
+            return acc
+
+        return await coll.arrive(self._rank, value, finish)
+
+    async def reduce(self, value: Any, op: Callable[[Any, Any], Any] | None = None,
+                     root: int = 0) -> Any:
+        result = await self.allreduce(value, op)
+        return result if self._rank == root else None
+
+    async def alltoall(self, objs: List[Any]) -> List[Any]:
+        """Each rank supplies one object per destination; receives one per source."""
+        world = self._world
+        if len(objs) != world.size:
+            raise ValueError(f"alltoall needs {world.size} entries, got {len(objs)}")
+        coll = world.collective("alltoall", self._rank)
+
+        def finish(values: Dict[int, Any]) -> Dict[int, List[Any]]:
+            nbytes = sum(_obj_nbytes(v) for vs in values.values() for v in vs)
+            per_rank = {
+                dst: [values[src][dst] for src in range(world.size)]
+                for dst in range(world.size)
+            }
+            busiest = max(
+                (sum(_obj_nbytes(v) for v in row) for row in per_rank.values()),
+                default=0,
+            )
+            world.charge("alltoallv", nbytes, world.size * (world.size - 1),
+                         world.cost.alltoallv(world.size, busiest, world.size - 1))
+            return per_rank
+
+        result = await coll.arrive(self._rank, objs, finish)
+        return result[self._rank]
+
+
+#: Supervisor cycles of all-blocked + zero progress before declaring
+#: deadlock.  A live system bumps the progress counter within a cycle or
+#: two of any wake-up; a deadlocked one never will.  Samples only occur
+#: when the loop is otherwise idle, so the threshold costs microseconds.
+_DEADLOCK_STAGNANT_CYCLES = 64
+
+
+async def _supervise(tasks: List[asyncio.Task], world: _World) -> None:
+    """Watch for global deadlock: every rank comm-blocked and *no*
+    forward progress (sends, receives, collective arrivals) over many
+    scheduler cycles.
+
+    Note that "all ranks blocked at a sample point" alone is the normal
+    state of a healthy lock-step pipeline — the supervisor only ever runs
+    when no task is mid-step — so detection additionally requires the
+    world's progress counter to stay frozen.
+    """
+    stagnant = 0
+    last_progress = -1
+    while True:
+        await asyncio.sleep(0)
+        unfinished = [t for t in tasks if not t.done()]
+        if not unfinished:
+            return
+        if world.blocked == len(unfinished) and world.progress == last_progress:
+            stagnant += 1
+            if stagnant >= _DEADLOCK_STAGNANT_CYCLES:
+                raise DeadlockError(
+                    f"{len(unfinished)} rank(s) blocked on communication "
+                    "that can never complete (missing send or mismatched "
+                    "collective)"
+                )
+        else:
+            stagnant = 0
+            last_progress = world.progress
+
+
+def run_spmd(
+    n_ranks: int,
+    fn: Callable[..., Awaitable[Any]],
+    *args: Any,
+    cost_model: Optional[CostModel] = None,
+    return_ledger: bool = False,
+) -> List[Any] | Tuple[List[Any], PhaseLedger]:
+    """Run ``fn(comm, *args)`` on ``n_ranks`` simulated ranks; gather returns.
+
+    Raises
+    ------
+    DeadlockError
+        If every live rank is blocked on communication that can never
+        complete (a receive without a matching send, or a collective that
+        some rank never reaches).
+    """
+    if n_ranks < 1:
+        raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
+    world = _World(n_ranks, cost_model or CostModel())
+
+    async def main() -> List[Any]:
+        tasks = [
+            asyncio.ensure_future(fn(AsyncComm(world, r), *args))
+            for r in range(n_ranks)
+        ]
+        gathered = asyncio.ensure_future(asyncio.gather(*tasks))
+        supervisor = asyncio.ensure_future(_supervise(tasks, world))
+        done, _ = await asyncio.wait(
+            {gathered, supervisor}, return_when=asyncio.FIRST_COMPLETED
+        )
+        if supervisor in done and supervisor.exception() is not None:
+            gathered.cancel()
+            for t in tasks:
+                t.cancel()
+            try:
+                await gathered
+            except asyncio.CancelledError:
+                pass
+            raise supervisor.exception()  # DeadlockError
+        supervisor.cancel()
+        try:
+            await supervisor
+        except asyncio.CancelledError:
+            pass
+        return await gathered
+
+    results = asyncio.run(main())
+    if return_ledger:
+        return results, world.ledger
+    return results

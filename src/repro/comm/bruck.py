@@ -1,0 +1,75 @@
+"""Bruck's algorithm for all-to-all exchange of small messages.
+
+The paper's group optimized non-uniform all-to-all via the Bruck algorithm
+(citation [16], Fan et al., HPDC'22); the iterated joins here lean on
+alltoallv every iteration, so the collective's latency behaviour matters.
+Bruck trades bandwidth for latency: instead of ``P - 1`` direct sends it
+runs ``ceil(log2 P)`` rounds, each forwarding a bundle of messages whose
+destination's k-th bit differs — total latency ``O(log P · α)`` at the
+cost of each message traveling up to ``log P`` hops.
+
+This implementation runs on the mpi4py-style SPMD interface
+(:mod:`repro.comm.asyncmpi`), demonstrating how a user would build custom
+collectives on the substrate; tests verify it delivers exactly what a
+direct alltoall delivers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.comm.asyncmpi import AsyncComm
+
+
+async def bruck_alltoall(comm: AsyncComm, objs: List[Any]) -> List[Any]:
+    """All-to-all via Bruck's log-round store-and-forward scheme.
+
+    ``objs[d]`` is this rank's message for destination ``d``; returns the
+    list of messages received, indexed by source rank.  Semantically
+    identical to :meth:`AsyncComm.alltoall`, but executed as
+    ``ceil(log2 P)`` point-to-point rounds.
+    """
+    rank, size = comm.Get_rank(), comm.Get_size()
+    if len(objs) != size:
+        raise ValueError(f"need {size} messages, got {len(objs)}")
+    if size == 1:
+        return list(objs)
+
+    # Phase 1 (local rotation): entry i holds the message for rank
+    # (rank + i) mod size, tagged with its final destination and source.
+    buffer: List[List[tuple]] = [
+        [((rank + i) % size, rank, objs[(rank + i) % size])] for i in range(size)
+    ]
+
+    # Phase 2: for each bit k, send every slot whose index has bit k set
+    # to rank + 2^k, where it re-enters the slot (index - 2^k).
+    k = 1
+    round_tag = 1000
+    while k < size:
+        send_slots = [i for i in range(size) if i & k]
+        payload = [buffer[i] for i in send_slots]
+        dest = (rank + k) % size
+        src = (rank - k) % size
+        await comm.send(payload, dest=dest, tag=round_tag)
+        incoming = await comm.recv(source=src, tag=round_tag)
+        # The sent slots are replaced wholesale by the neighbour's slots of
+        # the same indices — each block's remaining travel distance is its
+        # index, and it just moved k, which bit k of the index accounts for.
+        for slot, items in zip(send_slots, incoming):
+            buffer[slot] = list(items)
+        k <<= 1
+        round_tag += 1
+
+    # Phase 3: collect — every tagged message has now reached the rank
+    # whose offset path sums to its destination; gather by source.
+    received: List[Any] = [None] * size
+    for slot in buffer:
+        for dst, src, obj in slot:
+            if dst == rank:
+                received[src] = obj
+    # Messages still in flight conceptually landed here only if dst==rank;
+    # Bruck guarantees all do after ceil(log2 P) rounds.
+    missing = [s for s in range(size) if received[s] is None]
+    if missing:
+        raise RuntimeError(f"bruck_alltoall lost messages from ranks {missing}")
+    return received

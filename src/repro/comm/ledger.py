@@ -1,0 +1,93 @@
+"""Per-phase modeled-time accounting.
+
+The simulated cluster executes supersteps (BSP): within a phase of one
+iteration, every rank computes independently, so the phase's modeled time
+is the *maximum* over ranks of their compute — this is what makes load
+imbalance visible (Fig. 3/4 of the paper).  Communication time is global
+(collectives synchronize everyone).
+
+The ledger therefore accepts:
+
+* ``add_compute_step(phase, per_rank_seconds)`` — charges
+  ``max(per_rank_seconds)`` to the phase and records imbalance stats;
+* ``add_comm(phase, event)`` — charges the event's modeled seconds.
+
+It also keeps a per-iteration trace (``snapshot()``), driving Fig. 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.comm.costmodel import CommEvent, CommStats
+
+
+@dataclass
+class PhaseLedger:
+    """Accumulates modeled time per named phase across a simulation."""
+
+    n_ranks: int
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    comm: CommStats = field(default_factory=CommStats)
+    iterations: List[Dict[str, float]] = field(default_factory=list)
+    _last_totals: Dict[str, float] = field(default_factory=dict)
+    #: Sum over supersteps of per-rank compute seconds (imbalance analysis).
+    rank_compute: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.rank_compute is None:
+            self.rank_compute = np.zeros(self.n_ranks)
+
+    # ----------------------------------------------------------------- charge
+
+    def add_compute_step(self, phase: str, per_rank_seconds: np.ndarray) -> float:
+        """Charge one compute superstep; returns the step's modeled time."""
+        if per_rank_seconds.shape != (self.n_ranks,):
+            raise ValueError(
+                f"expected shape ({self.n_ranks},), got {per_rank_seconds.shape}"
+            )
+        step = float(per_rank_seconds.max()) if self.n_ranks else 0.0
+        self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + step
+        self.rank_compute += per_rank_seconds
+        return step
+
+    def add_compute_scalar(self, phase: str, seconds: float) -> None:
+        """Charge compute that is identical on (or dominated by) one rank."""
+        self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
+
+    def add_comm(self, event: CommEvent) -> None:
+        self.comm.record(event)
+        self.phase_seconds[event.phase] = (
+            self.phase_seconds.get(event.phase, 0.0) + event.seconds
+        )
+
+    # ---------------------------------------------------------------- queries
+
+    def total_seconds(self) -> float:
+        return sum(self.phase_seconds.values())
+
+    def phase(self, name: str) -> float:
+        return self.phase_seconds.get(name, 0.0)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Close out the current iteration; return its per-phase deltas."""
+        now = dict(self.phase_seconds)
+        delta = {k: now[k] - self._last_totals.get(k, 0.0) for k in now}
+        self._last_totals = now
+        self.iterations.append(delta)
+        return delta
+
+    def imbalance_ratio(self) -> float:
+        """max/mean of per-rank cumulative compute (1.0 = perfectly even)."""
+        mean = float(self.rank_compute.mean())
+        if mean <= 0:
+            return 1.0
+        return float(self.rank_compute.max()) / mean
+
+    def report(self) -> Dict[str, float]:
+        out = dict(self.phase_seconds)
+        out["total"] = self.total_seconds()
+        return out

@@ -1,0 +1,280 @@
+"""The ``RecursiveAggregator`` API (paper Listing 1) and built-in aggregates.
+
+PARALAGG exposes recursive aggregation through three overridable slots::
+
+    class RecursiveAggregator {
+        vector<column_t> dependent_column(tuple_t t);
+        partial_order_t  partial_cmp(dep_val_t a, dep_val_t b);
+        dep_val_t        partial_agg(dep_val_t a, dep_val_t b);
+    }
+
+We mirror that surface exactly.  A dependent value is a tuple of the
+relation's trailing ``n_dep`` columns; ``partial_agg`` must be a join-
+semilattice operation (associative, commutative, idempotent) so that
+
+* local aggregation order doesn't matter (ranks absorb tuples in arrival
+  order),
+* re-aggregating an already-absorbed value is a no-op (dedup fusion), and
+* the fixpoint ascends a finite-height chain and terminates.
+
+These laws are property-tested in ``tests/test_aggregators.py``.
+
+Aggregates whose columns satisfy the paper's restriction — *aggregated
+columns are never joined upon within the fixpoint* — may be freely used in
+recursive rule heads; the planner enforces the restriction statically.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence, Tuple
+
+from repro.lattice.semilattice import (
+    BoundedCountLattice,
+    MaxLattice,
+    MinLattice,
+    Ordering,
+    ProductLattice,
+    Semilattice,
+    SetUnionLattice,
+)
+
+DepVal = Tuple[int, ...]
+
+
+class RecursiveAggregator:
+    """Base class binding a semilattice to a relation's dependent columns.
+
+    Subclasses (or direct instances) provide the lattice; the three API
+    slots of Listing 1 are derived from it.  ``n_dep`` is the number of
+    trailing dependent columns the aggregator consumes (1 for all paper
+    aggregates; the product construction supports more).
+    """
+
+    #: Registry name, e.g. ``"min"`` — the ``$MIN`` of the surface syntax.
+    name: str = "abstract"
+    n_dep: int = 1
+    #: Lattice aggregates are idempotent and may appear in recursive rule
+    #: heads; *fold* aggregates (SUM/COUNT — stratified aggregation, paper
+    #: §II-B) are not, and the planner confines them to non-recursive
+    #: strata.
+    idempotent: bool = True
+
+    def __init__(self, lattice: Semilattice):
+        self.lattice = lattice
+
+    # ------------------------------------------------------ Listing 1 surface
+
+    def dependent_column(self, t: Tuple[int, ...]) -> DepVal:
+        """Extract the dependent value from a full tuple (trailing columns)."""
+        return t[len(t) - self.n_dep:]
+
+    def partial_cmp(self, a: DepVal, b: DepVal) -> Ordering:
+        """Partial order on dependent values (``partial_cmp`` of Listing 1)."""
+        return self.lattice.compare(self._unpack(a), self._unpack(b))
+
+    def partial_agg(self, a: DepVal, b: DepVal) -> DepVal:
+        """Combine two dependent values — the semilattice join."""
+        return self._pack(self.lattice.join(self._unpack(a), self._unpack(b)))
+
+    # ------------------------------------------------------------ conversions
+
+    def _unpack(self, dep: DepVal):
+        """Dependent tuple → lattice carrier (scalar for 1-column deps)."""
+        return dep[0] if self.n_dep == 1 else dep
+
+    def _pack(self, value) -> DepVal:
+        return (value,) if self.n_dep == 1 else tuple(value)
+
+    # --------------------------------------------------------------- helpers
+
+    def improves(self, new: DepVal, old: DepVal) -> bool:
+        """Whether absorbing ``new`` moves the accumulator up the lattice.
+
+        This is the test fused into deduplication (§III-A): if the join of
+        old and new equals old, the new tuple adds no information and must
+        not enter Δ ("doing so would constitute excess work").
+        """
+        return self.partial_agg(old, new) != old
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class MinAggregator(RecursiveAggregator):
+    """``$MIN`` — shortest-path-style aggregation (paper Listing 2)."""
+
+    name = "min"
+
+    def __init__(self) -> None:
+        super().__init__(MinLattice())
+
+    def partial_agg(self, a: DepVal, b: DepVal) -> DepVal:
+        # Hot path: lexicographic tuple comparison == pointwise min for the
+        # single-column case; avoids the generic pack/unpack round trip.
+        return a if a <= b else b
+
+
+class MaxAggregator(RecursiveAggregator):
+    """``$MAX`` — e.g. longest shortest path (``Lsp``, §III-A)."""
+
+    name = "max"
+
+    def __init__(self) -> None:
+        super().__init__(MaxLattice())
+
+    def partial_agg(self, a: DepVal, b: DepVal) -> DepVal:
+        return a if a >= b else b
+
+
+class MCountAggregator(RecursiveAggregator):
+    """``$MCOUNT`` — DatalogFS-style monotonic counting, saturating.
+
+    The count only grows and clips at ``bound``, giving the finite lattice
+    height that recursive counting needs to terminate on cyclic data.
+    """
+
+    name = "mcount"
+
+    def __init__(self, bound: int = 2**31 - 1) -> None:
+        super().__init__(BoundedCountLattice(bound))
+
+
+class AnyAggregator(RecursiveAggregator):
+    """``$ANY`` — reachability flag: dependent value saturates to 1.
+
+    The carrier is {0, 1} with join = max; using integers keeps tuples
+    homogeneous.
+    """
+
+    name = "any"
+
+    def __init__(self) -> None:
+        super().__init__(MaxLattice())
+
+    def partial_agg(self, a: DepVal, b: DepVal) -> DepVal:
+        return (1 if (a[0] or b[0]) else 0,)
+
+
+class UnionAggregator(RecursiveAggregator):
+    """``$UNION`` — accumulate a bounded bitset of small labels.
+
+    Dependent column holds a bitmask; join is bitwise OR (isomorphic to
+    :class:`~repro.lattice.semilattice.SetUnionLattice` over label indices
+    < 63, kept as an int so tuples stay integer vectors).
+    """
+
+    name = "union"
+
+    def __init__(self) -> None:
+        super().__init__(SetUnionLattice())
+
+    def partial_agg(self, a: DepVal, b: DepVal) -> DepVal:
+        return (a[0] | b[0],)
+
+    def partial_cmp(self, a: DepVal, b: DepVal) -> Ordering:
+        x, y = a[0], b[0]
+        if x == y:
+            return Ordering.EQUAL
+        if x & y == x:
+            return Ordering.LESS
+        if x & y == y:
+            return Ordering.GREATER
+        return Ordering.INCOMPARABLE
+
+
+class SumAggregator(RecursiveAggregator):
+    """``SUM`` — stratified (non-recursive) group-by sum.
+
+    Not idempotent, hence not a lattice join: re-absorbing a tuple would
+    double-count.  The planner therefore only admits it where each body
+    substitution is emitted exactly once — non-recursive strata — which is
+    exactly classic stratified aggregation (paper §II-B).
+    """
+
+    name = "sum"
+    idempotent = False
+
+    def __init__(self) -> None:
+        super().__init__(MaxLattice())  # carrier placeholder; ops overridden
+
+    def partial_agg(self, a: DepVal, b: DepVal) -> DepVal:
+        return (a[0] + b[0],)
+
+    def partial_cmp(self, a: DepVal, b: DepVal) -> Ordering:
+        return Ordering.EQUAL if a == b else Ordering.INCOMPARABLE
+
+
+class CountAggregator(SumAggregator):
+    """``COUNT`` — stratified group-by count (sum of per-emission 1s)."""
+
+    name = "count"
+
+
+class TupleAggregator(RecursiveAggregator):
+    """Pointwise product of aggregators — one per dependent column.
+
+    Enables heads with *several* aggregate terms, e.g. tracking both the
+    shortest and the longest known value per group::
+
+        span(f, t, MIN(l + w), MAX(l + w)) <= (span(f, m, l, _), edge(m, t, w))
+
+    Soundness: the product of join-semilattices is a join-semilattice
+    (componentwise join), so termination and order-insensitivity carry
+    over — unless any component is a non-idempotent fold, in which case
+    the product is stratified-only too.
+    """
+
+    name = "tuple"
+
+    def __init__(self, components: Sequence[RecursiveAggregator]):
+        if not components:
+            raise ValueError("TupleAggregator needs at least one component")
+        if any(c.n_dep != 1 for c in components):
+            raise ValueError("TupleAggregator components must be 1-column aggregates")
+        super().__init__(ProductLattice([c.lattice for c in components]))
+        self.components: Tuple[RecursiveAggregator, ...] = tuple(components)
+        self.n_dep = len(components)
+        self.idempotent = all(c.idempotent for c in components)
+        self.name = "tuple(" + ",".join(c.name for c in components) + ")"
+
+    def partial_agg(self, a: DepVal, b: DepVal) -> DepVal:
+        return tuple(
+            c.partial_agg((x,), (y,))[0]
+            for c, x, y in zip(self.components, a, b)
+        )
+
+    def partial_cmp(self, a: DepVal, b: DepVal) -> Ordering:
+        results = {
+            c.partial_cmp((x,), (y,))
+            for c, x, y in zip(self.components, a, b)
+        }
+        if results == {Ordering.EQUAL}:
+            return Ordering.EQUAL
+        if results <= {Ordering.LESS, Ordering.EQUAL}:
+            return Ordering.LESS
+        if results <= {Ordering.GREATER, Ordering.EQUAL}:
+            return Ordering.GREATER
+        return Ordering.INCOMPARABLE
+
+
+#: Factories for the surface syntax: ``$MIN`` → ``AGGREGATORS["min"]()``.
+AGGREGATORS: Dict[str, Callable[[], RecursiveAggregator]] = {
+    "min": MinAggregator,
+    "max": MaxAggregator,
+    "mcount": MCountAggregator,
+    "any": AnyAggregator,
+    "union": UnionAggregator,
+    "sum": SumAggregator,
+    "count": CountAggregator,
+}
+
+
+def make_aggregator(name: str) -> RecursiveAggregator:
+    """Instantiate a built-in aggregate by surface name (case-insensitive)."""
+    key = name.lower().lstrip("$")
+    try:
+        return AGGREGATORS[key]()
+    except KeyError:
+        raise KeyError(
+            f"unknown aggregate {name!r}; known: {sorted(AGGREGATORS)}"
+        ) from None

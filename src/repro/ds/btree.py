@@ -1,0 +1,414 @@
+"""An in-memory B-tree map and set.
+
+PARALAGG keeps the inner relation of each join in a nested B-tree so local
+joins degrade to ``O(log n)`` probes rather than linear scans (paper §IV-D,
+§V-D notes "BTree insertion dominated program performance at low core
+counts").  CPython has no standard sorted container, so we implement a
+classic B-tree:
+
+* nodes hold between ``t - 1`` and ``2t - 1`` keys (``t`` = minimum degree),
+* inserts split full children on the way down (single-pass, preemptive
+  splitting — no parent pointers needed),
+* deletes merge/borrow on the way down (single-pass as well),
+* iteration yields keys in sorted order; ``range(lo, hi)`` scans a window.
+
+Keys may be any totally-ordered Python values (ints and tuples of ints in
+practice).  The set variant is a thin wrapper storing ``None`` values.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, List, Optional, Tuple
+
+
+class _Node:
+    """A B-tree node; ``children`` is empty exactly for leaves."""
+
+    __slots__ = ("keys", "values", "children")
+
+    def __init__(self) -> None:
+        self.keys: List[Any] = []
+        self.values: List[Any] = []
+        self.children: List["_Node"] = []
+
+    @property
+    def leaf(self) -> bool:
+        return not self.children
+
+
+def _find(keys: List[Any], key: Any) -> Tuple[int, bool]:
+    """Binary search: return (index, found)."""
+    lo, hi = 0, len(keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if keys[mid] < key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo, lo < len(keys) and keys[lo] == key
+
+
+class BTreeMap:
+    """Sorted map backed by a B-tree.
+
+    Parameters
+    ----------
+    min_degree:
+        The B-tree minimum degree ``t``; each node stores at most
+        ``2t - 1`` keys.  The default (16) keeps nodes cache-friendly for
+        integer/tuple keys.
+    """
+
+    __slots__ = ("_root", "_t", "_len")
+
+    def __init__(self, items: Optional[Iterable[Tuple[Any, Any]]] = None, *, min_degree: int = 16):
+        if min_degree < 2:
+            raise ValueError(f"min_degree must be >= 2, got {min_degree}")
+        self._t = min_degree
+        self._root = _Node()
+        self._len = 0
+        if items is not None:
+            for k, v in items:
+                self[k] = v
+
+    # ------------------------------------------------------------------ basics
+
+    def __len__(self) -> int:
+        return self._len
+
+    def __bool__(self) -> bool:
+        return self._len > 0
+
+    def __contains__(self, key: Any) -> bool:
+        return self._lookup(key) is not None
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        hit = self._lookup(key)
+        return hit[0] if hit is not None else default
+
+    def __getitem__(self, key: Any) -> Any:
+        hit = self._lookup(key)
+        if hit is None:
+            raise KeyError(key)
+        return hit[0]
+
+    def _lookup(self, key: Any) -> Optional[Tuple[Any]]:
+        node = self._root
+        while True:
+            i, found = _find(node.keys, key)
+            if found:
+                return (node.values[i],)
+            if node.leaf:
+                return None
+            node = node.children[i]
+
+    # ------------------------------------------------------------------ insert
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        root = self._root
+        if len(root.keys) == 2 * self._t - 1:
+            new_root = _Node()
+            new_root.children.append(root)
+            self._split_child(new_root, 0)
+            self._root = new_root
+            root = new_root
+        if self._insert_nonfull(root, key, value):
+            self._len += 1
+
+    def setdefault(self, key: Any, default: Any) -> Any:
+        hit = self._lookup(key)
+        if hit is not None:
+            return hit[0]
+        self[key] = default
+        return default
+
+    def _split_child(self, parent: _Node, i: int) -> None:
+        t = self._t
+        child = parent.children[i]
+        right = _Node()
+        right.keys = child.keys[t:]
+        right.values = child.values[t:]
+        if not child.leaf:
+            right.children = child.children[t:]
+            del child.children[t:]
+        parent.keys.insert(i, child.keys[t - 1])
+        parent.values.insert(i, child.values[t - 1])
+        parent.children.insert(i + 1, right)
+        del child.keys[t - 1:]
+        del child.values[t - 1:]
+
+    def _insert_nonfull(self, node: _Node, key: Any, value: Any) -> bool:
+        """Insert into a non-full subtree; return True iff a new key was added."""
+        while True:
+            i, found = _find(node.keys, key)
+            if found:
+                node.values[i] = value
+                return False
+            if node.leaf:
+                node.keys.insert(i, key)
+                node.values.insert(i, value)
+                return True
+            child = node.children[i]
+            if len(child.keys) == 2 * self._t - 1:
+                self._split_child(node, i)
+                if key == node.keys[i]:
+                    node.values[i] = value
+                    return False
+                if key > node.keys[i]:
+                    i += 1
+            node = node.children[i]
+
+    # ------------------------------------------------------------------ delete
+
+    def __delitem__(self, key: Any) -> None:
+        if not self._delete(self._root, key):
+            raise KeyError(key)
+        self._len -= 1
+        if not self._root.keys and not self._root.leaf:
+            self._root = self._root.children[0]
+
+    def pop(self, key: Any, *default: Any) -> Any:
+        hit = self._lookup(key)
+        if hit is None:
+            if default:
+                return default[0]
+            raise KeyError(key)
+        del self[key]
+        return hit[0]
+
+    def discard(self, key: Any) -> bool:
+        """Delete ``key`` if present; return whether it was present."""
+        if key in self:
+            del self[key]
+            return True
+        return False
+
+    def _delete(self, node: _Node, key: Any) -> bool:
+        t = self._t
+        i, found = _find(node.keys, key)
+        if found and node.leaf:
+            del node.keys[i]
+            del node.values[i]
+            return True
+        if found:
+            left, right = node.children[i], node.children[i + 1]
+            if len(left.keys) >= t:
+                pk, pv = self._pop_max(left)
+                node.keys[i], node.values[i] = pk, pv
+                return True
+            if len(right.keys) >= t:
+                pk, pv = self._pop_min(right)
+                node.keys[i], node.values[i] = pk, pv
+                return True
+            self._merge_children(node, i)
+            return self._delete(left, key)
+        if node.leaf:
+            return False
+        child = node.children[i]
+        if len(child.keys) < t:
+            i = self._refill_child(node, i)
+            child = node.children[i]
+            # refill may have merged the separator key back into ``child``;
+            # re-dispatch on the (possibly new) child.
+            return self._delete(child, key)
+        return self._delete(child, key)
+
+    def _pop_max(self, node: _Node) -> Tuple[Any, Any]:
+        while not node.leaf:
+            i = len(node.children) - 1
+            if len(node.children[i].keys) < self._t:
+                i = self._refill_child(node, i)
+            node = node.children[i]
+        return node.keys.pop(), node.values.pop()
+
+    def _pop_min(self, node: _Node) -> Tuple[Any, Any]:
+        while not node.leaf:
+            i = 0
+            if len(node.children[i].keys) < self._t:
+                i = self._refill_child(node, i)
+            node = node.children[i]
+        k, v = node.keys[0], node.values[0]
+        del node.keys[0]
+        del node.values[0]
+        return k, v
+
+    def _refill_child(self, node: _Node, i: int) -> int:
+        """Ensure ``node.children[i]`` has >= t keys; return its (new) index."""
+        t = self._t
+        child = node.children[i]
+        if i > 0 and len(node.children[i - 1].keys) >= t:
+            left = node.children[i - 1]
+            child.keys.insert(0, node.keys[i - 1])
+            child.values.insert(0, node.values[i - 1])
+            node.keys[i - 1] = left.keys.pop()
+            node.values[i - 1] = left.values.pop()
+            if not left.leaf:
+                child.children.insert(0, left.children.pop())
+            return i
+        if i < len(node.keys) and len(node.children[i + 1].keys) >= t:
+            right = node.children[i + 1]
+            child.keys.append(node.keys[i])
+            child.values.append(node.values[i])
+            node.keys[i] = right.keys[0]
+            node.values[i] = right.values[0]
+            del right.keys[0]
+            del right.values[0]
+            if not right.leaf:
+                child.children.append(right.children[0])
+                del right.children[0]
+            return i
+        if i < len(node.keys):
+            self._merge_children(node, i)
+            return i
+        self._merge_children(node, i - 1)
+        return i - 1
+
+    def _merge_children(self, node: _Node, i: int) -> None:
+        left, right = node.children[i], node.children[i + 1]
+        left.keys.append(node.keys[i])
+        left.values.append(node.values[i])
+        left.keys.extend(right.keys)
+        left.values.extend(right.values)
+        left.children.extend(right.children)
+        del node.keys[i]
+        del node.values[i]
+        del node.children[i + 1]
+
+    # --------------------------------------------------------------- iteration
+
+    def __iter__(self) -> Iterator[Any]:
+        yield from (k for k, _ in self.items())
+
+    def keys(self) -> Iterator[Any]:
+        return iter(self)
+
+    def values(self) -> Iterator[Any]:
+        yield from (v for _, v in self.items())
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """Yield ``(key, value)`` pairs in sorted key order.
+
+        Recursion depth equals tree height — ``O(log n)`` — so this is safe
+        for any in-memory size.
+        """
+
+        def walk(node: _Node) -> Iterator[Tuple[Any, Any]]:
+            if node.leaf:
+                yield from zip(node.keys, node.values)
+                return
+            for i, key in enumerate(node.keys):
+                yield from walk(node.children[i])
+                yield key, node.values[i]
+            yield from walk(node.children[-1])
+
+        yield from walk(self._root)
+
+    def range(self, lo: Any = None, hi: Any = None) -> Iterator[Tuple[Any, Any]]:
+        """Yield ``(key, value)`` for ``lo <= key < hi`` in sorted order."""
+        yield from self._range(self._root, lo, hi)
+
+    def _range(self, node: _Node, lo: Any, hi: Any) -> Iterator[Tuple[Any, Any]]:
+        start = 0 if lo is None else _find(node.keys, lo)[0]
+        for i in range(start, len(node.keys)):
+            if not node.leaf:
+                yield from self._range(node.children[i], lo, hi)
+            k = node.keys[i]
+            if hi is not None and k >= hi:
+                return
+            if lo is None or k >= lo:
+                yield k, node.values[i]
+        if not node.leaf:
+            yield from self._range(node.children[len(node.keys)], lo, hi)
+
+    def min_key(self) -> Any:
+        if not self._len:
+            raise KeyError("min_key() on empty BTreeMap")
+        node = self._root
+        while not node.leaf:
+            node = node.children[0]
+        return node.keys[0]
+
+    def max_key(self) -> Any:
+        if not self._len:
+            raise KeyError("max_key() on empty BTreeMap")
+        node = self._root
+        while not node.leaf:
+            node = node.children[-1]
+        return node.keys[-1]
+
+    def depth(self) -> int:
+        """Height of the tree (number of levels); 1 for a lone root leaf."""
+        d, node = 1, self._root
+        while not node.leaf:
+            d += 1
+            node = node.children[0]
+        return d
+
+    def check_invariants(self) -> None:
+        """Assert structural B-tree invariants (test helper)."""
+        t = self._t
+
+        def walk(node: _Node, depth: int, is_root: bool) -> int:
+            assert len(node.keys) == len(node.values)
+            assert len(node.keys) <= 2 * t - 1, "node overfull"
+            if not is_root:
+                assert len(node.keys) >= t - 1, "node underfull"
+            assert all(
+                node.keys[i] < node.keys[i + 1] for i in range(len(node.keys) - 1)
+            ), "keys out of order"
+            if node.leaf:
+                return depth
+            assert len(node.children) == len(node.keys) + 1
+            depths = {walk(c, depth + 1, False) for c in node.children}
+            assert len(depths) == 1, "leaves at differing depths"
+            for i, key in enumerate(node.keys):
+                assert node.children[i].keys[-1] < key < node.children[i + 1].keys[0]
+            return depths.pop()
+
+        walk(self._root, 0, True)
+        assert sum(1 for _ in self.items()) == self._len
+
+    def __repr__(self) -> str:
+        return f"BTreeMap(len={self._len}, depth={self.depth()})"
+
+
+class BTreeSet:
+    """Sorted set backed by :class:`BTreeMap`."""
+
+    __slots__ = ("_map",)
+
+    def __init__(self, items: Optional[Iterable[Any]] = None, *, min_degree: int = 16):
+        self._map = BTreeMap(min_degree=min_degree)
+        if items is not None:
+            for item in items:
+                self.add(item)
+
+    def add(self, item: Any) -> bool:
+        """Insert; return True iff the item was new."""
+        before = len(self._map)
+        self._map[item] = None
+        return len(self._map) != before
+
+    def discard(self, item: Any) -> bool:
+        return self._map.discard(item)
+
+    def __contains__(self, item: Any) -> bool:
+        return item in self._map
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def __bool__(self) -> bool:
+        return bool(self._map)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._map)
+
+    def range(self, lo: Any = None, hi: Any = None) -> Iterator[Any]:
+        yield from (k for k, _ in self._map.range(lo, hi))
+
+    def check_invariants(self) -> None:
+        self._map.check_invariants()
+
+    def __repr__(self) -> str:
+        return f"BTreeSet(len={len(self)})"

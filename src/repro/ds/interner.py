@@ -1,0 +1,46 @@
+"""Symbol interning.
+
+Datalog engines (Soufflé, BPRA) map external identifiers to dense integer
+codes before evaluation so tuples are fixed-width integer vectors.  The
+:class:`Interner` is a bidirectional map with stable, insertion-ordered
+codes — the same "bump-pointer" ID allocation the paper describes for
+materialized tuples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, List
+
+
+class Interner:
+    """Bidirectional symbol ↔ dense-integer mapping."""
+
+    __slots__ = ("_to_id", "_to_symbol")
+
+    def __init__(self) -> None:
+        self._to_id: Dict[Hashable, int] = {}
+        self._to_symbol: List[Hashable] = []
+
+    def intern(self, symbol: Hashable) -> int:
+        """Return the code for ``symbol``, allocating a new one if unseen."""
+        code = self._to_id.get(symbol)
+        if code is None:
+            code = len(self._to_symbol)
+            self._to_id[symbol] = code
+            self._to_symbol.append(symbol)
+        return code
+
+    def lookup(self, code: int) -> Hashable:
+        """Inverse mapping; raises ``IndexError`` for unallocated codes."""
+        if code < 0:
+            raise IndexError(f"negative symbol code {code}")
+        return self._to_symbol[code]
+
+    def __contains__(self, symbol: Hashable) -> bool:
+        return symbol in self._to_id
+
+    def __len__(self) -> int:
+        return len(self._to_symbol)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._to_symbol)

@@ -1,0 +1,100 @@
+"""Figure 2 — SSSP strong scaling, Baseline vs Optimized, by phase.
+
+Paper: "Strong scaling comparisons for SSSP on Theta (Twitter dataset),
+broken down by phase.  At each process count, we measure a Baseline ('B')
+and compare against our Optimized ('O') implementation."  The headline
+claims: the optimized engine roughly halves total time, local-join time
+drops to ~20% of baseline at 512 cores, and the materializing all-to-all
+("comm") time is unchanged (the optimization doesn't touch it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.experiments.common import (
+    ExperimentDefaults,
+    baseline_config,
+    defaults_from_env,
+    optimized_config,
+    render_table,
+    scaling_cost_model,
+)
+from repro.graphs.datasets import load_dataset
+from repro.queries.sssp import run_sssp
+
+#: Phase keys reported (matching the paper's stacked bars).
+PHASES = ("vote", "intra_bucket", "local_join", "comm", "dedup_agg", "other")
+
+FULL_RANKS = (256, 512, 1024, 2048, 4096)
+QUICK_RANKS = (128, 256, 512)
+#: Twitter-2010 is unweighted; the paper's SSSP treats edge length as a
+#: small integer.  Light weights keep |Δ| small relative to |Edge| — the
+#: regime the dynamic join planner exploits.
+MAX_WEIGHT = 4
+
+
+@dataclass
+class Fig2Row:
+    n_ranks: int
+    variant: str  # "B" or "O"
+    phase_seconds: Dict[str, float]
+    total_seconds: float
+    iterations: int
+
+
+def run_fig2(
+    defaults: Optional[ExperimentDefaults] = None,
+    *,
+    n_sources: int = 10,
+) -> List[Fig2Row]:
+    d = defaults or defaults_from_env()
+    graph = load_dataset(
+        "twitter_like", seed=d.seed, scale_shift=d.scale_shift,
+        max_weight=MAX_WEIGHT,
+    )
+    rows: List[Fig2Row] = []
+    for n_ranks in d.ranks(FULL_RANKS, QUICK_RANKS):
+        for variant, config in (
+            ("B", baseline_config(n_ranks, cost_model=scaling_cost_model())),
+            ("O", optimized_config(n_ranks, cost_model=scaling_cost_model())),
+        ):
+            result = run_sssp(graph, list(range(n_sources)), config)
+            breakdown = result.fixpoint.phase_breakdown()
+            rows.append(
+                Fig2Row(
+                    n_ranks=n_ranks,
+                    variant=variant,
+                    phase_seconds={p: breakdown.get(p, 0.0) for p in PHASES},
+                    total_seconds=result.fixpoint.modeled_seconds(),
+                    iterations=result.iterations,
+                )
+            )
+    return rows
+
+
+def render(rows: List[Fig2Row]) -> str:
+    headers = ["ranks", "variant"] + list(PHASES) + ["total (s)"]
+    out = []
+    for r in rows:
+        out.append(
+            [r.n_ranks, r.variant]
+            + [f"{r.phase_seconds[p]:.4f}" for p in PHASES]
+            + [f"{r.total_seconds:.4f}"]
+        )
+    return render_table(
+        headers,
+        out,
+        title="Fig. 2 — SSSP (twitter_like) phase breakdown, Baseline vs Optimized",
+    )
+
+
+def speedup_summary(rows: List[Fig2Row]) -> Dict[int, float]:
+    """Baseline/optimized total-time ratio per rank count (paper: ~2x)."""
+    by_key = {(r.n_ranks, r.variant): r.total_seconds for r in rows}
+    return {
+        n: by_key[(n, "B")] / by_key[(n, "O")]
+        for n, v in {k[0]: None for k in by_key}.items()
+        if (n, "B") in by_key and (n, "O") in by_key
+    }

@@ -1,0 +1,66 @@
+"""Figure 4 — CC local-join time vs ranks, 1 vs 8 sub-buckets.
+
+Paper: with one sub-bucket the CC query stops scaling past ~2,048
+processes (the hub rank saturates); with 8 sub-buckets local join keeps
+improving to 16,384.  Balanced runs are *slower* below ~1,024 ranks — the
+intra-bucket exchange overhead only pays off at scale (§IV-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.experiments.common import (
+    ExperimentDefaults,
+    defaults_from_env,
+    optimized_config,
+    render_series,
+    scaling_cost_model,
+)
+from repro.graphs.datasets import load_dataset
+from repro.queries.cc import run_cc
+
+FULL_RANKS = (256, 512, 1024, 2048, 4096, 8192, 16384)
+QUICK_RANKS = (256, 1024, 4096)
+SUBBUCKET_VARIANTS = (1, 8)
+
+
+@dataclass
+class Fig4Result:
+    #: series[n_subbuckets][n_ranks] = local-join modeled seconds
+    local_join: Dict[int, Dict[int, float]]
+    total: Dict[int, Dict[int, float]]
+    iterations: int
+
+
+def run_fig4(defaults: Optional[ExperimentDefaults] = None) -> Fig4Result:
+    d = defaults or defaults_from_env()
+    graph = load_dataset(
+        "twitter_like", seed=d.seed, scale_shift=d.scale_shift, weighted=False
+    )
+    local_join: Dict[int, Dict[int, float]] = {n: {} for n in SUBBUCKET_VARIANTS}
+    total: Dict[int, Dict[int, float]] = {n: {} for n in SUBBUCKET_VARIANTS}
+    iterations = 0
+    for n_ranks in d.ranks(FULL_RANKS, QUICK_RANKS):
+        for n_sub in SUBBUCKET_VARIANTS:
+            config = optimized_config(
+                n_ranks, edge_subbuckets=n_sub, cost_model=scaling_cost_model()
+            )
+            result = run_cc(graph, config)
+            breakdown = result.fixpoint.phase_breakdown()
+            local_join[n_sub][n_ranks] = breakdown.get("local_join", 0.0)
+            total[n_sub][n_ranks] = result.fixpoint.modeled_seconds()
+            iterations = result.iterations
+    return Fig4Result(local_join=local_join, total=total, iterations=iterations)
+
+
+def render(result: Fig4Result) -> str:
+    series = {
+        f"{n_sub} sub-bucket(s)": result.local_join[n_sub]
+        for n_sub in sorted(result.local_join)
+    }
+    return (
+        "Fig. 4 — CC (twitter_like) local-join modeled seconds\n"
+        + render_series(series, "ranks", "local join (s)")
+    )

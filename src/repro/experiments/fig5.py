@@ -1,0 +1,89 @@
+"""Figure 5 — SSSP strong scaling on the Twitter stand-in.
+
+Paper: running time drops 96% from 256 to 16,384 cores; near-perfect
+scaling until 2,048, then slowing (Δ starvation: only a few thousand new
+tuples per iteration spread over many ranks, plus the vote's extra
+synchronization), yet still 26% faster from 8,192 → 16,384.  The paper
+uses 30 simultaneous source vertices to enlarge the problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.experiments.common import (
+    ExperimentDefaults,
+    defaults_from_env,
+    optimized_config,
+    render_series,
+    scaling_cost_model,
+)
+from repro.graphs.datasets import load_dataset
+from repro.queries.sssp import run_sssp
+
+FULL_RANKS = (256, 512, 1024, 2048, 4096, 8192, 16384)
+QUICK_RANKS = (256, 1024, 4096, 16384)
+
+
+@dataclass
+class ScalingResult:
+    query: str
+    #: total modeled seconds by rank count
+    total: Dict[int, float]
+    #: per-phase modeled seconds by rank count
+    phases: Dict[int, Dict[str, float]]
+    iterations: int
+
+    def speedup(self) -> Dict[int, float]:
+        base_rank = min(self.total)
+        base = self.total[base_rank]
+        return {n: base / t for n, t in sorted(self.total.items())}
+
+    def reduction_percent(self) -> float:
+        """Paper's headline: % runtime reduction from smallest to largest."""
+        lo, hi = min(self.total), max(self.total)
+        return 100.0 * (1 - self.total[hi] / self.total[lo])
+
+
+def run_fig5(
+    defaults: Optional[ExperimentDefaults] = None,
+    *,
+    n_sources: int = 30,
+) -> ScalingResult:
+    d = defaults or defaults_from_env()
+    graph = load_dataset(
+        "twitter_like", seed=d.seed, scale_shift=d.scale_shift, max_weight=4
+    )
+    total: Dict[int, float] = {}
+    phases: Dict[int, Dict[str, float]] = {}
+    iterations = 0
+    for n_ranks in d.ranks(FULL_RANKS, QUICK_RANKS):
+        config = optimized_config(n_ranks, cost_model=scaling_cost_model())
+        result = run_sssp(graph, list(range(n_sources)), config)
+        total[n_ranks] = result.fixpoint.modeled_seconds()
+        phases[n_ranks] = result.fixpoint.phase_breakdown()
+        iterations = result.iterations
+    return ScalingResult(query="sssp", total=total, phases=phases, iterations=iterations)
+
+
+def render(result: ScalingResult) -> str:
+    from repro.metrics.asciiplot import ascii_plot
+
+    series = {
+        "total (s)": result.total,
+        "speedup": result.speedup(),
+    }
+    txt = render_series(series, "ranks", f"{result.query} strong scaling")
+    plot = ascii_plot(
+        {"modeled seconds": result.total},
+        logx=True,
+        height=10,
+        title="",
+        y_label="modeled seconds",
+    )
+    return (
+        f"Fig. 5 — SSSP (twitter_like) strong scaling; "
+        f"runtime reduction {result.reduction_percent():.0f}% "
+        f"(paper: 96%)\n" + txt + "\n" + plot
+    )

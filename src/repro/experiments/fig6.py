@@ -1,0 +1,61 @@
+"""Figure 6 — CC strong scaling on the Twitter stand-in.
+
+Paper: 96% runtime decrease from 256 to 16,384 cores, near-perfect until
+2,048, 60% improvement 2,048→8,192, then a plateau at 16,384 where the
+"Other" category — the sub-bucket rebalancing's MPI_Alltoallv overhead —
+eats half the time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.experiments.common import (
+    ExperimentDefaults,
+    defaults_from_env,
+    optimized_config,
+    render_series,
+    scaling_cost_model,
+)
+from repro.experiments.fig5 import FULL_RANKS, QUICK_RANKS, ScalingResult
+from repro.graphs.datasets import load_dataset
+from repro.queries.cc import run_cc
+
+
+def run_fig6(defaults: Optional[ExperimentDefaults] = None) -> ScalingResult:
+    d = defaults or defaults_from_env()
+    graph = load_dataset(
+        "twitter_like", seed=d.seed, scale_shift=d.scale_shift, weighted=False
+    )
+    total: Dict[int, float] = {}
+    phases: Dict[int, Dict[str, float]] = {}
+    iterations = 0
+    for n_ranks in d.ranks(FULL_RANKS, QUICK_RANKS):
+        config = optimized_config(n_ranks, cost_model=scaling_cost_model())
+        result = run_cc(graph, config)
+        total[n_ranks] = result.fixpoint.modeled_seconds()
+        phases[n_ranks] = result.fixpoint.phase_breakdown()
+        iterations = result.iterations
+    return ScalingResult(query="cc", total=total, phases=phases, iterations=iterations)
+
+
+def render(result: ScalingResult) -> str:
+    from repro.metrics.asciiplot import ascii_plot
+
+    series = {
+        "total (s)": result.total,
+        "speedup": result.speedup(),
+    }
+    txt = render_series(series, "ranks", "cc strong scaling")
+    plot = ascii_plot(
+        {"modeled seconds": result.total},
+        logx=True,
+        height=10,
+        title="",
+        y_label="modeled seconds",
+    )
+    return (
+        f"Fig. 6 — CC (twitter_like) strong scaling; "
+        f"runtime reduction {result.reduction_percent():.0f}% "
+        f"(paper: 96%)\n" + txt + "\n" + plot
+    )

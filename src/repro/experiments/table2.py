@@ -1,0 +1,102 @@
+"""Table II — medium-scale runs over the SuiteSparse stand-in suite.
+
+Paper: 8 graphs (flickr … stokes), SSSP (10 start nodes) and CC at 256
+and 512 Theta processes.  Reported per graph: edge count, SSSP iteration
+count, |Spath| ("Paths"), SSSP times at 256/512, component count
+("Comp"), CC times at 256/512.  Headline shape: near-ideal improvement
+256→512 on the larger graphs; mesh-like graphs (ML_Geer, stokes) take
+hundreds of iterations and their CC is disproportionately slow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.common import (
+    ExperimentDefaults,
+    defaults_from_env,
+    format_si,
+    optimized_config,
+    render_table,
+    scaling_cost_model,
+)
+from repro.graphs.datasets import TABLE2_ORDER, load_dataset
+from repro.queries.cc import run_cc
+from repro.queries.sssp import run_sssp
+
+RANK_COUNTS = (256, 512)
+N_SOURCES = 10  # paper: ten arbitrarily selected start nodes
+
+
+@dataclass
+class Table2Row:
+    graph: str
+    n_edges: int
+    sssp_iters: int
+    n_paths: int
+    sssp_seconds: Dict[int, float]
+    n_components: int
+    cc_seconds: Dict[int, float]
+
+
+def run_table2(
+    defaults: Optional[ExperimentDefaults] = None,
+    *,
+    graphs: Optional[Tuple[str, ...]] = None,
+) -> List[Table2Row]:
+    d = defaults or defaults_from_env()
+    graphs = graphs or (TABLE2_ORDER if d.full else TABLE2_ORDER[:4])
+    rows: List[Table2Row] = []
+    for name in graphs:
+        graph = load_dataset(name, seed=d.seed, scale_shift=d.scale_shift)
+        sssp_seconds: Dict[int, float] = {}
+        cc_seconds: Dict[int, float] = {}
+        sssp_iters = n_paths = n_components = 0
+        for n_ranks in RANK_COUNTS:
+            config = optimized_config(n_ranks, cost_model=scaling_cost_model())
+            s = run_sssp(graph, list(range(min(N_SOURCES, graph.n_nodes))), config)
+            sssp_seconds[n_ranks] = s.fixpoint.modeled_seconds()
+            sssp_iters, n_paths = s.iterations, s.n_paths
+            c = run_cc(graph, config)
+            cc_seconds[n_ranks] = c.fixpoint.modeled_seconds()
+            n_components = c.n_components
+        rows.append(
+            Table2Row(
+                graph=name,
+                n_edges=graph.n_edges,
+                sssp_iters=sssp_iters,
+                n_paths=n_paths,
+                sssp_seconds=sssp_seconds,
+                n_components=n_components,
+                cc_seconds=cc_seconds,
+            )
+        )
+    return rows
+
+
+def render(rows: List[Table2Row]) -> str:
+    out: List[List[object]] = []
+    for r in rows:
+        out.append(
+            [
+                r.graph,
+                format_si(r.n_edges),
+                r.sssp_iters,
+                format_si(r.n_paths),
+                f"{r.sssp_seconds[256]:.4f}",
+                f"{r.sssp_seconds[512]:.4f}",
+                format_si(r.n_components),
+                f"{r.cc_seconds[256]:.4f}",
+                f"{r.cc_seconds[512]:.4f}",
+            ]
+        )
+    return render_table(
+        [
+            "graph", "edges", "iters", "paths",
+            "sssp@256 (s)", "sssp@512 (s)",
+            "comp", "cc@256 (s)", "cc@512 (s)",
+        ],
+        out,
+        title="Table II — SuiteSparse stand-ins at 256/512 ranks (modeled seconds)",
+    )

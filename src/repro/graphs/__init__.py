@@ -1,0 +1,42 @@
+"""Graph workloads: generators, IO, and named dataset stand-ins.
+
+The paper evaluates on graphs this environment cannot download (Twitter
+2010, SNAP's LiveJournal/Orkut/Topcats, eight SuiteSparse matrices).  Per
+the substitution policy in DESIGN.md §2, :mod:`repro.graphs.datasets`
+provides *named synthetic stand-ins* whose topology class (power-law
+social network, web crawl, circuit, mesh), size ratio, and skew match the
+originals at a reduced scale — the properties that drive the paper's
+observed behaviour (imbalance, iteration counts, long tails).
+
+:mod:`repro.graphs.generators` has the underlying generators (RMAT /
+Kronecker power-law, Erdős–Rényi, 2-D/3-D meshes, stars, chains), all
+seeded and vectorized.
+"""
+
+from repro.graphs.types import Graph
+from repro.graphs.generators import (
+    rmat,
+    erdos_renyi,
+    grid2d,
+    grid3d,
+    star,
+    chain,
+    ring,
+    complete,
+)
+from repro.graphs.datasets import DATASETS, load_dataset, dataset_names
+
+__all__ = [
+    "Graph",
+    "rmat",
+    "erdos_renyi",
+    "grid2d",
+    "grid3d",
+    "star",
+    "chain",
+    "ring",
+    "complete",
+    "DATASETS",
+    "load_dataset",
+    "dataset_names",
+]

@@ -1,0 +1,161 @@
+"""Named dataset stand-ins for the paper's evaluation graphs.
+
+Each entry substitutes one graph from the paper (see DESIGN.md §2) with a
+synthetic generator configuration matched on *topology class* — the
+property that drives the evaluated behaviour:
+
+===============  =================================  =======================
+paper graph       class / why it behaves as it does  stand-in
+===============  =================================  =======================
+Twitter-2010      power-law social; extreme skew     RMAT, Graph500 params
+LiveJournal       social, milder skew                RMAT a=0.55
+Orkut             social, dense                      RMAT ef=32
+Topcats           small web/wiki                     RMAT a=0.50, small
+flickr            social                             RMAT
+Freescale1        circuit: mesh + sparse nets,       grid2d + shortcuts
+                  large diameter → many iters
+wiki              web/wiki link graph                RMAT a=0.52
+wb-edu            web crawl, many components         RMAT + forest padding
+ML_Geer           3-D FEM mesh: huge diameter,       grid3d (elongated)
+                  slow CC convergence
+HV15R             3-D CFD mesh, dense rows           grid3d + shortcuts
+arabic            web crawl, very large              RMAT a=0.59
+stokes            mesh, high diameter                grid2d (elongated)
+===============  =================================  =======================
+
+Sizes are scaled down ~50–500× (the substitution policy trades absolute
+size for the same relative spread); a global ``scale_shift`` lets callers
+shrink everything further for quick tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.graphs.generators import grid2d, grid3d, rmat
+from repro.graphs.types import Graph
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Recipe for one named stand-in."""
+
+    name: str
+    paper_graph: str
+    category: str
+    build: Callable[[int, int], Graph]  # (seed, scale_shift) -> Graph
+    description: str = ""
+
+
+def _social(name: str, paper: str, scale: int, ef: int, a: float) -> DatasetSpec:
+    def build(seed: int, shift: int) -> Graph:
+        s = max(4, scale - shift)
+        g = rmat(
+            s, ef, a=a, b=(1 - a) / 2.8, c=(1 - a) / 2.8,
+            seed=seed, name=name, category="social",
+        )
+        return Graph(g.edges, g.n_nodes, name=name, category="social")
+
+    return DatasetSpec(name, paper, "social", build)
+
+
+def _web(name: str, paper: str, scale: int, ef: int, a: float) -> DatasetSpec:
+    def build(seed: int, shift: int) -> Graph:
+        s = max(4, scale - shift)
+        g = rmat(
+            s, ef, a=a, b=(1 - a) / 3.2, c=(1 - a) / 3.2,
+            seed=seed, name=name, category="web",
+        )
+        return Graph(g.edges, g.n_nodes, name=name, category="web")
+
+    return DatasetSpec(name, paper, "web", build)
+
+
+def _mesh2d(name: str, paper: str, rows: int, cols: int, shortcuts: int) -> DatasetSpec:
+    def build(seed: int, shift: int) -> Graph:
+        f = 1 << max(0, shift)
+        g = grid2d(
+            max(2, rows // f), max(2, cols // f),
+            shortcuts=max(0, shortcuts // (f * f)), seed=seed,
+            name=name, category="mesh",
+        )
+        return Graph(g.edges, g.n_nodes, name=name, category="mesh")
+
+    return DatasetSpec(name, paper, "mesh", build)
+
+
+def _mesh3d(name: str, paper: str, nx: int, ny: int, nz: int) -> DatasetSpec:
+    def build(seed: int, shift: int) -> Graph:
+        f = 1 << max(0, shift)
+        g = grid3d(
+            max(2, nx // f), max(2, ny // f), max(2, nz // f),
+            name=name, category="mesh",
+        )
+        return Graph(g.edges, g.n_nodes, name=name, category="mesh")
+
+    return DatasetSpec(name, paper, "mesh", build)
+
+
+DATASETS: Dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in [
+        # RQ1 / RQ3 workload (1.47 B edges in the paper).
+        _social("twitter_like", "Twitter-2010 [23]", 14, 24, 0.57),
+        # Table I graphs (SNAP).
+        _social("livejournal", "soc-LiveJournal1 (SNAP)", 13, 16, 0.55),
+        _social("orkut", "com-Orkut (SNAP)", 13, 32, 0.55),
+        _web("topcats", "wiki-topcats (SNAP)", 12, 8, 0.50),
+        # Table II graphs (SuiteSparse).
+        _social("flickr", "flickr", 11, 12, 0.56),
+        _mesh2d("freescale1", "Freescale1", 96, 96, 256),
+        _web("wiki", "wikipedia", 12, 12, 0.52),
+        _web("wb_edu", "wb-edu", 12, 16, 0.54),
+        _mesh3d("ml_geer", "ML_Geer", 120, 12, 12),
+        _mesh3d("hv15r", "HV15R", 40, 24, 24),
+        _web("arabic", "arabic-2005", 13, 24, 0.59),
+        _mesh2d("stokes", "stokes", 220, 48, 64),
+    ]
+}
+
+#: Table II's row order, matching the paper.
+TABLE2_ORDER = (
+    "flickr", "freescale1", "wiki", "wb_edu",
+    "ml_geer", "hv15r", "arabic", "stokes",
+)
+
+#: Table I's row order.
+TABLE1_ORDER = ("livejournal", "orkut", "topcats", "twitter_like")
+
+
+def dataset_names() -> Tuple[str, ...]:
+    return tuple(DATASETS)
+
+
+def load_dataset(
+    name: str,
+    *,
+    seed: int = 42,
+    scale_shift: int = 0,
+    weighted: bool = True,
+    max_weight: int = 100,
+) -> Graph:
+    """Build a named stand-in graph.
+
+    Parameters
+    ----------
+    scale_shift:
+        Halve the linear scale this many times (quick-test mode).
+    weighted:
+        Attach uniform integer weights (SSSP needs them; CC ignores them).
+    """
+    try:
+        spec = DATASETS[name]
+    except KeyError:
+        raise KeyError(f"unknown dataset {name!r}; known: {sorted(DATASETS)}") from None
+    g = spec.build(seed, scale_shift)
+    if weighted:
+        g = g.with_weights(np.random.default_rng(seed + 7919), max_weight)
+    return g

@@ -1,0 +1,42 @@
+"""Edge-list IO (the format PARALAGG's tooling consumes: whitespace TSV)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.graphs.types import Graph
+
+
+def write_edgelist(graph: Graph, path: Union[str, Path]) -> None:
+    """Write one edge per line: ``src dst [weight]``."""
+    np.savetxt(Path(path), graph.edges, fmt="%d", delimiter="\t")
+
+
+def read_edgelist(
+    path: Union[str, Path],
+    *,
+    name: str = "file",
+    category: str = "file",
+    comments: str = "#",
+) -> Graph:
+    """Read a whitespace/tab edge list with 2 or 3 integer columns.
+
+    Vertex ids are compacted to ``0..n-1`` preserving order of first
+    appearance (the usual interning step of Datalog engines).
+    """
+    raw = np.loadtxt(Path(path), dtype=np.int64, comments=comments, ndmin=2)
+    if raw.size == 0:
+        return Graph(edges=np.zeros((0, 2), dtype=np.int64), n_nodes=0,
+                     name=name, category=category)
+    if raw.shape[1] not in (2, 3):
+        raise ValueError(f"expected 2 or 3 columns, got {raw.shape[1]}")
+    endpoints = raw[:, :2]
+    ids, inverse = np.unique(endpoints, return_inverse=True)
+    compact = inverse.reshape(endpoints.shape).astype(np.int64)
+    edges = (
+        np.column_stack([compact, raw[:, 2]]) if raw.shape[1] == 3 else compact
+    )
+    return Graph(edges=edges, n_nodes=len(ids), name=name, category=category)

@@ -1,0 +1,137 @@
+"""Sequential reference algorithms for validating engine output.
+
+These are the textbook algorithms the paper's queries must agree with:
+Dijkstra for SSSP, union-find for connected components, BFS for
+reachability, and power iteration for PageRank.  Tests and examples
+cross-check every distributed result against them.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Set, Tuple
+
+import numpy as np
+
+from repro.graphs.types import Graph
+
+
+def dijkstra(graph: Graph, source: int) -> Dict[int, int]:
+    """Single-source shortest path lengths over integer weights."""
+    if not graph.weighted:
+        raise ValueError("dijkstra requires a weighted graph")
+    adj: Dict[int, List[Tuple[int, int]]] = {}
+    for u, v, w in graph.edges:
+        adj.setdefault(int(u), []).append((int(v), int(w)))
+    dist: Dict[int, int] = {source: 0}
+    heap: List[Tuple[int, int]] = [(0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist.get(u, 1 << 62):
+            continue
+        for v, w in adj.get(u, ()):
+            nd = d + w
+            if nd < dist.get(v, 1 << 62):
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return dist
+
+
+class UnionFind:
+    """Weighted quick-union with path compression."""
+
+    def __init__(self, n: int):
+        self.parent = list(range(n))
+        self.size = [1] * n
+
+    def find(self, x: int) -> int:
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self.size[ra] < self.size[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        self.size[ra] += self.size[rb]
+        return True
+
+
+def connected_components(graph: Graph) -> Dict[int, int]:
+    """Map node → min-id representative of its (undirected) component."""
+    uf = UnionFind(graph.n_nodes)
+    for row in graph.edges:
+        uf.union(int(row[0]), int(row[1]))
+    # Min-id representative per component (matches the $MIN CC query).
+    rep: Dict[int, int] = {}
+    for v in range(graph.n_nodes):
+        r = uf.find(v)
+        rep[r] = min(rep.get(r, v), v)
+    return {v: rep[uf.find(v)] for v in range(graph.n_nodes)}
+
+
+def count_components(graph: Graph) -> int:
+    return len(set(connected_components(graph).values()))
+
+
+def reachable_from(graph: Graph, sources: Iterable[int]) -> Set[int]:
+    """BFS closure over directed edges from a set of sources."""
+    adj: Dict[int, List[int]] = {}
+    for row in graph.edges:
+        adj.setdefault(int(row[0]), []).append(int(row[1]))
+    seen: Set[int] = set(int(s) for s in sources)
+    frontier = list(seen)
+    while frontier:
+        nxt: List[int] = []
+        for u in frontier:
+            for v in adj.get(u, ()):
+                if v not in seen:
+                    seen.add(v)
+                    nxt.append(v)
+        frontier = nxt
+    return seen
+
+
+def transitive_closure(graph: Graph) -> Set[Tuple[int, int]]:
+    """All (u, v) with a directed path u →+ v (small graphs only)."""
+    out: Set[Tuple[int, int]] = set()
+    srcs = np.unique(graph.edges[:, 0]) if graph.n_edges else []
+    for u in srcs:
+        for v in reachable_from(graph, [int(u)]) - {int(u)}:
+            out.add((int(u), v))
+        # A cycle through u makes u reachable from itself.
+        for row in graph.edges:
+            if int(row[0]) == int(u):
+                if int(u) in reachable_from(graph, [int(row[1])]):
+                    out.add((int(u), int(u)))
+                    break
+    return out
+
+
+def pagerank(
+    graph: Graph,
+    *,
+    damping: float = 0.85,
+    iterations: int = 20,
+) -> np.ndarray:
+    """Standard power-iteration PageRank (dangling mass redistributed)."""
+    n = graph.n_nodes
+    if n == 0:
+        return np.zeros(0)
+    deg = graph.out_degrees().astype(np.float64)
+    pr = np.full(n, 1.0 / n)
+    src = graph.edges[:, 0]
+    dst = graph.edges[:, 1]
+    for _ in range(iterations):
+        contrib = np.zeros(n)
+        share = np.where(deg > 0, pr / np.maximum(deg, 1), 0.0)
+        np.add.at(contrib, dst, share[src])
+        dangling = pr[deg == 0].sum() / n
+        pr = (1 - damping) / n + damping * (contrib + dangling)
+    return pr

@@ -1,0 +1,136 @@
+"""The :class:`Graph` container shared by generators, loaders and queries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class Graph:
+    """A directed, optionally weighted graph as an edge array.
+
+    Attributes
+    ----------
+    edges:
+        ``(m, 2)`` int64 array of (src, dst), or ``(m, 3)`` with a weight
+        column.  Duplicate edges are allowed in the raw array; engine
+        loading dedups them.
+    n_nodes:
+        Number of vertices (ids are ``0 .. n_nodes-1``).
+    name / category:
+        Labels for reporting (category mirrors SuiteSparse's taxonomy).
+    """
+
+    edges: np.ndarray
+    n_nodes: int
+    name: str = "graph"
+    category: str = "synthetic"
+
+    def __post_init__(self) -> None:
+        self.edges = np.asarray(self.edges, dtype=np.int64)
+        if self.edges.size == 0:
+            self.edges = self.edges.reshape(0, 2)
+        if self.edges.ndim != 2 or self.edges.shape[1] not in (2, 3):
+            raise ValueError(
+                f"edges must be (m, 2) or (m, 3), got {self.edges.shape}"
+            )
+        if self.edges.size and (
+            self.edges[:, :2].min() < 0 or self.edges[:, :2].max() >= self.n_nodes
+        ):
+            raise ValueError("edge endpoints out of range [0, n_nodes)")
+
+    # ---------------------------------------------------------------- shape
+
+    @property
+    def n_edges(self) -> int:
+        return int(self.edges.shape[0])
+
+    @property
+    def weighted(self) -> bool:
+        return self.edges.shape[1] == 3
+
+    # ------------------------------------------------------------ transforms
+
+    def with_weights(self, rng: np.random.Generator, max_weight: int = 100) -> "Graph":
+        """Attach uniform random integer weights in ``[1, max_weight]``."""
+        if self.weighted:
+            return self
+        w = rng.integers(1, max_weight + 1, size=self.n_edges, dtype=np.int64)
+        return Graph(
+            edges=np.column_stack([self.edges, w]),
+            n_nodes=self.n_nodes,
+            name=self.name,
+            category=self.category,
+        )
+
+    def with_unit_weights(self) -> "Graph":
+        """Attach weight 1 to every edge (hop-count SSSP)."""
+        if self.weighted:
+            return self
+        w = np.ones(self.n_edges, dtype=np.int64)
+        return Graph(
+            edges=np.column_stack([self.edges, w]),
+            n_nodes=self.n_nodes,
+            name=self.name,
+            category=self.category,
+        )
+
+    def symmetrized(self) -> "Graph":
+        """Add the reverse of every edge (weights preserved) and dedup."""
+        rev = self.edges.copy()
+        rev[:, [0, 1]] = rev[:, [1, 0]]
+        both = np.vstack([self.edges, rev])
+        both = np.unique(both, axis=0)
+        return Graph(
+            edges=both,
+            n_nodes=self.n_nodes,
+            name=self.name,
+            category=self.category,
+        )
+
+    def deduplicated(self) -> "Graph":
+        return Graph(
+            edges=np.unique(self.edges, axis=0),
+            n_nodes=self.n_nodes,
+            name=self.name,
+            category=self.category,
+        )
+
+    def without_self_loops(self) -> "Graph":
+        mask = self.edges[:, 0] != self.edges[:, 1]
+        return Graph(
+            edges=self.edges[mask],
+            n_nodes=self.n_nodes,
+            name=self.name,
+            category=self.category,
+        )
+
+    # ------------------------------------------------------------- analysis
+
+    def out_degrees(self) -> np.ndarray:
+        deg = np.zeros(self.n_nodes, dtype=np.int64)
+        if self.n_edges:
+            np.add.at(deg, self.edges[:, 0], 1)
+        return deg
+
+    def max_degree(self) -> int:
+        return int(self.out_degrees().max(initial=0))
+
+    def degree_skew(self) -> float:
+        """max/mean out-degree — the imbalance driver of paper Fig. 3."""
+        deg = self.out_degrees()
+        mean = deg.mean() if deg.size else 0.0
+        return float(deg.max(initial=0) / mean) if mean > 0 else 0.0
+
+    def tuples(self) -> List[Tuple[int, ...]]:
+        """Edge list as Python tuples (engine ``load`` input)."""
+        return [tuple(int(x) for x in row) for row in self.edges]
+
+    def __repr__(self) -> str:
+        return (
+            f"Graph({self.name!r}, n={self.n_nodes}, m={self.n_edges}, "
+            f"category={self.category!r})"
+        )

@@ -1,0 +1,35 @@
+"""Join-semilattices — the semantic substrate of recursive aggregation.
+
+The paper (§III, "Formalization") lifts set-based relations to chains of
+deductions on *join semilattices*: a partially ordered set with a least
+upper bound ``x ⊔ y`` for every pair.  Monotonic aggregates are exactly
+semilattice joins applied to the dependent columns, and the ascending-chain
+condition on a finite-height lattice is what guarantees fixpoint
+termination.
+
+This package implements the algebra independently of the engine so its laws
+(associativity, commutativity, idempotence, monotonicity) can be
+property-tested in isolation.
+"""
+
+from repro.lattice.semilattice import (
+    Ordering,
+    Semilattice,
+    MinLattice,
+    MaxLattice,
+    SetUnionLattice,
+    BoolOrLattice,
+    ProductLattice,
+    BoundedCountLattice,
+)
+
+__all__ = [
+    "Ordering",
+    "Semilattice",
+    "MinLattice",
+    "MaxLattice",
+    "SetUnionLattice",
+    "BoolOrLattice",
+    "ProductLattice",
+    "BoundedCountLattice",
+]

@@ -1,0 +1,179 @@
+"""Join-semilattice implementations.
+
+A *join semilattice* is a set with a partial order and a binary least upper
+bound ``join`` that is associative, commutative, and idempotent.  Recursive
+aggregation is fixpoint iteration over semilattice-valued relations: each
+newly deduced tuple's dependent value is ``join``-ed into the accumulator
+for its independent columns, and the ascending chain condition (finite
+height, or bounded domains) guarantees termination (paper §III-A).
+
+All lattices here expose:
+
+``join(a, b)``
+    Least upper bound.
+``leq(a, b)``
+    The induced partial order: ``a ≤ b  ⇔  join(a, b) == b``.
+``compare(a, b)``
+    Three-way/partial comparison, mirroring the ``partial_cmp`` slot of the
+    PARALAGG C++ API (Listing 1).
+``bottom``
+    Identity for ``join`` where one exists (``None`` when the carrier has no
+    least element, e.g. unbounded MIN over ints).
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from typing import Any, FrozenSet, Optional, Sequence, Tuple
+
+
+class Ordering(enum.Enum):
+    """Result of a partial comparison."""
+
+    LESS = -1
+    EQUAL = 0
+    GREATER = 1
+    INCOMPARABLE = 2
+
+
+class Semilattice(ABC):
+    """Abstract join semilattice over an arbitrary carrier."""
+
+    @abstractmethod
+    def join(self, a: Any, b: Any) -> Any:
+        """Least upper bound of ``a`` and ``b``."""
+
+    def leq(self, a: Any, b: Any) -> bool:
+        """Induced partial order: ``a ≤ b`` iff ``a ⊔ b == b``."""
+        return self.join(a, b) == b
+
+    def compare(self, a: Any, b: Any) -> Ordering:
+        """Partial comparison derived from :meth:`leq`."""
+        ab, ba = self.leq(a, b), self.leq(b, a)
+        if ab and ba:
+            return Ordering.EQUAL
+        if ab:
+            return Ordering.LESS
+        if ba:
+            return Ordering.GREATER
+        return Ordering.INCOMPARABLE
+
+    @property
+    def bottom(self) -> Optional[Any]:
+        """Identity element for ``join``, or ``None`` if absent."""
+        return None
+
+    def validate(self, value: Any) -> bool:
+        """Whether ``value`` belongs to the carrier (default: anything)."""
+        return True
+
+
+class MinLattice(Semilattice):
+    """Numbers ordered by ≥ — ``join`` is ``min``.
+
+    "Bigger in the lattice" means *smaller number*: new shorter paths are
+    higher lattice elements, so SSSP ascends this lattice to its fixpoint.
+    """
+
+    def join(self, a: Any, b: Any) -> Any:
+        return a if a <= b else b
+
+    def leq(self, a: Any, b: Any) -> bool:
+        return b <= a
+
+
+class MaxLattice(Semilattice):
+    """Numbers with their usual order — ``join`` is ``max``."""
+
+    def join(self, a: Any, b: Any) -> Any:
+        return a if a >= b else b
+
+    def leq(self, a: Any, b: Any) -> bool:
+        return a <= b
+
+
+class BoolOrLattice(Semilattice):
+    """Two-point lattice ``False < True`` with ``join = or``."""
+
+    def join(self, a: Any, b: Any) -> Any:
+        return bool(a) or bool(b)
+
+    @property
+    def bottom(self) -> Any:
+        return False
+
+    def validate(self, value: Any) -> bool:
+        return isinstance(value, bool)
+
+
+class SetUnionLattice(Semilattice):
+    """Power-set lattice ``P(S)`` with ``join = ∪`` (paper's example)."""
+
+    def join(self, a: Any, b: Any) -> Any:
+        return frozenset(a) | frozenset(b)
+
+    def leq(self, a: Any, b: Any) -> bool:
+        return frozenset(a) <= frozenset(b)
+
+    @property
+    def bottom(self) -> FrozenSet[Any]:
+        return frozenset()
+
+    def validate(self, value: Any) -> bool:
+        return isinstance(value, (set, frozenset))
+
+
+class BoundedCountLattice(Semilattice):
+    """Counts saturating at a ceiling — ``join = min(max(a, b), bound)``.
+
+    This is the finite-height carrier behind ``$MCOUNT``-style monotonic
+    counting (DatalogFS): counts only grow, and the explicit bound keeps the
+    lattice of finite height so fixpoints terminate even on cyclic data.
+    """
+
+    def __init__(self, bound: int):
+        if bound <= 0:
+            raise ValueError(f"bound must be positive, got {bound}")
+        self.bound = bound
+
+    def join(self, a: Any, b: Any) -> Any:
+        return min(max(a, b), self.bound)
+
+    @property
+    def bottom(self) -> int:
+        return 0
+
+    def validate(self, value: Any) -> bool:
+        return isinstance(value, int) and 0 <= value <= self.bound
+
+
+class ProductLattice(Semilattice):
+    """Pointwise product of component lattices (tuples compared per slot)."""
+
+    def __init__(self, components: Sequence[Semilattice]):
+        if not components:
+            raise ValueError("ProductLattice needs at least one component")
+        self.components: Tuple[Semilattice, ...] = tuple(components)
+
+    def join(self, a: Any, b: Any) -> Any:
+        if len(a) != len(self.components) or len(b) != len(self.components):
+            raise ValueError("tuple arity does not match lattice components")
+        return tuple(
+            lat.join(x, y) for lat, x, y in zip(self.components, a, b)
+        )
+
+    def leq(self, a: Any, b: Any) -> bool:
+        return all(lat.leq(x, y) for lat, x, y in zip(self.components, a, b))
+
+    @property
+    def bottom(self) -> Optional[Tuple[Any, ...]]:
+        bottoms = tuple(lat.bottom for lat in self.components)
+        return None if any(b is None for b in bottoms) else bottoms
+
+    def validate(self, value: Any) -> bool:
+        return (
+            isinstance(value, tuple)
+            and len(value) == len(self.components)
+            and all(lat.validate(v) for lat, v in zip(self.components, value))
+        )

@@ -1,0 +1,22 @@
+"""Measurement and reporting utilities.
+
+Re-exports the imbalance instrumentation (:mod:`repro.core.balancer`) and
+table renderers (:mod:`repro.experiments.common`), and adds terminal
+plotting for scaling curves and distribution CDFs so the CLI can show the
+paper's figures without matplotlib.
+"""
+
+from repro.core.balancer import ImbalanceReport, measure_imbalance
+from repro.experiments.common import format_mmss, format_si, render_series, render_table
+from repro.metrics.asciiplot import ascii_cdf, ascii_plot
+
+__all__ = [
+    "ImbalanceReport",
+    "measure_imbalance",
+    "format_mmss",
+    "format_si",
+    "render_series",
+    "render_table",
+    "ascii_plot",
+    "ascii_cdf",
+]

@@ -1,0 +1,106 @@
+"""Terminal plots for scaling curves and CDFs (no plotting dependency).
+
+The paper's figures are line charts; these renderers give the CLI a
+recognizable visual of the same series using a character grid.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+import numpy as np
+
+_MARKS = "ox+*#@"
+
+
+def ascii_plot(
+    series: Mapping[str, Mapping[float, float]],
+    *,
+    width: int = 60,
+    height: int = 16,
+    logx: bool = False,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named (x → y) series on a character grid.
+
+    Each series gets a distinct mark; axes are annotated with min/max.
+    ``logx=True`` spaces x logarithmically (rank-count sweeps).
+    """
+    points = [
+        (name, float(x), float(y))
+        for name, xs in series.items()
+        for x, y in xs.items()
+    ]
+    if not points:
+        return "(no data)"
+    xs = [p[1] for p in points]
+    ys = [p[2] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    y_lo = min(y_lo, 0.0) if y_lo > 0 and y_lo < y_hi * 0.2 else y_lo
+
+    def x_pos(x: float) -> int:
+        if x_hi == x_lo:
+            return 0
+        if logx:
+            if x_lo <= 0:
+                raise ValueError("logx requires positive x values")
+            frac = (math.log(x) - math.log(x_lo)) / (
+                math.log(x_hi) - math.log(x_lo)
+            )
+        else:
+            frac = (x - x_lo) / (x_hi - x_lo)
+        return min(width - 1, int(round(frac * (width - 1))))
+
+    def y_pos(y: float) -> int:
+        if y_hi == y_lo:
+            return height - 1
+        frac = (y - y_lo) / (y_hi - y_lo)
+        return height - 1 - min(height - 1, int(round(frac * (height - 1))))
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for i, (name, xs_map) in enumerate(series.items()):
+        mark = _MARKS[i % len(_MARKS)]
+        legend.append(f"{mark} = {name}")
+        for x, y in sorted(xs_map.items()):
+            grid[y_pos(float(y))][x_pos(float(x))] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_hi:.4g} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * len(f"{y_hi:.4g}") + " │" + "".join(row))
+    lines.append(f"{y_lo:.4g} ┤" + "".join(grid[-1]))
+    pad = " " * len(f"{y_lo:.4g}")
+    lines.append(pad + " └" + "─" * width)
+    lines.append(
+        pad + f"  {x_lo:g}"
+        + " " * max(1, width - len(f"{x_lo:g}") - len(f"{x_hi:g}") - 2)
+        + f"{x_hi:g}"
+        + ("  [log x]" if logx else "")
+    )
+    if y_label:
+        lines.append(f"y: {y_label}")
+    lines.append("   ".join(legend))
+    return "\n".join(lines)
+
+
+def ascii_cdf(
+    values: Sequence[int],
+    *,
+    width: int = 60,
+    height: int = 12,
+    title: str = "",
+) -> str:
+    """Render the empirical CDF of a sample (Fig. 3's view)."""
+    arr = np.sort(np.asarray(values, dtype=np.float64))
+    if arr.size == 0:
+        return "(no data)"
+    fractions = np.arange(1, arr.size + 1) / arr.size
+    series = {"cdf": dict(zip(arr.tolist(), fractions.tolist()))}
+    return ascii_plot(series, width=width, height=height, title=title,
+                      y_label="fraction of ranks ≤ x tuples")

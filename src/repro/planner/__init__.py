@@ -1,0 +1,91 @@
+"""Declarative query layer: Datalog with recursive aggregates.
+
+PARALAGG "allows the declarative implementation of queries which utilize
+recursive aggregates" (paper §I).  This package provides that surface:
+
+* :mod:`repro.planner.ast` — terms, atoms, rules, and a small operator-
+  overloaded DSL so SSSP reads like the paper::
+
+      spath = Rel("spath")
+      edge, start = Rel("edge"), Rel("start")
+      f, t, m, l, n = vars_("f t m l n")
+      program = Program(
+          rules=[
+              spath(n_, n_, 0) <= start(n_),
+              spath(f, t, MIN(l + n)) <= (spath(f, m, l), edge(m, t, n)),
+          ],
+          edb={"edge": ..., "start": ...},
+      )
+
+* :mod:`repro.planner.stratify` — relation dependency SCCs → evaluation
+  strata (recursive aggregation *within* a stratum, stratified aggregation
+  *between* strata — both of §II's flavours).
+* :mod:`repro.planner.compile_rules` — positional compilation of rules into
+  join/copy kernels: shared-variable analysis, probe-key mappings for either
+  join direction (dynamic join planning needs both), head emitters, and the
+  static safety check that aggregated columns are never joined upon.
+"""
+
+from repro.planner.ast import (
+    Var,
+    Const,
+    Expr,
+    BinOp,
+    AggTerm,
+    Atom,
+    Rel,
+    Rule,
+    Program,
+    MIN,
+    MAX,
+    MCOUNT,
+    ANY,
+    UNION,
+    SUM,
+    COUNT,
+    vars_,
+)
+from repro.planner.stratify import Stratum, stratify
+from repro.planner.compile_rules import (
+    CompiledRule,
+    CompiledProgram,
+    add_index_copies,
+    compile_program,
+    decompose_program,
+)
+from repro.planner.interpreter import interpret
+from repro.planner.parser import DatalogSyntaxError, ParsedProgram, parse_program
+from repro.planner.pretty import program_to_source, rule_to_source
+
+__all__ = [
+    "Var",
+    "Const",
+    "Expr",
+    "BinOp",
+    "AggTerm",
+    "Atom",
+    "Rel",
+    "Rule",
+    "Program",
+    "MIN",
+    "MAX",
+    "MCOUNT",
+    "ANY",
+    "UNION",
+    "SUM",
+    "COUNT",
+    "vars_",
+    "Stratum",
+    "stratify",
+    "CompiledRule",
+    "CompiledProgram",
+    "add_index_copies",
+    "compile_program",
+    "decompose_program",
+    "interpret",
+    "DatalogSyntaxError",
+    "ParsedProgram",
+    "parse_program",
+    "program_to_source",
+    "rule_to_source",
+]

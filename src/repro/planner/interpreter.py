@@ -1,0 +1,154 @@
+"""A naive single-process reference interpreter for the query language.
+
+This is the *semantic oracle*: the simplest possible evaluator of the same
+programs the distributed engine runs — naive fixpoint iteration over
+Python sets, no deltas, no distribution, no join indexes. It exists so
+the engine can be differentially tested: for any program and input,
+
+    Engine(program).run().query(R)  ==  interpret(program, facts)[R]
+
+The interpreter evaluates strata in order.  Within a stratum it repeats
+"apply every rule to the full current database, fold heads through their
+aggregators" until nothing changes.  Aggregate relations store one
+accumulator per independent key (folded with ``partial_agg``), plain
+relations are sets — the declarative semantics of paper §III, with none of
+the paper's machinery.
+"""
+
+from __future__ import annotations
+
+from itertools import product as _product
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.planner.ast import AggTerm, Atom, Const, Program, Var, _BINOPS, BinOp, Expr
+from repro.planner.compile_rules import WILDCARD, compile_program
+
+TupleT = Tuple[int, ...]
+Database = Dict[str, Set[TupleT]]
+
+
+def _match_atom(atom: Atom, t: TupleT, binding: Dict[str, int]) -> Optional[Dict[str, int]]:
+    """Try to extend ``binding`` so that ``atom`` matches tuple ``t``."""
+    if len(t) != atom.arity:
+        return None
+    out = dict(binding)
+    for term, value in zip(atom.terms, t):
+        if isinstance(term, Const):
+            if term.value != value:
+                return None
+        elif isinstance(term, Var):
+            if term.name == WILDCARD:
+                continue
+            bound = out.get(term.name)
+            if bound is None:
+                out[term.name] = value
+            elif bound != value:
+                return None
+        else:  # pragma: no cover - body atoms can't hold other terms
+            return None
+    return out
+
+
+def _eval_expr(expr: Expr, binding: Mapping[str, int]) -> int:
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Var):
+        return binding[expr.name]
+    if isinstance(expr, BinOp):
+        return _BINOPS[expr.op](
+            _eval_expr(expr.left, binding), _eval_expr(expr.right, binding)
+        )
+    raise TypeError(f"cannot evaluate {expr!r}")
+
+
+def interpret(
+    program: Program,
+    facts: Mapping[str, Iterable[TupleT]],
+    *,
+    max_rounds: int = 10_000,
+) -> Database:
+    """Evaluate ``program`` over ``facts``; returns every relation's tuples.
+
+    Aggregate relations are folded through the same aggregator instances
+    the compiler infers, so the oracle and the engine share exactly one
+    definition of each aggregate's semantics.
+    """
+    compiled = compile_program(program)
+    schemas = compiled.schemas
+    db: Database = {name: set() for name in schemas}
+    # accumulators for aggregate relations: indep key -> dep tuple
+    accs: Dict[str, Dict[TupleT, TupleT]] = {
+        name: {} for name, s in schemas.items() if s.is_aggregate
+    }
+
+    def absorb(name: str, t: TupleT) -> bool:
+        schema = schemas[name]
+        if not schema.is_aggregate:
+            if t in db[name]:
+                return False
+            db[name].add(t)
+            return True
+        key, dep = t[: schema.n_indep], t[schema.n_indep:]
+        acc = accs[name]
+        cur = acc.get(key)
+        if cur is None:
+            acc[key] = dep
+        else:
+            joined = schema.aggregator.partial_agg(cur, dep)
+            if joined == cur:
+                return False
+            acc[key] = joined
+        db[name] = {k + v for k, v in acc.items()}
+        return True
+
+    for name, rows in facts.items():
+        if name not in db:
+            raise KeyError(f"unknown relation {name!r}")
+        for t in rows:
+            absorb(name, tuple(t))
+
+    def apply_rule(rule) -> bool:
+        head = rule.head
+        changed = False
+        # enumerate all body substitutions naively — one binding per
+        # combination of body tuples (bag semantics for folds)
+        candidate_bindings: List[Dict[str, int]] = [{}]
+        for atom in rule.body:
+            extended: List[Dict[str, int]] = []
+            for binding in candidate_bindings:
+                for t in sorted(db[atom.relation]):
+                    nb = _match_atom(atom, t, binding)
+                    if nb is not None:
+                        extended.append(nb)
+            candidate_bindings = extended
+        for binding in candidate_bindings:
+            values = []
+            for term in head.terms:
+                expr = term.expr if isinstance(term, AggTerm) else term
+                values.append(_eval_expr(expr, binding))
+            if absorb(head.relation, tuple(values)):
+                changed = True
+        return changed
+
+    for stratum in compiled.strata:
+        rules = list(stratum.rules)
+        if not stratum.recursive:
+            # Single pass: bodies read finished strata only, and fold
+            # aggregates (SUM/COUNT) must see each substitution exactly
+            # once — re-running would double-count.
+            for rule in rules:
+                apply_rule(rule)
+            continue
+        for _ in range(max_rounds):
+            changed = False
+            for rule in rules:
+                if apply_rule(rule):
+                    changed = True
+            if not changed:
+                break
+        else:  # pragma: no cover - guarded by max_rounds
+            raise RuntimeError(
+                f"stratum {stratum.relations} did not converge in "
+                f"{max_rounds} naive rounds"
+            )
+    return db

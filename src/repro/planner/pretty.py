@@ -1,0 +1,107 @@
+"""Render a :class:`~repro.planner.ast.Program` back to surface syntax.
+
+The inverse of :mod:`repro.planner.parser` — useful for persisting
+programmatically built queries, debugging compiler rewrites (print the
+program after decomposition / index-copy insertion), and as the fuzzing
+round-trip target: ``parse(pretty(p))`` must reproduce ``p``'s structure.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Tuple
+
+from repro.planner.ast import (
+    AggTerm,
+    Atom,
+    BinOp,
+    Const,
+    Expr,
+    Program,
+    Rule,
+    Var,
+    _INFIX_OPS,
+)
+
+TupleT = Tuple[int, ...]
+
+#: Infix precedence for minimal parenthesization ('/' is the surface
+#: spelling of floor division — '//' opens a comment).
+_PRECEDENCE = {"+": 1, "-": 1, "*": 2, "//": 2}
+_SURFACE_OP = {"//": "/"}
+
+
+def expr_to_source(expr: Expr, parent_prec: int = 0) -> str:
+    """Render an expression with minimal parentheses."""
+    if isinstance(expr, Const):
+        return str(expr.value)
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, BinOp):
+        if expr.op in _PRECEDENCE:
+            prec = _PRECEDENCE[expr.op]
+            left = expr_to_source(expr.left, prec)
+            # right side binds tighter to preserve left-associativity
+            right = expr_to_source(expr.right, prec + 1)
+            text = f"{left} {_SURFACE_OP.get(expr.op, expr.op)} {right}"
+            return f"({text})" if prec < parent_prec else text
+        left = expr_to_source(expr.left)
+        right = expr_to_source(expr.right)
+        return f"{expr.op}({left}, {right})"
+    raise TypeError(f"cannot render {expr!r}")
+
+
+def _term_to_source(term) -> str:
+    if isinstance(term, AggTerm):
+        return f"${term.func}({expr_to_source(term.expr)})"
+    return expr_to_source(term)
+
+
+def atom_to_source(atom: Atom) -> str:
+    inner = ", ".join(_term_to_source(t) for t in atom.terms)
+    return f"{atom.relation}({inner})"
+
+
+def rule_to_source(rule: Rule) -> str:
+    body = ", ".join(atom_to_source(a) for a in rule.body)
+    return f"{atom_to_source(rule.head)} :- {body}."
+
+
+def program_to_source(
+    program: Program,
+    *,
+    facts: Optional[Mapping[str, Iterable[TupleT]]] = None,
+    outputs: Iterable[str] = (),
+    header: str = "",
+) -> str:
+    """Render a full program: declarations, facts, rules, directives.
+
+    ``facts`` adds inline ground facts; ``outputs`` adds ``.output``
+    directives.  The result parses back with
+    :func:`repro.planner.parser.parse_program` to a structurally equal
+    program (property-tested).
+    """
+    lines = []
+    if header:
+        lines.extend(f"// {line}" for line in header.splitlines())
+        lines.append("")
+    for decl in program.edb:
+        params = ", ".join(f"c{i}" for i in range(decl.arity))
+        keys = ", ".join(f"c{i}" for i in decl.join_cols)
+        suffix = f" keys({keys})" if decl.join_cols else ""
+        if decl.n_subbuckets != 1:
+            suffix += f" subbuckets({decl.n_subbuckets})"
+        lines.append(f".decl {decl.name}({params}){suffix}")
+    if program.edb:
+        lines.append("")
+    for name, rows in (facts or {}).items():
+        for row in rows:
+            lines.append(f"{name}({', '.join(map(str, row))}).")
+    if facts:
+        lines.append("")
+    for rule in program.rules:
+        lines.append(rule_to_source(rule))
+    out_list = list(outputs)
+    if out_list:
+        lines.append("")
+        lines.extend(f".output {name}" for name in out_list)
+    return "\n".join(lines) + "\n"

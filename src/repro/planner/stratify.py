@@ -1,0 +1,113 @@
+"""Stratification: rule dependency SCCs → ordered evaluation strata.
+
+A relation depends on every relation appearing in the body of a rule that
+derives it.  Strongly connected components of that graph are the recursive
+cliques; their condensation's topological order gives the strata.  Each
+stratum is evaluated to a fixpoint before the next starts — this is what
+lets a query mix *recursive* aggregation (inside a stratum, e.g. ``Spath``)
+with *stratified* aggregation over finished relations (a later stratum,
+e.g. the longest-shortest-path ``Lsp`` of paper §III-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.planner.ast import Program, Rule
+
+
+@dataclass(frozen=True)
+class Stratum:
+    """One evaluation unit: the relations derived here and their rules."""
+
+    index: int
+    relations: Tuple[str, ...]
+    rules: Tuple[Rule, ...]
+    recursive: bool
+
+
+def _tarjan_scc(nodes: Sequence[str], edges: Dict[str, Set[str]]) -> List[List[str]]:
+    """Tarjan's algorithm; returns SCCs in reverse topological order."""
+    index_of: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    sccs: List[List[str]] = []
+    counter = [0]
+
+    def strongconnect(v: str) -> None:
+        # Iterative DFS (explicit stack) to stay safe on deep rule graphs.
+        work = [(v, iter(sorted(edges.get(v, ()))))]
+        index_of[v] = lowlink[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for w in it:
+                if w not in index_of:
+                    index_of[w] = lowlink[w] = counter[0]
+                    counter[0] += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(sorted(edges.get(w, ())))))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                scc = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    scc.append(w)
+                    if w == node:
+                        break
+                sccs.append(sorted(scc))
+
+    for v in nodes:
+        if v not in index_of:
+            strongconnect(v)
+    return sccs
+
+
+def stratify(program: Program) -> List[Stratum]:
+    """Split a program into ordered strata.
+
+    Returns strata in evaluation order: all relations a stratum reads are
+    either EDB or produced by earlier strata (or by the stratum itself, if
+    recursive).
+    """
+    idb = set(program.idb_relations())
+    deps: Dict[str, Set[str]] = {r: set() for r in idb}
+    for rule in program.rules:
+        for atom in rule.body:
+            if atom.relation in idb:
+                deps[rule.head.relation].add(atom.relation)
+    # Tarjan yields SCCs with every successor's SCC already emitted, i.e.
+    # dependencies first — exactly evaluation order.
+    sccs = _tarjan_scc(sorted(idb), deps)
+    strata: List[Stratum] = []
+    for i, scc in enumerate(sccs):
+        members = set(scc)
+        rules = tuple(r for r in program.rules if r.head.relation in members)
+        recursive = len(scc) > 1 or any(
+            atom.relation in members for r in rules for atom in r.body
+        )
+        strata.append(
+            Stratum(
+                index=i,
+                relations=tuple(scc),
+                rules=rules,
+                recursive=recursive,
+            )
+        )
+    return strata

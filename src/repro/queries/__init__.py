@@ -1,0 +1,43 @@
+"""Ready-made declarative queries (the paper's evaluation workloads §V-A).
+
+Every query is expressed through the public DSL (``Program``/``Rel``) and
+executed by the standard engine — exactly how a PARALAGG user would write
+them — plus a convenience runner that loads a :class:`~repro.graphs.Graph`
+and extracts results.
+
+* :mod:`repro.queries.sssp` — single/multi-source shortest paths (``$MIN``)
+* :mod:`repro.queries.cc` — connected components (``$MIN`` label propagation)
+* :mod:`repro.queries.reachability` — transitive closure & ``$ANY`` reach
+* :mod:`repro.queries.lsp` — longest shortest path (stratified ``$MAX``
+  over a recursive ``$MIN``, the paper's §III-A example)
+* :mod:`repro.queries.pagerank` — fixed-point-arithmetic PageRank via
+  iterated stratified ``SUM`` (the standard recursive-aggregate-engine
+  formulation)
+"""
+
+from repro.queries.sssp import sssp_program, run_sssp, SsspResult
+from repro.queries.cc import cc_program, run_cc, CcResult
+from repro.queries.reachability import (
+    tc_program,
+    run_tc,
+    reach_program,
+    run_reach,
+)
+from repro.queries.lsp import lsp_program, run_lsp
+from repro.queries.pagerank import run_pagerank
+
+__all__ = [
+    "sssp_program",
+    "run_sssp",
+    "SsspResult",
+    "cc_program",
+    "run_cc",
+    "CcResult",
+    "tc_program",
+    "run_tc",
+    "reach_program",
+    "run_reach",
+    "lsp_program",
+    "run_lsp",
+    "run_pagerank",
+]

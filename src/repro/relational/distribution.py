@@ -1,0 +1,149 @@
+"""The double-hash bucket / sub-bucket tuple placement (paper §II-D, §IV-C).
+
+BPRA assigns each tuple a **bucket** by hashing its join columns and a
+**sub-bucket** by hashing its non-join independent columns.  We follow the
+paper's deployment shape: one bucket per rank (bucket ``b`` is "homed" on
+rank ``b``), with a relation's ``n_subbuckets`` sub-buckets fanned out to
+deterministic pseudo-random ranks (sub-bucket 0 stays home).  This realizes
+§IV-C's spatial load balancing: a skewed join key — a celebrity vertex with
+millions of followers — has one bucket but spreads across ``n_subbuckets``
+ranks.
+
+Correctness invariant: a tuple's rank is a pure function of its independent
+columns, so all members of one aggregation group colocate, which is exactly
+what makes fused local aggregation communication-free (§III-A).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from repro.relational.schema import Schema
+from repro.util.hashing import HashSeed, hash_columns, hash_tuple, splitmix64
+
+
+class Distribution:
+    """Placement function for one relation on a cluster of ``n_ranks``."""
+
+    def __init__(self, schema: Schema, n_ranks: int, seed: HashSeed | None = None):
+        if n_ranks < 1:
+            raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
+        self.schema = schema
+        self.n_ranks = n_ranks
+        self.seed = seed or HashSeed()
+        # Sub-bucket fan-out: offset of sub-bucket s of bucket b from b's
+        # home rank.  Derived (not stored) so any rank can compute any
+        # placement; offset 0 for s=0 keeps the unbalanced path identical to
+        # plain BPRA.
+        self._sub_salt = splitmix64(self.seed.subbucket ^ 0x5B5B_5B5B)
+
+    # ------------------------------------------------------------ scalar path
+
+    def bucket_of_key(self, jk: Tuple[int, ...]) -> int:
+        """Bucket (home rank) of a join-key value vector."""
+        return hash_tuple(jk, self.seed.bucket) % self.n_ranks
+
+    def bucket_of(self, t: Tuple[int, ...]) -> int:
+        return self.bucket_of_key(self.schema.key_of(t))
+
+    def sub_of(self, t: Tuple[int, ...]) -> int:
+        """Sub-bucket index of a tuple (0 when sub-bucketing is off)."""
+        if self.schema.n_subbuckets == 1:
+            return 0
+        other = self.schema.other_of(t)
+        if not other:
+            return 0
+        return hash_tuple(other, self.seed.subbucket) % self.schema.n_subbuckets
+
+    def owner(self, bucket: int, sub: int) -> int:
+        """Rank hosting sub-bucket ``sub`` of ``bucket``."""
+        if sub == 0:
+            return bucket
+        offset = splitmix64(self._sub_salt ^ (bucket * 0x1_0000 + sub)) % self.n_ranks
+        return (bucket + offset) % self.n_ranks
+
+    def rank_of(self, t: Tuple[int, ...]) -> int:
+        return self.owner(self.bucket_of(t), self.sub_of(t))
+
+    def bucket_ranks(self, bucket: int) -> List[int]:
+        """All ranks holding shards of ``bucket`` (intra-bucket comm targets)."""
+        return [self.owner(bucket, s) for s in range(self.schema.n_subbuckets)]
+
+    # -------------------------------------------------------- vectorized path
+
+    def bucket_sub_of_rows(self, rows: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized (bucket, sub-bucket) of every row of an ``(n, arity)`` array."""
+        if rows.shape[0] == 0:
+            z = np.zeros(0, dtype=np.int64)
+            return z, z
+        buckets = (
+            hash_columns(rows, self.schema.join_cols, self.seed.bucket)
+            % np.uint64(self.n_ranks)
+        ).astype(np.int64)
+        if self.schema.n_subbuckets == 1 or not self.schema.other_cols:
+            return buckets, np.zeros_like(buckets)
+        subs = (
+            hash_columns(rows, self.schema.other_cols, self.seed.subbucket)
+            % np.uint64(self.schema.n_subbuckets)
+        ).astype(np.int64)
+        return buckets, subs
+
+    def rank_of_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`rank_of` over an ``(n, arity)`` array."""
+        buckets, subs = self.bucket_sub_of_rows(rows)
+        if buckets.size == 0 or not subs.any():
+            return buckets
+        # Vectorized owner(): replicate the scalar offset computation.
+        mixed = self._vector_offsets(buckets, subs)
+        return np.where(subs == 0, buckets, (buckets + mixed) % self.n_ranks)
+
+    def _vector_offsets(self, buckets: np.ndarray, subs: np.ndarray) -> np.ndarray:
+        from repro.util.hashing import splitmix64_array
+
+        key = (buckets.astype(np.uint64) * np.uint64(0x1_0000)) + subs.astype(np.uint64)
+        return (
+            splitmix64_array(np.uint64(self._sub_salt) ^ key) % np.uint64(self.n_ranks)
+        ).astype(np.int64)
+
+    def ranks_of_bucket_subs(self, buckets: np.ndarray, subs: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`owner` over parallel (bucket, sub) arrays."""
+        if buckets.size == 0:
+            return buckets
+        if not subs.any():
+            return buckets
+        mixed = self._vector_offsets(buckets, subs)
+        return np.where(subs == 0, buckets, (buckets + mixed) % self.n_ranks)
+
+    def owners_of_buckets(self, buckets: np.ndarray, sub: int) -> np.ndarray:
+        """Vectorized :meth:`owner` for one sub-bucket index across buckets."""
+        if sub == 0:
+            return buckets
+        subs = np.full_like(buckets, sub)
+        return (buckets + self._vector_offsets(buckets, subs)) % self.n_ranks
+
+    def buckets_of_key_rows(self, rows: np.ndarray, key_cols: Sequence[int]) -> np.ndarray:
+        """Vectorized bucket of the key values at ``key_cols`` of each row.
+
+        Used by the join's send side: ``key_cols`` are the probe-key
+        positions *in the outer relation's tuples*, ordered to match this
+        (inner) relation's join-column order, so the resulting hash equals
+        the bucket the inner tuples were placed by.
+        """
+        if rows.shape[0] == 0:
+            return np.zeros(0, dtype=np.int64)
+        return (
+            hash_columns(rows, key_cols, self.seed.bucket) % np.uint64(self.n_ranks)
+        ).astype(np.int64)
+
+    # --------------------------------------------------------------- batching
+
+    def partition(
+        self, tuples: Iterable[Tuple[int, ...]]
+    ) -> Dict[int, List[Tuple[int, ...]]]:
+        """Group tuples by destination rank (the all-to-all send plan)."""
+        out: Dict[int, List[Tuple[int, ...]]] = {}
+        for t in tuples:
+            out.setdefault(self.rank_of(t), []).append(t)
+        return out

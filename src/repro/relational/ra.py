@@ -1,0 +1,143 @@
+"""Local relational-algebra kernels over tuple sets (paper §II-A).
+
+The engine's compiled rules fuse these operators into join/copy kernels;
+this module provides them *unfused*, as the textbook primitives — the
+"set of mathematical primitives which operate over tables of tuples of
+some fixed arity".  They serve three purposes:
+
+* a reference point for tests (a compiled rule ≡ a composition of these),
+* building blocks for users doing ad-hoc local analysis of engine output,
+* documentation of the semantics the distributed kernels implement.
+
+All functions are pure: they take and return ``frozenset`` / ``set`` of
+tuples and never mutate inputs.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Callable, Dict, FrozenSet, Iterable, Sequence, Set, Tuple
+
+TupleT = Tuple[int, ...]
+Relation = AbstractSet[TupleT]
+
+
+def _check_arity(rel: Relation, name: str) -> int:
+    arities = {len(t) for t in rel}
+    if len(arities) > 1:
+        raise ValueError(f"{name}: mixed arities {sorted(arities)}")
+    return arities.pop() if arities else 0
+
+
+def select(rel: Relation, predicate: Callable[[TupleT], bool]) -> FrozenSet[TupleT]:
+    """σ — keep tuples satisfying ``predicate``."""
+    return frozenset(t for t in rel if predicate(t))
+
+
+def select_eq(rel: Relation, column: int, value: int) -> FrozenSet[TupleT]:
+    """σ_{col = value} — the common constant-selection special case."""
+    return frozenset(t for t in rel if t[column] == value)
+
+
+def project(rel: Relation, columns: Sequence[int]) -> FrozenSet[TupleT]:
+    """Π — reorder/duplicate/drop columns (set semantics: dedups)."""
+    cols = tuple(columns)
+    return frozenset(tuple(t[c] for c in cols) for t in rel)
+
+
+def rename(rel: Relation, permutation: Sequence[int]) -> FrozenSet[TupleT]:
+    """ρ — reorder columns by a permutation of ``range(arity)``.
+
+    Unlike :func:`project`, the permutation must be a bijection — renaming
+    never loses information (the paper's ``ρ1/0 Edge``).
+    """
+    perm = tuple(permutation)
+    if sorted(perm) != list(range(len(perm))):
+        raise ValueError(f"not a permutation: {perm}")
+    return frozenset(tuple(t[c] for c in perm) for t in rel)
+
+
+def union(*rels: Relation) -> FrozenSet[TupleT]:
+    """∪ — set union of same-arity relations."""
+    out: Set[TupleT] = set()
+    arity = None
+    for rel in rels:
+        a = _check_arity(rel, "union")
+        if rel:
+            if arity is None:
+                arity = a
+            elif a != arity:
+                raise ValueError(f"union: arity mismatch {arity} vs {a}")
+        out |= set(rel)
+    return frozenset(out)
+
+
+def difference(a: Relation, b: Relation) -> FrozenSet[TupleT]:
+    """Set difference (used by naive-to-semi-naive delta construction)."""
+    return frozenset(set(a) - set(b))
+
+
+def cartesian(a: Relation, b: Relation) -> FrozenSet[TupleT]:
+    """× — concatenating product (small inputs only)."""
+    return frozenset(t1 + t2 for t1 in a for t2 in b)
+
+
+def join(
+    a: Relation,
+    b: Relation,
+    on: Iterable[Tuple[int, int]],
+) -> FrozenSet[TupleT]:
+    """⋈ — natural join on the given ``(a_col, b_col)`` pairs.
+
+    The output tuple is ``a``'s columns followed by ``b``'s columns *minus*
+    the joined b-columns (the usual natural-join projection).  Implemented
+    hash-join style, mirroring the engine's bucket-local join: index ``b``
+    by its key columns, probe with ``a``.
+    """
+    pairs = tuple(on)
+    if not pairs:
+        raise ValueError("join needs at least one column pair (use cartesian)")
+    a_cols = tuple(p[0] for p in pairs)
+    b_cols = tuple(p[1] for p in pairs)
+    index: Dict[TupleT, list] = {}
+    drop = set(b_cols)
+    for t in b:
+        index.setdefault(tuple(t[c] for c in b_cols), []).append(
+            tuple(v for i, v in enumerate(t) if i not in drop)
+        )
+    out: Set[TupleT] = set()
+    for t in a:
+        key = tuple(t[c] for c in a_cols)
+        for rest in index.get(key, ()):
+            out.add(t + rest)
+    return frozenset(out)
+
+
+def semi_naive_step(
+    full: Relation,
+    delta: Relation,
+    step: Callable[[Relation, Relation], Relation],
+) -> Tuple[FrozenSet[TupleT], FrozenSet[TupleT]]:
+    """One semi-naïve iteration: ``new = step(delta, full) - full``.
+
+    Returns ``(full ∪ new, new)`` — the classic recurrence the engine's
+    distributed pipeline implements (paper §II-C's plan for Path).
+    """
+    produced = step(delta, full)
+    new = difference(produced, full)
+    return union(full, new), new
+
+
+def fixpoint(
+    base: Relation,
+    step: Callable[[Relation, Relation], Relation],
+    *,
+    max_iterations: int = 100_000,
+) -> FrozenSet[TupleT]:
+    """Iterate :func:`semi_naive_step` from ``base`` until Δ is empty."""
+    full: FrozenSet[TupleT] = frozenset(base)
+    delta = full
+    for _ in range(max_iterations):
+        if not delta:
+            return full
+        full, delta = semi_naive_step(full, delta, step)
+    raise RuntimeError(f"no fixpoint within {max_iterations} iterations")

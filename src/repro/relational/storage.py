@@ -1,0 +1,234 @@
+"""Cluster-wide relation storage: shards keyed by (bucket, sub-bucket).
+
+A :class:`VersionedRelation` is the global view of one relation's shards
+across the simulated cluster.  The simulation owns all shards in one
+process, but the engine only ever touches a shard through its owner rank's
+phase — data enters a shard either at load time or out of a collective's
+receive buffer, mirroring the physical constraint of the real system.
+
+Shards are created lazily (most of a 16,384-rank cluster's shard space is
+empty for any real relation), and per-rank size queries iterate non-empty
+shards only, keeping very-high-rank simulations tractable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.local_agg import AbsorbStats, make_shard, _ShardBase
+from repro.relational.distribution import Distribution
+from repro.relational.schema import Schema
+from repro.util.hashing import HashSeed
+
+TupleT = Tuple[int, ...]
+ShardKey = Tuple[int, int]
+
+
+class VersionedRelation:
+    """One relation distributed over the cluster, with semi-naïve versions."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        n_ranks: int,
+        *,
+        seed: Optional[HashSeed] = None,
+        use_btree: bool = False,
+    ):
+        self.schema = schema
+        self.n_ranks = n_ranks
+        self.dist = Distribution(schema, n_ranks, seed)
+        self.use_btree = use_btree
+        self.shards: Dict[ShardKey, _ShardBase] = {}
+        # (bucket, rank) → probe shard list, invalidated when shards appear.
+        self._probe_cache: Dict[Tuple[int, int], List[_ShardBase]] = {}
+        self._probe_cache_token = 0
+
+    # ---------------------------------------------------------------- shards
+
+    def shard(self, bucket: int, sub: int, *, create: bool = True) -> Optional[_ShardBase]:
+        key = (bucket, sub)
+        s = self.shards.get(key)
+        if s is None and create:
+            s = make_shard(self.schema, self.use_btree)
+            self.shards[key] = s
+        return s
+
+    def shards_at_rank_for_bucket(self, bucket: int, rank: int) -> List[_ShardBase]:
+        """Existing shards of ``bucket`` owned by ``rank`` (join probe set).
+
+        Memoized: the mapping only changes when a new shard materializes,
+        so the cache is invalidated by shard count — this keeps the local
+        join's per-bucket setup O(1) at 16k-rank scale.
+        """
+        token = len(self.shards)
+        if token != self._probe_cache_token:
+            self._probe_cache.clear()
+            self._probe_cache_token = token
+        key = (bucket, rank)
+        hit = self._probe_cache.get(key)
+        if hit is None:
+            hit = []
+            for s in range(self.schema.n_subbuckets):
+                if self.dist.owner(bucket, s) == rank:
+                    shard = self.shards.get((bucket, s))
+                    if shard is not None:
+                        hit.append(shard)
+            self._probe_cache[key] = hit
+        return hit
+
+    def owner_of(self, key: ShardKey) -> int:
+        return self.dist.owner(*key)
+
+    # ----------------------------------------------------------------- load
+
+    def load(
+        self,
+        tuples: Iterable[TupleT],
+        *,
+        stats: Optional[AbsorbStats] = None,
+    ) -> int:
+        """Bulk-load tuples into their home shards (initial distribution).
+
+        Placement is vectorized (one hash pass over all rows); absorption
+        respects aggregate semantics, so loading duplicate-keyed aggregate
+        facts folds them immediately.  Returns admitted tuple count.
+        """
+        rows = list(tuples)
+        if not rows:
+            return 0
+        arr = np.asarray(rows, dtype=np.int64)
+        if arr.ndim != 2 or arr.shape[1] != self.schema.arity:
+            raise ValueError(
+                f"{self.schema.name}: expected rows of arity "
+                f"{self.schema.arity}, got array shape {arr.shape}"
+            )
+        b_arr, s_arr = self.dist.bucket_sub_of_rows(arr)
+        buckets, subs = b_arr.tolist(), s_arr.tolist()
+        by_shard: Dict[ShardKey, List[TupleT]] = {}
+        for i, t in enumerate(rows):
+            by_shard.setdefault((buckets[i], subs[i]), []).append(tuple(t))
+        admitted = 0
+        for key, batch in by_shard.items():
+            admitted += self.shard(*key).absorb(batch, stats)
+        return admitted
+
+    # ------------------------------------------------------------ iteration
+
+    def advance(self) -> int:
+        """Promote freshly absorbed tuples to Δ on every shard; return |Δ|."""
+        total = 0
+        for shard in self.shards.values():
+            total += shard.advance()
+        return total
+
+    def seed_delta_from_full(self) -> None:
+        for shard in self.shards.values():
+            shard.seed_delta_from_full()
+
+    # ----------------------------------------------------------------- sizes
+
+    def full_size(self) -> int:
+        return sum(s.full_size() for s in self.shards.values())
+
+    def delta_size(self) -> int:
+        return sum(s.delta_size() for s in self.shards.values())
+
+    def full_sizes_by_rank(self) -> np.ndarray:
+        out = np.zeros(self.n_ranks, dtype=np.int64)
+        for key, shard in self.shards.items():
+            out[self.owner_of(key)] += shard.full_size()
+        return out
+
+    def delta_sizes_by_rank(self) -> np.ndarray:
+        out = np.zeros(self.n_ranks, dtype=np.int64)
+        for key, shard in self.shards.items():
+            out[self.owner_of(key)] += shard.delta_size()
+        return out
+
+    # ------------------------------------------------------------- iterators
+
+    def iter_full(self) -> Iterator[TupleT]:
+        """All materialized tuples (deterministic shard order)."""
+        for key in sorted(self.shards):
+            yield from self.shards[key].iter_full()
+
+    def iter_delta(self) -> Iterator[TupleT]:
+        for key in sorted(self.shards):
+            yield from self.shards[key].iter_delta()
+
+    def iter_delta_with_owner(self) -> Iterator[Tuple[int, TupleT]]:
+        """Δ tuples tagged with the rank that holds them (join send side)."""
+        for key in sorted(self.shards):
+            owner = self.owner_of(key)
+            for t in self.shards[key].iter_delta():
+                yield owner, t
+
+    def iter_full_with_owner(self) -> Iterator[Tuple[int, TupleT]]:
+        for key in sorted(self.shards):
+            owner = self.owner_of(key)
+            for t in self.shards[key].iter_full():
+                yield owner, t
+
+    def version_batches(self, version: str) -> Iterator[Tuple[int, List[TupleT]]]:
+        """Per-shard tuple batches of one version, tagged with owner rank.
+
+        The engine's vectorized send path consumes whole batches (owner is
+        constant within a shard), avoiding a per-tuple owner lookup.
+        """
+        if version not in ("full", "delta"):
+            raise ValueError(f"unknown version {version!r}")
+        for key in sorted(self.shards):
+            shard = self.shards[key]
+            batch = list(
+                shard.iter_delta() if version == "delta" else shard.iter_full()
+            )
+            if batch:
+                yield self.owner_of(key), batch
+
+    def as_set(self) -> set:
+        """Materialize the full version as a Python set (tests/inspection)."""
+        return set(self.iter_full())
+
+    def __repr__(self) -> str:
+        return (
+            f"VersionedRelation({self.schema.name!r}, full={self.full_size()}, "
+            f"delta={self.delta_size()}, shards={len(self.shards)})"
+        )
+
+
+class RelationStore:
+    """Registry of all relations in one engine instance."""
+
+    def __init__(self, n_ranks: int, *, seed: Optional[HashSeed] = None,
+                 use_btree: bool = False):
+        self.n_ranks = n_ranks
+        self.seed = seed or HashSeed()
+        self.use_btree = use_btree
+        self.relations: Dict[str, VersionedRelation] = {}
+
+    def declare(self, schema: Schema) -> VersionedRelation:
+        if schema.name in self.relations:
+            raise ValueError(f"relation {schema.name!r} already declared")
+        # All relations share one HashSeed: the bucket of a join key must be
+        # computed identically on both sides of every join, or matching
+        # tuples would never colocate.
+        rel = VersionedRelation(
+            schema,
+            self.n_ranks,
+            seed=self.seed,
+            use_btree=self.use_btree,
+        )
+        self.relations[schema.name] = rel
+        return rel
+
+    def __getitem__(self, name: str) -> VersionedRelation:
+        return self.relations[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.relations
+
+    def __iter__(self) -> Iterator[VersionedRelation]:
+        return iter(self.relations.values())

@@ -1,0 +1,98 @@
+"""Engine configuration.
+
+The paper's RQ1 ablation (Fig. 2) compares a *baseline* — no dynamic join
+planning, no spatial load balancing — against the *optimized* engine.
+Both are the same code here; only this config differs:
+
+>>> baseline  = EngineConfig(n_ranks=256, dynamic_join=False, default_subbuckets=1)
+>>> optimized = EngineConfig(n_ranks=256, dynamic_join=True,
+...                          subbuckets={"edge": 8})
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Literal, Optional
+
+from repro.comm.costmodel import CostModel
+
+
+@dataclass
+class EngineConfig:
+    """Tunables for one engine instance.
+
+    Parameters
+    ----------
+    n_ranks:
+        Number of simulated MPI ranks.
+    dynamic_join:
+        Enable Algorithm 1's per-iteration outer/inner vote (§IV-D).
+    vote_abstain_empty:
+        Extension: ranks holding neither relation abstain from the vote
+        instead of casting the paper's tie-vote for the right side (which
+        can elect the larger relation on sparse/tiny inputs).  Set False
+        for the strict Algorithm 1.
+    static_outer:
+        Layout used when ``dynamic_join`` is off: which body atom is
+        serialized and transmitted.  The paper's baseline "mistakenly
+        placed [edges] on the left side" — i.e. transmitted the large
+        static relation — so Fig. 2's baseline uses the side holding it.
+    subbuckets:
+        Per-relation spatial load-balancing factor (§IV-C); the paper's
+        default for input relations is 8.  Unlisted relations use
+        ``default_subbuckets``.
+    use_btree:
+        Store shard outer indices in B-trees (the C++ layout) instead of
+        hash maps.  Semantics identical; ordered scans become available.
+    cost_model:
+        Interconnect + compute cost model for modeled time.
+    max_iterations:
+        Safety bound on fixpoint length.
+    seed:
+        Seed for all hashing/placement; fixed seed = bit-reproducible runs.
+    track_trace:
+        Record per-iteration phase breakdowns (Fig. 7) and vote decisions.
+    """
+
+    n_ranks: int = 4
+    dynamic_join: bool = True
+    vote_abstain_empty: bool = True
+    static_outer: Literal["left", "right"] = "left"
+    subbuckets: Dict[str, int] = field(default_factory=dict)
+    default_subbuckets: int = 1
+    use_btree: bool = False
+    #: When set, run() adaptively sub-buckets every loaded EDB relation
+    #: until its projected max/mean imbalance is at or below this value
+    #: (the paper §IV-C's "if ... still imbalanced" rule); None disables.
+    auto_balance: Optional[float] = None
+    cost_model: Optional[CostModel] = None
+    max_iterations: int = 1_000_000
+    seed: int = 0xC0FFEE
+    track_trace: bool = True
+    #: Failure injection: shuffle every collective's delivery buffer with
+    #: this seed (models nondeterministic network arrival order; results
+    #: must be unchanged).  None = deterministic delivery.
+    reorder_messages_seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.n_ranks < 1:
+            raise ValueError(f"n_ranks must be >= 1, got {self.n_ranks}")
+        if self.max_iterations < 1:
+            raise ValueError(
+                f"max_iterations must be >= 1, got {self.max_iterations}"
+            )
+        if self.static_outer not in ("left", "right"):
+            raise ValueError(
+                f"static_outer must be 'left' or 'right', got {self.static_outer!r}"
+            )
+        for name, n in self.subbuckets.items():
+            if n < 1:
+                raise ValueError(f"subbuckets[{name!r}] must be >= 1, got {n}")
+        if self.default_subbuckets < 1:
+            raise ValueError(
+                f"default_subbuckets must be >= 1, got {self.default_subbuckets}"
+            )
+        if self.auto_balance is not None and self.auto_balance < 1.0:
+            raise ValueError(
+                f"auto_balance tolerance must be >= 1.0, got {self.auto_balance}"
+            )

@@ -1,0 +1,568 @@
+"""The distributed semi-naïve fixpoint engine (paper Fig. 1's pipeline).
+
+Each iteration of a recursive stratum executes, per rule:
+
+1. **vote** — dynamic join planning (Algorithm 1): one-word allreduce
+   choosing the smaller side as the *outer* (transmitted) relation;
+2. **intra-bucket comm** — the outer side is serialized and sent to every
+   sub-bucket rank of the matching inner bucket (``MPI_Alltoallv``);
+3. **local join** — each rank probes its inner shards' nested index with
+   the received outer tuples and emits head tuples;
+4. **all-to-all** — emitted tuples are routed to their home rank by the
+   head relation's double-hash placement;
+5. **fused dedup / local aggregation** — the receiving rank absorbs each
+   tuple into the accumulator store; only improvements enter Δ.
+
+A final allreduce of Δ sizes decides termination.  All compute is charged
+to the :class:`~repro.comm.ledger.PhaseLedger` per rank per superstep, so
+modeled time exposes imbalance exactly as real ranks would.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.comm.simcluster import SimCluster
+from repro.core.join_planner import JoinSide, vote_outer_relation
+from repro.core.local_agg import AbsorbStats
+from repro.planner.ast import Program
+from repro.planner.compile_rules import CompiledProgram, CompiledRule, compile_program
+from repro.planner.stratify import Stratum
+from repro.relational.storage import RelationStore, VersionedRelation
+from repro.runtime.config import EngineConfig
+from repro.runtime.result import FixpointResult, IterationTrace
+from repro.util.hashing import HashSeed
+from repro.util.timing import PhaseTimer
+
+TupleT = Tuple[int, ...]
+
+# Phase names (paper Fig. 2's breakdown).
+P_VOTE = "vote"
+P_INTRA = "intra_bucket"
+P_JOIN = "local_join"
+P_COMM = "comm"
+P_DEDUP = "dedup_agg"
+P_OTHER = "other"
+
+PHASES = (P_VOTE, P_INTRA, P_JOIN, P_COMM, P_DEDUP, P_OTHER)
+
+
+class Engine:
+    """Evaluates one compiled program on a simulated cluster."""
+
+    def __init__(self, program: Program, config: Optional[EngineConfig] = None):
+        self.config = config or EngineConfig()
+        self.compiled: CompiledProgram = compile_program(
+            program,
+            subbuckets=self.config.subbuckets,
+            default_subbuckets=self.config.default_subbuckets,
+        )
+        self.cluster = SimCluster(
+            self.config.n_ranks,
+            self.config.cost_model,
+            reorder_seed=self.config.reorder_messages_seed,
+        )
+        self.store = RelationStore(
+            self.config.n_ranks,
+            seed=HashSeed().derive(self.config.seed),
+            use_btree=self.config.use_btree,
+        )
+        for schema in self.compiled.schemas.values():
+            self.store.declare(schema)
+        self.timer = PhaseTimer()
+        self.counters: Dict[str, int] = defaultdict(int)
+        self.trace: List[IterationTrace] = []
+        self._iterations = 0
+
+    # ------------------------------------------------------------------ load
+
+    def load(self, name: str, tuples: Iterable[TupleT]) -> int:
+        """Load facts into a relation (EDB input, or IDB warm start)."""
+        if name not in self.store:
+            raise KeyError(
+                f"unknown relation {name!r}; declared: "
+                f"{sorted(self.compiled.schemas)}"
+            )
+        rel = self.store[name]
+        stats = AbsorbStats()
+        with self.timer.phase("load"):
+            admitted = rel.load(tuples, stats=stats)
+            rel.advance()
+        self.counters["loaded"] += admitted
+        return admitted
+
+    # --------------------------------------------------------------- balance
+
+    def auto_balance(
+        self,
+        name: str,
+        *,
+        tolerance: float = 2.0,
+        max_subbuckets: int = 16,
+    ) -> int:
+        """Adaptively sub-bucket a loaded relation (paper §IV-C's rule:
+        "if the data size on each process is still imbalanced, the
+        imbalanced relation will be logically divided into sub-buckets").
+
+        Measures the relation's projected imbalance, grows the sub-bucket
+        count until max/mean ≤ ``tolerance`` (or the cap), and physically
+        redistributes the tuples — charging the redistribution alltoallv
+        to the ``balance`` phase, as the real system would pay it.
+
+        Returns the chosen sub-bucket count.
+        """
+        import dataclasses
+
+        from repro.core.balancer import recommend_subbuckets
+        from repro.relational.storage import VersionedRelation
+
+        rel = self.store[name]
+        tuples = list(rel.iter_full())
+        if not tuples:
+            return rel.schema.n_subbuckets
+        n_sub, _report = recommend_subbuckets(
+            tuples,
+            rel.schema,
+            self.config.n_ranks,
+            tolerance=tolerance,
+            max_subbuckets=max_subbuckets,
+            seed=rel.dist.seed,
+        )
+        if n_sub == rel.schema.n_subbuckets:
+            return n_sub
+        new_schema = dataclasses.replace(rel.schema, n_subbuckets=n_sub)
+        new_rel = VersionedRelation(
+            new_schema,
+            self.config.n_ranks,
+            seed=rel.dist.seed,
+            use_btree=self.config.use_btree,
+        )
+        # Physically move every tuple whose owner changes (phase: balance).
+        sends: Dict[int, Dict[int, List[TupleT]]] = {}
+        rows = np.asarray(tuples, dtype=np.int64)
+        old_owners = rel.dist.rank_of_rows(rows).tolist()
+        new_owners = new_rel.dist.rank_of_rows(rows).tolist()
+        for t, src, dst in zip(tuples, old_owners, new_owners):
+            sends.setdefault(src, {}).setdefault(dst, []).append(t)
+        self.cluster.alltoallv(sends, arity=rel.schema.arity, phase="balance")
+        new_rel.load(tuples)
+        new_rel.advance()
+        self.store.relations[name] = new_rel
+        self.compiled.schemas[name] = new_schema
+        return n_sub
+
+    # ------------------------------------------------------------------- run
+
+    def run(self) -> FixpointResult:
+        """Evaluate all strata to fixpoint and return the result."""
+        if self.config.auto_balance is not None:
+            for decl in self.compiled.program.edb:
+                if self.store[decl.name].full_size():
+                    self.auto_balance(
+                        decl.name, tolerance=self.config.auto_balance
+                    )
+        for stratum in self.compiled.strata:
+            self._run_stratum(stratum)
+        return FixpointResult(
+            relations=dict(self.store.relations),
+            iterations=self._iterations,
+            ledger=self.cluster.ledger,
+            timer=self.timer,
+            trace=self.trace,
+            counters=dict(self.counters),
+        )
+
+    def relation(self, name: str) -> VersionedRelation:
+        return self.store[name]
+
+    def explain(self) -> str:
+        """Human-readable evaluation plan: strata, schemas, join kernels.
+
+        The declarative-engine equivalent of ``EXPLAIN``: shows how each
+        relation is placed (join columns = bucket key, sub-buckets,
+        dependent columns and their aggregator) and how each rule executes
+        (probe direction candidates, static or voted layout).
+        """
+        lines = [f"plan for {len(self.compiled.program.rules)} rule(s) on "
+                 f"{self.config.n_ranks} rank(s)"]
+        lines.append("relations:")
+        for name in sorted(self.compiled.schemas):
+            s = self.compiled.schemas[name]
+            agg = f", {s.aggregator.name} over cols {s.dep_cols}" if s.is_aggregate else ""
+            lines.append(
+                f"  {name}(arity={s.arity}) bucket=hash(cols {s.join_cols})"
+                f" subbuckets={s.n_subbuckets}{agg}"
+            )
+        for stratum in self.compiled.strata:
+            kind = "recursive" if stratum.recursive else "single-pass"
+            lines.append(f"stratum {stratum.index} [{kind}]: "
+                         f"{', '.join(stratum.relations)}")
+            for cr in self.compiled.rules_of(stratum):
+                lines.append(f"  {cr.rule!r}")
+                if cr.is_join:
+                    layout = (
+                        "outer chosen per iteration by Algorithm-1 vote"
+                        if self.config.dynamic_join
+                        else f"static outer = {self.config.static_outer}"
+                    )
+                    lines.append(
+                        f"    join keys: left cols {cr.left_key_cols} ≡ "
+                        f"right cols {cr.right_key_cols}; {layout}"
+                    )
+        return "\n".join(lines)
+
+    # ----------------------------------------------------------- stratum loop
+
+    def _run_stratum(self, stratum: Stratum) -> None:
+        rules = self.compiled.rules_of(stratum)
+        recursive_rels = set(stratum.relations)
+        it_stats = _IterStats()
+        # Seed pass: evaluate every rule naively (all body atoms read the
+        # full version).  For non-recursive strata this is the whole job.
+        for cr in rules:
+            self._evaluate_direction(cr, delta_atom=None, stats=it_stats)
+        changed = self._advance_and_count(stratum)
+        self._record_iteration(stratum, 0, it_stats)
+        if not stratum.recursive:
+            return
+        iteration = 0
+        while changed and iteration < self.config.max_iterations:
+            iteration += 1
+            self._iterations += 1
+            it_stats = _IterStats()
+            for cr in rules:
+                for i, rel_name in enumerate(cr.body_names):
+                    if rel_name in recursive_rels:
+                        self._evaluate_direction(cr, delta_atom=i, stats=it_stats)
+            changed = self._advance_and_count(stratum)
+            self._record_iteration(stratum, iteration, it_stats)
+        if changed:
+            raise RuntimeError(
+                f"stratum {stratum.relations} did not converge within "
+                f"{self.config.max_iterations} iterations — non-terminating "
+                "program (is every aggregate a finite-height lattice?)"
+            )
+
+    def _advance_and_count(self, stratum: Stratum) -> bool:
+        """Promote Δs and run the distributed fixpoint test."""
+        per_rank = np.zeros(self.config.n_ranks, dtype=np.int64)
+        with self.timer.phase(P_OTHER):
+            for name in stratum.relations:
+                rel = self.store[name]
+                rel.advance()
+                per_rank += rel.delta_sizes_by_rank()
+            total = self.cluster.allreduce(
+                [int(v) for v in per_rank], sum, nbytes=8, phase=P_OTHER
+            )
+        return total > 0
+
+    def _record_iteration(self, stratum: Stratum, iteration: int, st: "_IterStats") -> None:
+        if not self.config.track_trace:
+            return
+        phase_delta = self.cluster.ledger.snapshot()
+        self.trace.append(
+            IterationTrace(
+                stratum=stratum.index,
+                iteration=iteration,
+                phase_seconds=phase_delta,
+                admitted=st.admitted,
+                suppressed=st.suppressed,
+                outer_choices=st.outer_choices,
+                intra_bucket_tuples=st.intra_tuples,
+                alltoall_tuples=st.comm_tuples,
+            )
+        )
+
+    # ------------------------------------------------------- rule evaluation
+
+    def _evaluate_direction(
+        self, cr: CompiledRule, delta_atom: Optional[int], stats: "_IterStats"
+    ) -> None:
+        """Evaluate one rule with body atom ``delta_atom`` reading Δ.
+
+        ``delta_atom=None`` is the naive seed pass (all atoms read full).
+        """
+        if cr.is_join:
+            self._eval_join(cr, delta_atom, stats)
+        else:
+            self._eval_copy(cr, delta_atom, stats)
+
+    def _eval_copy(
+        self, cr: CompiledRule, delta_atom: Optional[int], stats: "_IterStats"
+    ) -> None:
+        rel = self.store[cr.body_names[0]]
+        version = "delta" if delta_atom == 0 else "full"
+        match = cr.matches[0]
+        emit = cr.emit
+        empty: TupleT = ()
+        emitted: Dict[int, List[TupleT]] = defaultdict(list)
+        per_rank_scan = np.zeros(self.config.n_ranks)
+        cost = self.cluster.cost
+        with self.timer.phase(P_JOIN):
+            for owner, batch in rel.version_batches(version):
+                per_rank_scan[owner] += len(batch)
+                out = emitted[owner]
+                if match is None:
+                    out.extend(emit(t, empty) for t in batch)
+                else:
+                    out.extend(emit(t, empty) for t in batch if match(t))
+        self.cluster.ledger.add_compute_step(
+            P_JOIN, per_rank_scan * (cost.tuple_probe * cost.compute_scale)
+        )
+        self._route_and_absorb(cr.head_name, emitted, stats)
+
+    def _eval_join(
+        self, cr: CompiledRule, delta_atom: Optional[int], stats: "_IterStats"
+    ) -> None:
+        cfg = self.config
+        cluster = self.cluster
+        cost = cluster.cost
+        left = self.store[cr.body_names[0]]
+        right = self.store[cr.body_names[1]]
+        lver = "delta" if delta_atom == 0 else "full"
+        rver = "delta" if delta_atom == 1 else "full"
+
+        # ---- phase: vote (dynamic join planning, Algorithm 1) ----
+        with self.timer.phase(P_VOTE):
+            if cfg.dynamic_join:
+                lsizes = _sizes_by_rank(left, lver)
+                rsizes = _sizes_by_rank(right, rver)
+                side = vote_outer_relation(
+                    cluster,
+                    lsizes,
+                    rsizes,
+                    phase=P_VOTE,
+                    abstain_empty=cfg.vote_abstain_empty,
+                )
+            else:
+                side = (
+                    JoinSide.LEFT_OUTER
+                    if cfg.static_outer == "left"
+                    else JoinSide.RIGHT_OUTER
+                )
+        outer_is_left = side is JoinSide.LEFT_OUTER
+        stats.outer_choices[repr(cr.rule)] = "left" if outer_is_left else "right"
+
+        if outer_is_left:
+            outer_rel, outer_ver, inner_rel, inner_ver = left, lver, right, rver
+            probe_cols = cr.probe_from_left
+            probe_get = cr.probe_get_left
+            outer_match, inner_match = cr.matches[0], cr.matches[1]
+        else:
+            outer_rel, outer_ver, inner_rel, inner_ver = right, rver, left, lver
+            probe_cols = cr.probe_from_right
+            probe_get = cr.probe_get_right
+            outer_match, inner_match = cr.matches[1], cr.matches[0]
+        inner_dist = inner_rel.dist
+        n_sub_inner = inner_rel.schema.n_subbuckets
+
+        # ---- phase: intra-bucket communication (serialize + replicate) ----
+        # Vectorized: one hash pass computes every outer tuple's inner
+        # bucket; each tuple is replicated to every sub-bucket rank of that
+        # bucket.  Payload entries are (bucket, tuple) so receivers don't
+        # re-hash (the real system knows the bucket from message layout).
+        sends: Dict[int, Dict[int, List[Tuple[int, TupleT]]]] = {}
+        per_rank_ser = np.zeros(cfg.n_ranks)
+        n_intra = 0
+        with self.timer.phase(P_INTRA):
+            outer_tuples: List[TupleT] = []
+            owner_spans: List[Tuple[int, int, int]] = []  # (owner, start, end)
+            for owner, batch in outer_rel.version_batches(outer_ver):
+                if outer_match is not None:
+                    batch = [t for t in batch if outer_match(t)]
+                if not batch:
+                    continue
+                start = len(outer_tuples)
+                outer_tuples.extend(batch)
+                owner_spans.append((owner, start, len(outer_tuples)))
+            if outer_tuples:
+                rows = np.asarray(outer_tuples, dtype=np.int64)
+                buckets = inner_dist.buckets_of_key_rows(rows, probe_cols)
+                dst_by_sub = [
+                    inner_dist.owners_of_buckets(buckets, s).tolist()
+                    for s in range(n_sub_inner)
+                ]
+                bucket_list = buckets.tolist()
+                for owner, start, end in owner_spans:
+                    row = sends.setdefault(owner, {})
+                    for i in range(start, end):
+                        t = outer_tuples[i]
+                        b = bucket_list[i]
+                        item = (b, t)
+                        if n_sub_inner == 1:
+                            dsts: Iterable[int] = (dst_by_sub[0][i],)
+                            fanout = 1
+                        else:
+                            dset = {dst_by_sub[s][i] for s in range(n_sub_inner)}
+                            dsts = dset
+                            fanout = len(dset)
+                        for dst in dsts:
+                            lst = row.get(dst)
+                            if lst is None:
+                                lst = row[dst] = []
+                            lst.append(item)
+                        per_rank_ser[owner] += fanout
+                        n_intra += fanout
+            cluster.ledger.add_compute_step(
+                P_INTRA, per_rank_ser * (cost.tuple_serialize * cost.compute_scale)
+            )
+            recv = cluster.alltoallv(
+                sends, arity=outer_rel.schema.arity, phase=P_INTRA
+            )
+        stats.intra_tuples += n_intra
+        self.counters["intra_bucket_tuples"] += n_intra
+
+        # ---- phase: local join ----
+        emit = cr.emit
+        emitted: Dict[int, List[TupleT]] = {}
+        per_rank_probe = np.zeros(cfg.n_ranks)
+        per_rank_emit = np.zeros(cfg.n_ranks)
+        version_attr = "delta" if inner_ver == "delta" else "full"
+        with self.timer.phase(P_JOIN):
+            for r, items in recv.items():
+                out: List[TupleT] = []
+                # Inner indexes of this rank's shards for each seen bucket.
+                index_cache: Dict[int, list] = {}
+                for b, t in items:
+                    indexes = index_cache.get(b)
+                    if indexes is None:
+                        indexes = [
+                            getattr(shard, version_attr)
+                            for shard in inner_rel.shards_at_rank_for_bucket(b, r)
+                        ]
+                        index_cache[b] = indexes
+                    if not indexes:
+                        continue
+                    jk = probe_get(t)
+                    for index in indexes:
+                        group = index.get(jk)
+                        if not group:
+                            continue
+                        if inner_match is None:
+                            if outer_is_left:
+                                out.extend(emit(t, it_) for it_ in group.values())
+                            else:
+                                out.extend(emit(it_, t) for it_ in group.values())
+                        else:
+                            for it_ in group.values():
+                                if inner_match(it_):
+                                    out.append(
+                                        emit(t, it_)
+                                        if outer_is_left
+                                        else emit(it_, t)
+                                    )
+                if out:
+                    emitted[r] = out
+                per_rank_probe[r] += len(items)
+                per_rank_emit[r] += len(out)
+            cluster.ledger.add_compute_step(
+                P_JOIN,
+                per_rank_probe * (cost.tuple_probe * cost.compute_scale)
+                + per_rank_emit * (cost.tuple_emit * cost.compute_scale),
+            )
+        n_emitted = int(per_rank_emit.sum())
+        stats.emitted += n_emitted
+        self.counters["emitted"] += n_emitted
+
+        self._route_and_absorb(cr.head_name, emitted, stats)
+
+    # ------------------------------------------------ routing and absorption
+
+    def _route_and_absorb(
+        self,
+        head_name: str,
+        emitted: Dict[int, List[TupleT]],
+        stats: "_IterStats",
+    ) -> None:
+        """All-to-all emitted tuples to their home shards and absorb them."""
+        head = self.store[head_name]
+        dist = head.dist
+        cfg = self.config
+        cost = self.cluster.cost
+
+        # ---- phase: all-to-all of materialized tuples ----
+        # One hash pass per source computes each tuple's home shard
+        # (bucket, sub) *and* its owner rank; payloads travel as
+        # shard-tagged batches ("boxes") so the receiver absorbs without
+        # regrouping.
+        Box = Tuple[int, int, List[TupleT]]  # (bucket, sub, batch)
+        sends: Dict[int, Dict[int, List[Box]]] = {}
+        n_comm = 0
+        with self.timer.phase(P_COMM):
+            for src, tuples in emitted.items():
+                if not tuples:
+                    continue
+                rows = np.asarray(tuples, dtype=np.int64)
+                b_arr, s_arr = dist.bucket_sub_of_rows(rows)
+                dst_arr = dist.ranks_of_bucket_subs(b_arr, s_arr)
+                buckets = b_arr.tolist()
+                subs = s_arr.tolist()
+                dsts = dst_arr.tolist()
+                by_shard: Dict[Tuple[int, int], List[TupleT]] = {}
+                shard_dst: Dict[Tuple[int, int], int] = {}
+                for i, t in enumerate(tuples):
+                    key = (buckets[i], subs[i])
+                    lst = by_shard.get(key)
+                    if lst is None:
+                        lst = by_shard[key] = []
+                        shard_dst[key] = dsts[i]
+                    lst.append(t)
+                row: Dict[int, List[Box]] = {}
+                for key, batch in by_shard.items():
+                    dst = shard_dst[key]
+                    row.setdefault(dst, []).append((key[0], key[1], batch))
+                sends[src] = row
+                n_comm += len(tuples)
+            recv = self.cluster.alltoallv(
+                sends,
+                arity=head.schema.arity,
+                phase=P_COMM,
+                count_of=lambda box: len(box[2]),
+            )
+        stats.comm_tuples += n_comm
+        self.counters["alltoall_tuples"] += n_comm
+
+        # ---- phase: fused dedup / local aggregation ----
+        per_rank_recv = np.zeros(cfg.n_ranks)
+        per_rank_adm = np.zeros(cfg.n_ranks)
+        with self.timer.phase(P_DEDUP):
+            for r, boxes in recv.items():
+                absorb_stats = AbsorbStats()
+                for b, s, batch in boxes:
+                    head.shard(b, s).absorb(batch, absorb_stats)
+                per_rank_recv[r] = absorb_stats.received
+                per_rank_adm[r] = absorb_stats.admitted
+                stats.admitted += absorb_stats.admitted
+                stats.suppressed += absorb_stats.suppressed
+            self.cluster.ledger.add_compute_step(
+                P_DEDUP,
+                per_rank_recv * (cost.tuple_agg * cost.compute_scale)
+                + per_rank_adm * (cost.tuple_insert * cost.compute_scale),
+            )
+        self.counters["admitted"] += int(per_rank_adm.sum())
+        self.counters["suppressed"] += int(per_rank_recv.sum() - per_rank_adm.sum())
+
+
+class _IterStats:
+    """Mutable per-iteration counters (internal)."""
+
+    __slots__ = ("admitted", "suppressed", "emitted", "intra_tuples",
+                 "comm_tuples", "outer_choices")
+
+    def __init__(self) -> None:
+        self.admitted = 0
+        self.suppressed = 0
+        self.emitted = 0
+        self.intra_tuples = 0
+        self.comm_tuples = 0
+        self.outer_choices: Dict[str, str] = {}
+
+
+def _sizes_by_rank(rel: VersionedRelation, version: str) -> List[int]:
+    arr = (
+        rel.delta_sizes_by_rank() if version == "delta" else rel.full_sizes_by_rank()
+    )
+    return [int(v) for v in arr]

@@ -1,0 +1,59 @@
+"""Result objects returned by the engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.comm.ledger import PhaseLedger
+from repro.relational.storage import VersionedRelation
+from repro.util.timing import PhaseTimer
+
+TupleT = Tuple[int, ...]
+
+
+@dataclass
+class IterationTrace:
+    """One fixpoint iteration's record (drives Fig. 7 and vote analysis)."""
+
+    stratum: int
+    iteration: int
+    #: Modeled seconds by phase for this iteration.
+    phase_seconds: Dict[str, float]
+    #: New (admitted) tuples this iteration, total across relations.
+    admitted: int
+    #: Tuples suppressed by fused dedup/aggregation.
+    suppressed: int
+    #: Per join rule: "left"/"right" — which side was chosen as outer.
+    outer_choices: Dict[str, str] = field(default_factory=dict)
+    #: Tuples moved during intra-bucket communication.
+    intra_bucket_tuples: int = 0
+    #: Tuples moved during the materializing all-to-all.
+    alltoall_tuples: int = 0
+
+
+@dataclass
+class FixpointResult:
+    """Everything a caller needs after :meth:`repro.runtime.Engine.run`."""
+
+    relations: Dict[str, VersionedRelation]
+    iterations: int
+    ledger: PhaseLedger
+    timer: PhaseTimer
+    trace: List[IterationTrace]
+    counters: Dict[str, int]
+
+    def query(self, name: str) -> Set[TupleT]:
+        """Materialize a relation's final contents as a set of tuples."""
+        return self.relations[name].as_set()
+
+    def modeled_seconds(self) -> float:
+        """Total modeled cluster time (compute max-per-step + comm)."""
+        return self.ledger.total_seconds()
+
+    def phase_breakdown(self) -> Dict[str, float]:
+        return dict(self.ledger.phase_seconds)
+
+    def wall_seconds(self) -> float:
+        """Host wall-clock spent simulating (not a cluster-time claim)."""
+        return self.timer.total()

@@ -1,0 +1,285 @@
+"""An SPMD engine: the Fig. 1 pipeline as literal rank programs.
+
+The main :class:`~repro.runtime.engine.Engine` is a BSP *driver*: one
+Python loop executes every rank's phase, which makes 16,384-rank
+simulations tractable.  This module is the architectural ground truth it
+stands in for — each rank runs its own asynchronous program against the
+mpi4py-style communicator (:mod:`repro.comm.asyncmpi`), seeing **only its
+own shards** and whatever arrives through collectives, exactly like the
+C++/MPI original:
+
+.. code-block:: text
+
+    every rank, every iteration, every join rule:
+        vote   = allreduce(my relation-size comparison)        (Algorithm 1)
+        recv   = alltoall(outer tuples bucketed for sub-bucket owners)
+        out    = local join against my inner shards
+        homes  = alltoall(out bucketed by head placement)
+        Δ     += fused dedup/local aggregation of homes
+    stop when allreduce(|Δ|) == 0
+
+Tests assert this engine, the BSP engine, and the naive interpreter agree
+— which is what justifies using the fast BSP driver for the scaling
+studies.  (This engine is for validation and moderate rank counts; it
+shares the shard, distribution, and compiled-rule code with the BSP
+engine, so there is exactly one implementation of the semantics.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.comm.asyncmpi import AsyncComm, run_spmd
+from repro.core.local_agg import make_shard, _ShardBase
+from repro.planner.ast import Program
+from repro.planner.compile_rules import CompiledProgram, CompiledRule, compile_program
+from repro.relational.distribution import Distribution
+from repro.runtime.config import EngineConfig
+from repro.util.hashing import HashSeed
+
+TupleT = Tuple[int, ...]
+ShardKey = Tuple[int, int]
+
+
+class _RankState:
+    """One rank's private view: its shards of every relation."""
+
+    def __init__(self, rank: int, compiled: CompiledProgram, config: EngineConfig):
+        self.rank = rank
+        self.config = config
+        seed = HashSeed().derive(config.seed)
+        self.dist: Dict[str, Distribution] = {
+            name: Distribution(schema, config.n_ranks, seed)
+            for name, schema in compiled.schemas.items()
+        }
+        self.shards: Dict[str, Dict[ShardKey, _ShardBase]] = {
+            name: {} for name in compiled.schemas
+        }
+        self.compiled = compiled
+
+    # ----------------------------------------------------------------- store
+
+    def shard(self, name: str, key: ShardKey) -> _ShardBase:
+        shards = self.shards[name]
+        s = shards.get(key)
+        if s is None:
+            s = make_shard(self.compiled.schemas[name], self.config.use_btree)
+            shards[key] = s
+        return s
+
+    def absorb(self, name: str, tuples: Iterable[TupleT]) -> int:
+        dist = self.dist[name]
+        admitted = 0
+        for t in tuples:
+            key = (dist.bucket_of(t), dist.sub_of(t))
+            admitted += self.shard(name, key).absorb([t])
+        return admitted
+
+    def advance(self, names: Iterable[str]) -> int:
+        total = 0
+        for name in names:
+            for shard in self.shards[name].values():
+                total += shard.advance()
+        return total
+
+    def size(self, name: str, version: str) -> int:
+        return sum(
+            s.delta_size() if version == "delta" else s.full_size()
+            for s in self.shards[name].values()
+        )
+
+    def tuples(self, name: str, version: str) -> List[TupleT]:
+        out: List[TupleT] = []
+        for key in sorted(self.shards[name]):
+            shard = self.shards[name][key]
+            out.extend(
+                shard.iter_delta() if version == "delta" else shard.iter_full()
+            )
+        return out
+
+    def inner_indexes(self, name: str, bucket: int, version: str) -> List[dict]:
+        dist = self.dist[name]
+        schema = self.compiled.schemas[name]
+        out = []
+        for s in range(schema.n_subbuckets):
+            if dist.owner(bucket, s) == self.rank:
+                shard = self.shards[name].get((bucket, s))
+                if shard is not None:
+                    out.append(shard.delta if version == "delta" else shard.full)
+        return out
+
+
+async def _eval_direction(
+    comm: AsyncComm,
+    state: _RankState,
+    cr: CompiledRule,
+    delta_atom: Optional[int],
+) -> None:
+    size = comm.Get_size()
+    if not cr.is_join:
+        version = "delta" if delta_atom == 0 else "full"
+        match = cr.matches[0]
+        emitted = [
+            cr.emit(t, ())
+            for t in state.tuples(cr.body_names[0], version)
+            if match is None or match(t)
+        ]
+        await _route_and_absorb(comm, state, cr.head_name, emitted)
+        return
+
+    lver = "delta" if delta_atom == 0 else "full"
+    rver = "delta" if delta_atom == 1 else "full"
+    lname, rname = cr.body_names
+    # ---- Algorithm 1: one-word vote; ties on empty ranks abstain when
+    # configured, encoded as (vote, participating) pairs.
+    lsize, rsize = state.size(lname, lver), state.size(rname, rver)
+    if state.config.dynamic_join:
+        participating = 1 if (lsize or rsize or not state.config.vote_abstain_empty) else 0
+        pair = (participating * (1 if lsize >= rsize else 0), participating)
+        votes, voters = await comm.allreduce(
+            pair, op=lambda a, b: (a[0] + b[0], a[1] + b[1])
+        )
+        threshold = (max(voters, 1) + 1) // 2
+        outer_is_left = not (votes >= threshold)
+    else:
+        outer_is_left = state.config.static_outer == "left"
+
+    if outer_is_left:
+        outer_name, outer_ver, inner_name, inner_ver = lname, lver, rname, rver
+        probe_get = cr.probe_get_left
+        outer_match, inner_match = cr.matches[0], cr.matches[1]
+    else:
+        outer_name, outer_ver, inner_name, inner_ver = rname, rver, lname, lver
+        probe_get = cr.probe_get_right
+        outer_match, inner_match = cr.matches[1], cr.matches[0]
+    inner_dist = state.dist[inner_name]
+    n_sub = state.compiled.schemas[inner_name].n_subbuckets
+
+    # ---- intra-bucket exchange: replicate outer tuples to the inner
+    # bucket's sub-bucket owners.
+    sends: List[List[Tuple[int, TupleT]]] = [[] for _ in range(size)]
+    for t in state.tuples(outer_name, outer_ver):
+        if outer_match is not None and not outer_match(t):
+            continue
+        jk = probe_get(t)
+        b = inner_dist.bucket_of_key(jk)
+        for dst in dict.fromkeys(inner_dist.owner(b, s) for s in range(n_sub)):
+            sends[dst].append((b, t))
+    received = await comm.alltoall(sends)
+
+    # ---- local join against this rank's inner shards.
+    emit = cr.emit
+    emitted: List[TupleT] = []
+    for batch in received:
+        for b, t in batch:
+            indexes = state.inner_indexes(inner_name, b, inner_ver)
+            if not indexes:
+                continue
+            jk = probe_get(t)
+            for index in indexes:
+                group = index.get(jk)
+                if not group:
+                    continue
+                for inner_t in group.values():
+                    if inner_match is not None and not inner_match(inner_t):
+                        continue
+                    emitted.append(
+                        emit(t, inner_t) if outer_is_left else emit(inner_t, t)
+                    )
+    await _route_and_absorb(comm, state, cr.head_name, emitted)
+
+
+async def _route_and_absorb(
+    comm: AsyncComm, state: _RankState, head_name: str, emitted: List[TupleT]
+) -> None:
+    size = comm.Get_size()
+    dist = state.dist[head_name]
+    sends: List[List[TupleT]] = [[] for _ in range(size)]
+    for t in emitted:
+        sends[dist.rank_of(t)].append(t)
+    received = await comm.alltoall(sends)
+    for batch in received:
+        state.absorb(head_name, batch)
+
+
+async def _rank_program(
+    comm: AsyncComm,
+    program: Program,
+    config: EngineConfig,
+    facts_by_rank: Mapping[str, List[List[TupleT]]],
+) -> Dict[str, Set[TupleT]]:
+    compiled = compile_program(
+        program,
+        subbuckets=config.subbuckets,
+        default_subbuckets=config.default_subbuckets,
+    )
+    state = _RankState(comm.Get_rank(), compiled, config)
+    for name, parts in facts_by_rank.items():
+        state.absorb(name, parts[comm.Get_rank()])
+        state.advance([name])
+
+    for stratum in compiled.strata:
+        rules = compiled.rules_of(stratum)
+        for cr in rules:
+            await _eval_direction(comm, state, cr, delta_atom=None)
+        local_new = state.advance(stratum.relations)
+        changed = await comm.allreduce(local_new)
+        if not stratum.recursive:
+            continue
+        iterations = 0
+        while changed and iterations < config.max_iterations:
+            iterations += 1
+            for cr in rules:
+                for i, rel_name in enumerate(cr.body_names):
+                    if rel_name in stratum.relations:
+                        await _eval_direction(comm, state, cr, delta_atom=i)
+            local_new = state.advance(stratum.relations)
+            changed = await comm.allreduce(local_new)
+        if changed:
+            raise RuntimeError(
+                f"stratum {stratum.relations} did not converge on rank "
+                f"{comm.Get_rank()}"
+            )
+
+    return {
+        name: set(state.tuples(name, "full")) for name in compiled.schemas
+    }
+
+
+def run_spmd_engine(
+    program: Program,
+    facts: Mapping[str, Iterable[TupleT]],
+    config: Optional[EngineConfig] = None,
+) -> Dict[str, Set[TupleT]]:
+    """Evaluate ``program`` with true per-rank message-passing programs.
+
+    Returns each relation's full contents (the union across ranks).
+    Intended for validation and small/medium rank counts; for scaling
+    studies use :class:`~repro.runtime.engine.Engine`.
+    """
+    config = config or EngineConfig()
+    compiled = compile_program(
+        program,
+        subbuckets=config.subbuckets,
+        default_subbuckets=config.default_subbuckets,
+    )
+    seed = HashSeed().derive(config.seed)
+    # Pre-partition the input facts exactly as a parallel loader would.
+    facts_by_rank: Dict[str, List[List[TupleT]]] = {}
+    for name, rows in facts.items():
+        if name not in compiled.schemas:
+            raise KeyError(f"unknown relation {name!r}")
+        dist = Distribution(compiled.schemas[name], config.n_ranks, seed)
+        parts: List[List[TupleT]] = [[] for _ in range(config.n_ranks)]
+        for t in rows:
+            parts[dist.rank_of(tuple(t))].append(tuple(t))
+        facts_by_rank[name] = parts
+
+    results = run_spmd(
+        config.n_ranks, _rank_program, program, config, facts_by_rank
+    )
+    merged: Dict[str, Set[TupleT]] = {}
+    for per_rank in results:
+        for name, tuples in per_rank.items():
+            merged.setdefault(name, set()).update(tuples)
+    return merged

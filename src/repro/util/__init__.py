@@ -1,0 +1,31 @@
+"""Low-level utilities shared by every PARALAGG subsystem.
+
+This package deliberately has no dependencies on the rest of :mod:`repro`
+so that any module may import it without creating cycles.
+
+Contents
+--------
+:mod:`repro.util.hashing`
+    Seeded, platform-stable 64-bit hashing (splitmix64 / xxhash-like mixing)
+    used for the bucket / sub-bucket double-hash tuple distribution.
+:mod:`repro.util.timing`
+    Lightweight phase timers and a hierarchical stopwatch used by the
+    runtime's per-phase instrumentation.
+:mod:`repro.util.config`
+    Frozen configuration dataclasses with validation.
+"""
+
+from repro.util.hashing import splitmix64, hash_tuple, hash_columns, HashSeed
+from repro.util.timing import Stopwatch, PhaseTimer
+from repro.util.config import check_positive, check_fraction
+
+__all__ = [
+    "splitmix64",
+    "hash_tuple",
+    "hash_columns",
+    "HashSeed",
+    "Stopwatch",
+    "PhaseTimer",
+    "check_positive",
+    "check_fraction",
+]

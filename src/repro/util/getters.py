@@ -1,0 +1,24 @@
+"""Compiled column extractors for hot tuple loops."""
+
+from __future__ import annotations
+
+import operator
+from typing import Callable, Sequence, Tuple
+
+TupleT = Tuple[int, ...]
+
+
+def tuple_getter(cols: Sequence[int]) -> Callable[[TupleT], TupleT]:
+    """Compile a fast extractor returning the selected columns as a tuple.
+
+    ``operator.itemgetter`` returns a bare value for a single index, so the
+    0- and 1-column cases are special-cased to keep keys uniformly tuples.
+    """
+    cols = tuple(cols)
+    if not cols:
+        empty: TupleT = ()
+        return lambda t: empty
+    if len(cols) == 1:
+        c = cols[0]
+        return lambda t: (t[c],)
+    return operator.itemgetter(*cols)

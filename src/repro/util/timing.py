@@ -1,0 +1,93 @@
+"""Hierarchical timers for per-phase instrumentation.
+
+The paper's evaluation (Figs. 2, 4, 7) reports *per-phase* breakdowns —
+balancing, join-order voting, intra-bucket communication, local join,
+all-to-all, and fused dedup/aggregation.  :class:`PhaseTimer` accumulates
+wall-clock time per named phase and supports nesting, so the runtime can
+report exactly those series.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch; ``with sw: ...`` adds the block's duration."""
+
+    elapsed: float = 0.0
+    count: int = 0
+    _start: float | None = None
+
+    def start(self) -> None:
+        if self._start is not None:
+            raise RuntimeError("stopwatch already running")
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("stopwatch not running")
+        dt = time.perf_counter() - self._start
+        self._start = None
+        self.elapsed += dt
+        self.count += 1
+        return dt
+
+    def __enter__(self) -> "Stopwatch":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+
+@dataclass
+class PhaseTimer:
+    """Accumulates wall time per named phase, with per-iteration snapshots.
+
+    ``snapshot()`` closes out the current iteration and records the phase
+    totals since the previous snapshot — this drives the per-iteration trace
+    in Fig. 7.
+    """
+
+    phases: Dict[str, Stopwatch] = field(default_factory=dict)
+    iterations: List[Dict[str, float]] = field(default_factory=list)
+    _last_totals: Dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[Stopwatch]:
+        sw = self.phases.setdefault(name, Stopwatch())
+        with sw:
+            yield sw
+
+    def add(self, name: str, seconds: float) -> None:
+        """Charge time to a phase without running a block (modeled costs)."""
+        sw = self.phases.setdefault(name, Stopwatch())
+        sw.elapsed += seconds
+        sw.count += 1
+
+    def totals(self) -> Dict[str, float]:
+        return {name: sw.elapsed for name, sw in self.phases.items()}
+
+    def total(self) -> float:
+        return sum(sw.elapsed for sw in self.phases.values())
+
+    def snapshot(self) -> Dict[str, float]:
+        """Record and return the per-phase deltas since the last snapshot."""
+        now = self.totals()
+        delta = {
+            name: now[name] - self._last_totals.get(name, 0.0) for name in now
+        }
+        self._last_totals = now
+        self.iterations.append(delta)
+        return delta
+
+    def merge(self, other: "PhaseTimer") -> None:
+        for name, sw in other.phases.items():
+            mine = self.phases.setdefault(name, Stopwatch())
+            mine.elapsed += sw.elapsed
+            mine.count += sw.count

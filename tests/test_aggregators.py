@@ -1,0 +1,154 @@
+"""Tests for the RecursiveAggregator API (paper Listing 1/2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.aggregators import (
+    AGGREGATORS,
+    AnyAggregator,
+    CountAggregator,
+    MaxAggregator,
+    MCountAggregator,
+    MinAggregator,
+    RecursiveAggregator,
+    SumAggregator,
+    UnionAggregator,
+    make_aggregator,
+)
+from repro.lattice.semilattice import Ordering
+
+INT = st.integers(min_value=-10**9, max_value=10**9)
+DEP = st.tuples(INT)
+MASK = st.tuples(st.integers(min_value=0, max_value=2**20 - 1))
+FLAG = st.tuples(st.integers(min_value=0, max_value=1))
+# MCount's carrier is [0, bound]; values outside it are clamped by join,
+# so the law tests must draw from the carrier.
+BOUNDED = st.tuples(st.integers(min_value=0, max_value=1000))
+
+LATTICE_AGGS = [
+    (MinAggregator(), DEP),
+    (MaxAggregator(), DEP),
+    (MCountAggregator(1000), BOUNDED),
+    (AnyAggregator(), FLAG),
+    (UnionAggregator(), MASK),
+]
+
+
+@pytest.mark.parametrize("agg,strategy", LATTICE_AGGS,
+                         ids=lambda x: getattr(x, "name", ""))
+class TestLatticeAggregatorLaws:
+    @given(data=st.data())
+    def test_idempotent(self, agg, strategy, data):
+        a = data.draw(strategy)
+        assert agg.partial_agg(a, a) == a
+
+    @given(data=st.data())
+    def test_commutative(self, agg, strategy, data):
+        a, b = data.draw(strategy), data.draw(strategy)
+        assert agg.partial_agg(a, b) == agg.partial_agg(b, a)
+
+    @given(data=st.data())
+    def test_associative(self, agg, strategy, data):
+        a, b, c = (data.draw(strategy) for _ in range(3))
+        assert agg.partial_agg(agg.partial_agg(a, b), c) == agg.partial_agg(
+            a, agg.partial_agg(b, c)
+        )
+
+    @given(data=st.data())
+    def test_improves_iff_join_moves(self, agg, strategy, data):
+        old, new = data.draw(strategy), data.draw(strategy)
+        assert agg.improves(new, old) == (agg.partial_agg(old, new) != old)
+
+    @given(data=st.data())
+    def test_absorbing_twice_never_improves(self, agg, strategy, data):
+        """The dedup-fusion invariant: re-absorbing is always a no-op."""
+        old, new = data.draw(strategy), data.draw(strategy)
+        merged = agg.partial_agg(old, new)
+        assert not agg.improves(new, merged)
+
+    def test_declares_idempotent(self, agg, strategy):
+        assert agg.idempotent is True
+
+
+class TestListing1Surface:
+    def test_dependent_column_is_trailing(self):
+        agg = MinAggregator()
+        assert agg.dependent_column((1, 2, 7)) == (7,)
+
+    def test_min_partial_cmp(self):
+        agg = MinAggregator()
+        # 5 is *lower* than 3 in the MIN lattice (3 carries more info)
+        assert agg.partial_cmp((5,), (3,)) is Ordering.LESS
+        assert agg.partial_cmp((3,), (3,)) is Ordering.EQUAL
+        assert agg.partial_cmp((3,), (5,)) is Ordering.GREATER
+
+    def test_min_partial_agg_listing2(self):
+        # Listing 2: partial_agg returns the smaller of the two
+        agg = MinAggregator()
+        assert agg.partial_agg((5,), (3,)) == (3,)
+
+    def test_union_partial_cmp(self):
+        agg = UnionAggregator()
+        assert agg.partial_cmp((0b01,), (0b11,)) is Ordering.LESS
+        assert agg.partial_cmp((0b01,), (0b10,)) is Ordering.INCOMPARABLE
+        assert agg.partial_cmp((0b11,), (0b01,)) is Ordering.GREATER
+        assert agg.partial_cmp((0b1,), (0b1,)) is Ordering.EQUAL
+
+    def test_any_saturates(self):
+        agg = AnyAggregator()
+        assert agg.partial_agg((0,), (1,)) == (1,)
+        assert agg.partial_agg((0,), (0,)) == (0,)
+
+    def test_mcount_saturates_at_bound(self):
+        agg = MCountAggregator(bound=5)
+        assert agg.partial_agg((4,), (9,)) == (5,)
+
+    def test_repr(self):
+        assert "min" in repr(MinAggregator())
+
+
+class TestFoldAggregates:
+    def test_sum_folds(self):
+        agg = SumAggregator()
+        assert agg.partial_agg((2,), (3,)) == (5,)
+        assert agg.idempotent is False
+
+    def test_count_is_sum_of_ones(self):
+        agg = CountAggregator()
+        assert agg.partial_agg((4,), (1,)) == (5,)
+        assert agg.idempotent is False
+
+    def test_sum_partial_cmp_degenerate(self):
+        agg = SumAggregator()
+        assert agg.partial_cmp((1,), (1,)) is Ordering.EQUAL
+        assert agg.partial_cmp((1,), (2,)) is Ordering.INCOMPARABLE
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["min", "max", "mcount", "any", "union", "sum", "count"])
+    def test_make_known(self, name):
+        agg = make_aggregator(name)
+        assert agg.name == name
+
+    def test_make_case_insensitive_and_dollar(self):
+        assert make_aggregator("$MIN").name == "min"
+        assert make_aggregator("Max").name == "max"
+
+    def test_make_unknown(self):
+        with pytest.raises(KeyError, match="unknown aggregate"):
+            make_aggregator("median")
+
+    def test_registry_is_extensible(self):
+        class Custom(MinAggregator):
+            name = "custom_test"
+
+        AGGREGATORS["custom_test"] = Custom
+        try:
+            assert make_aggregator("custom_test").name == "custom_test"
+        finally:
+            del AGGREGATORS["custom_test"]
+
+    def test_all_registered_aggs_have_n_dep_1(self):
+        for factory in AGGREGATORS.values():
+            assert factory().n_dep == 1

@@ -1,0 +1,230 @@
+"""Tests for the mpi4py-style SPMD interface."""
+
+import pytest
+
+from repro.comm.asyncmpi import ANY_SOURCE, ANY_TAG, DeadlockError, run_spmd
+
+
+class TestIdentity:
+    def test_rank_and_size(self):
+        async def program(comm):
+            return (comm.Get_rank(), comm.Get_size())
+
+        assert run_spmd(3, program) == [(0, 3), (1, 3), (2, 3)]
+
+    def test_rejects_zero_ranks(self):
+        async def program(comm):
+            return None
+
+        with pytest.raises(ValueError):
+            run_spmd(0, program)
+
+    def test_extra_args_passed(self):
+        async def program(comm, base):
+            return base + comm.Get_rank()
+
+        assert run_spmd(2, program, 100) == [100, 101]
+
+
+class TestCollectives:
+    def test_bcast(self):
+        async def program(comm):
+            data = {"k": [1, 2]} if comm.Get_rank() == 0 else None
+            return await comm.bcast(data, root=0)
+
+        results = run_spmd(4, program)
+        assert all(r == {"k": [1, 2]} for r in results)
+
+    def test_bcast_nonzero_root(self):
+        async def program(comm):
+            data = "payload" if comm.Get_rank() == 2 else None
+            return await comm.bcast(data, root=2)
+
+        assert run_spmd(4, program) == ["payload"] * 4
+
+    def test_scatter(self):
+        async def program(comm):
+            objs = (
+                [(i + 1) ** 2 for i in range(comm.Get_size())]
+                if comm.Get_rank() == 0
+                else None
+            )
+            return await comm.scatter(objs, root=0)
+
+        assert run_spmd(4, program) == [1, 4, 9, 16]
+
+    def test_scatter_wrong_length(self):
+        async def program(comm):
+            objs = [1] if comm.Get_rank() == 0 else None
+            return await comm.scatter(objs, root=0)
+
+        with pytest.raises(ValueError):
+            run_spmd(3, program)
+
+    def test_gather(self):
+        async def program(comm):
+            return await comm.gather(comm.Get_rank() * 10, root=1)
+
+        results = run_spmd(3, program)
+        assert results[1] == [0, 10, 20]
+        assert results[0] is None and results[2] is None
+
+    def test_allgather(self):
+        async def program(comm):
+            return await comm.allgather(comm.Get_rank())
+
+        assert run_spmd(3, program) == [[0, 1, 2]] * 3
+
+    def test_allreduce_default_sum(self):
+        async def program(comm):
+            return await comm.allreduce(comm.Get_rank() + 1)
+
+        assert run_spmd(4, program) == [10, 10, 10, 10]
+
+    def test_allreduce_custom_op(self):
+        async def program(comm):
+            return await comm.allreduce(comm.Get_rank(), op=max)
+
+        assert run_spmd(5, program) == [4] * 5
+
+    def test_reduce_root_only(self):
+        async def program(comm):
+            return await comm.reduce(1, root=0)
+
+        assert run_spmd(3, program) == [3, None, None]
+
+    def test_alltoall(self):
+        async def program(comm):
+            rank, size = comm.Get_rank(), comm.Get_size()
+            return await comm.alltoall([f"{rank}->{d}" for d in range(size)])
+
+        results = run_spmd(3, program)
+        assert results[1] == ["0->1", "1->1", "2->1"]
+
+    def test_barrier_completes(self):
+        async def program(comm):
+            await comm.barrier()
+            return comm.Get_rank()
+
+        assert run_spmd(4, program) == [0, 1, 2, 3]
+
+    def test_repeated_collectives_epochs(self):
+        async def program(comm):
+            a = await comm.allreduce(1)
+            b = await comm.allreduce(2)
+            return (a, b)
+
+        assert run_spmd(3, program) == [(3, 6)] * 3
+
+
+class TestPointToPoint:
+    def test_ring_pass(self):
+        async def program(comm):
+            rank, size = comm.Get_rank(), comm.Get_size()
+            await comm.send(rank, dest=(rank + 1) % size, tag=7)
+            return await comm.recv(source=(rank - 1) % size, tag=7)
+
+        assert run_spmd(4, program) == [3, 0, 1, 2]
+
+    def test_fifo_per_channel(self):
+        async def program(comm):
+            if comm.Get_rank() == 0:
+                for i in range(5):
+                    await comm.send(i, dest=1, tag=0)
+                return None
+            if comm.Get_rank() == 1:
+                return [await comm.recv(source=0, tag=0) for _ in range(5)]
+            return None
+
+        assert run_spmd(2, program)[1] == [0, 1, 2, 3, 4]
+
+    def test_tag_matching(self):
+        async def program(comm):
+            if comm.Get_rank() == 0:
+                await comm.send("urgent", dest=1, tag=2)
+                await comm.send("normal", dest=1, tag=1)
+                return None
+            first = await comm.recv(source=0, tag=1)
+            second = await comm.recv(source=0, tag=2)
+            return (first, second)
+
+        assert run_spmd(2, program)[1] == ("normal", "urgent")
+
+    def test_any_source(self):
+        async def program(comm):
+            rank = comm.Get_rank()
+            if rank == 0:
+                got = {await comm.recv(source=ANY_SOURCE) for _ in range(2)}
+                return got
+            await comm.send(rank, dest=0)
+            return None
+
+        assert run_spmd(3, program)[0] == {1, 2}
+
+    def test_sendrecv(self):
+        async def program(comm):
+            rank, size = comm.Get_rank(), comm.Get_size()
+            return await comm.sendrecv(
+                f"from{rank}", dest=(rank + 1) % size, source=(rank - 1) % size
+            )
+
+        assert run_spmd(3, program) == ["from2", "from0", "from1"]
+
+    def test_send_out_of_range(self):
+        async def program(comm):
+            await comm.send(1, dest=99)
+
+        with pytest.raises(ValueError):
+            run_spmd(2, program)
+
+
+class TestDeadlockDetection:
+    def test_recv_without_send(self):
+        async def program(comm):
+            return await comm.recv(source=0, tag=9)
+
+        with pytest.raises(DeadlockError):
+            run_spmd(2, program)
+
+    def test_mismatched_collective(self):
+        async def program(comm):
+            if comm.Get_rank() == 0:
+                return await comm.allreduce(1)
+            return None  # rank 1 never reaches the collective
+
+        with pytest.raises(DeadlockError):
+            run_spmd(2, program)
+
+    def test_partial_recv_deadlock(self):
+        async def program(comm):
+            if comm.Get_rank() == 0:
+                await comm.send("one", dest=1)
+                return None
+            await comm.recv(source=0)
+            return await comm.recv(source=0)  # second message never comes
+
+        with pytest.raises(DeadlockError):
+            run_spmd(2, program)
+
+
+class TestLedgerIntegration:
+    def test_collectives_charge_ledger(self):
+        async def program(comm):
+            await comm.allreduce(comm.Get_rank())
+            await comm.bcast("payload" if comm.Get_rank() == 0 else None)
+            return None
+
+        _, ledger = run_spmd(4, program, return_ledger=True)
+        assert ledger.comm.bytes_total > 0
+        assert "allreduce" in ledger.comm.by_kind
+        assert "bcast" in ledger.comm.by_kind
+
+    def test_p2p_charges_per_message(self):
+        async def program(comm):
+            if comm.Get_rank() == 0:
+                await comm.send([1, 2, 3], dest=1)
+                return None
+            return await comm.recv(source=0)
+
+        _, ledger = run_spmd(2, program, return_ledger=True)
+        assert ledger.comm.by_kind.get("p2p", 0) > 0

@@ -1,0 +1,175 @@
+"""Tests for the comparator engines (RaSQL-like, SociaLite-like, strawman)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    RaSQLLikeEngine,
+    SociaLiteLikeEngine,
+    run_stratified_sssp,
+    rasql_cost_model,
+    socialite_cost_model,
+)
+from repro.baselines.serial import SerialFractionLedger
+from repro.graphs.generators import chain, rmat, ring
+from repro.graphs.reference import dijkstra
+from repro.queries.cc import cc_program
+from repro.queries.sssp import sssp_program
+from repro.runtime.config import EngineConfig
+from repro.runtime.engine import Engine
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rmat(6, 4, seed=2).with_weights(np.random.default_rng(9), 10)
+
+
+def _run(engine_cls, graph, **kwargs):
+    eng = engine_cls(sssp_program(), EngineConfig(n_ranks=8), **kwargs)
+    eng.load("edge", graph.tuples())
+    eng.load("start", [(0,)])
+    return eng, eng.run()
+
+
+class TestRaSQLLike:
+    def test_same_answers_as_paralagg(self, graph):
+        _, res = _run(RaSQLLikeEngine, graph)
+        ref = dijkstra(graph, 0)
+        assert {(0, t, d) for t, d in ref.items()} == res.query("spath")
+
+    def test_double_shuffle_visible_in_counters(self, graph):
+        eng, res = _run(RaSQLLikeEngine, graph)
+        # every candidate hits the global hashmap...
+        assert res.counters["globalagg_tuples"] > 0
+        # ...and improvements are shuffled a second time, so the total
+        # all-to-all tuple count strictly exceeds the candidate count
+        assert res.counters["alltoall_tuples"] > res.counters["globalagg_tuples"]
+
+    def test_more_comm_volume_than_paralagg(self, graph):
+        """The paper's claim, isolated: aggregate-oblivious distribution
+        moves strictly more bytes for the same query."""
+        cm = rasql_cost_model()
+        _, rasql_res = _run(
+            RaSQLLikeEngine, graph, serial_fraction=0.0
+        )
+        eng = Engine(
+            sssp_program(),
+            EngineConfig(n_ranks=8, dynamic_join=False, static_outer="left"),
+        )
+        eng.load("edge", graph.tuples())
+        eng.load("start", [(0,)])
+        para_res = eng.run()
+        assert (
+            rasql_res.ledger.comm.bytes_total
+            > para_res.ledger.comm.bytes_total
+        )
+
+    def test_forces_static_plan(self, graph):
+        eng, _ = _run(RaSQLLikeEngine, graph)
+        assert eng.config.dynamic_join is False
+        assert eng.config.default_subbuckets == 1
+
+    def test_serial_fraction_ledger_installed(self, graph):
+        eng, _ = _run(RaSQLLikeEngine, graph)
+        assert isinstance(eng.cluster.ledger, SerialFractionLedger)
+        assert eng.cluster.ledger.serial_fraction == RaSQLLikeEngine.SERIAL_FRACTION
+
+    def test_cost_model_factory_scales(self):
+        base = rasql_cost_model()
+        scaled = rasql_cost_model(10.0)
+        assert scaled.compute_scale == 10.0
+        assert scaled.alpha == base.alpha
+
+
+class TestSociaLiteLike:
+    def test_same_answers_as_paralagg(self, graph):
+        _, res = _run(SociaLiteLikeEngine, graph)
+        ref = dijkstra(graph, 0)
+        assert {(0, t, d) for t, d in ref.items()} == res.query("spath")
+
+    def test_cc_agrees_with_paralagg(self, graph):
+        g2 = rmat(5, 3, seed=5).symmetrized()
+        reference = Engine(cc_program(), EngineConfig(n_ranks=8))
+        reference.load("edge", g2.tuples())
+        expected = reference.run().query("cc")
+
+        eng = SociaLiteLikeEngine(cc_program(), EngineConfig(n_ranks=8))
+        eng.load("edge", g2.tuples())
+        assert eng.run().query("cc") == expected
+
+    def test_amdahl_saturation(self, graph):
+        """More workers stop helping: the serial fraction dominates."""
+        times = {}
+        for threads in (8, 64):
+            eng = SociaLiteLikeEngine(
+                sssp_program(), EngineConfig(n_ranks=threads)
+            )
+            eng.load("edge", graph.tuples())
+            eng.load("start", [(0,)])
+            times[threads] = eng.run().modeled_seconds()
+        assert times[64] > times[8] * 0.5  # far from 8x speedup
+
+    def test_higher_constants_than_paralagg(self, graph):
+        _, soc = _run(SociaLiteLikeEngine, graph)
+        eng = Engine(sssp_program(), EngineConfig(n_ranks=8))
+        eng.load("edge", graph.tuples())
+        eng.load("start", [(0,)])
+        para = eng.run()
+        assert soc.modeled_seconds() > para.modeled_seconds()
+
+
+class TestSerialFractionLedger:
+    def test_serial_tax_added(self):
+        ledger = SerialFractionLedger(n_ranks=4, serial_fraction=0.5)
+        step = ledger.add_compute_step("x", np.array([1.0, 1.0, 1.0, 1.0]))
+        assert step == pytest.approx(1.0 + 0.5 * 4.0)
+
+    def test_zero_fraction_is_plain_max(self):
+        ledger = SerialFractionLedger(n_ranks=2, serial_fraction=0.0)
+        assert ledger.add_compute_step("x", np.array([2.0, 1.0])) == 2.0
+
+    def test_fraction_validated(self):
+        with pytest.raises(ValueError):
+            SerialFractionLedger(n_ranks=2, serial_fraction=1.5)
+
+    def test_shape_validated(self):
+        ledger = SerialFractionLedger(n_ranks=4, serial_fraction=0.1)
+        with pytest.raises(ValueError):
+            ledger.add_compute_step("x", np.zeros(2))
+
+
+class TestStratifiedStrawman:
+    def test_correct_on_dag(self):
+        g = chain(10).with_unit_weights()
+        res = run_stratified_sssp(g, [0], EngineConfig(n_ranks=4))
+        assert not res.truncated
+        assert res.distances[(0, 9)] == 9
+
+    def test_materialization_blowup(self):
+        """A diamond ladder has exponentially many path lengths — the
+        strawman materializes them all; recursive aggregation stores one
+        accumulator per (source, target)."""
+        # ladder of diamonds: s -> a_i/b_i -> s+1 with distinct weights
+        edges = []
+        for i in range(8):
+            base = 3 * i
+            edges += [
+                (base, base + 1, 1), (base, base + 2, 2),
+                (base + 1, base + 3, 1), (base + 2, base + 3, 2),
+            ]
+        from repro.queries.sssp import run_sssp
+        from repro.graphs.types import Graph
+
+        g = Graph(edges=np.array(edges, dtype=np.int64), n_nodes=25)
+        straw = run_stratified_sssp(g, [0], EngineConfig(n_ranks=4))
+        agg = run_sssp(g, [0], EngineConfig(n_ranks=4))
+        assert straw.n_materialized_paths > 4 * agg.n_paths
+        # both still compute the same shortest distances
+        assert straw.distances == agg.distances
+
+    def test_truncates_on_cycle_with_partial_answers(self):
+        g = ring(5).with_unit_weights()
+        res = run_stratified_sssp(g, [0], EngineConfig(n_ranks=2),
+                                  max_iterations=16)
+        assert res.truncated
+        assert res.distances[(0, 2)] == 2

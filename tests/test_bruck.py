@@ -1,0 +1,47 @@
+"""Tests for the Bruck all-to-all collective."""
+
+import pytest
+
+from repro.comm.asyncmpi import run_spmd
+from repro.comm.bruck import bruck_alltoall
+
+
+async def _exchange(comm):
+    rank, size = comm.Get_rank(), comm.Get_size()
+    return await bruck_alltoall(comm, [f"{rank}->{d}" for d in range(size)])
+
+
+class TestBruckAlltoall:
+    @pytest.mark.parametrize("n_ranks", [1, 2, 3, 4, 5, 7, 8, 13, 16])
+    def test_matches_direct_alltoall(self, n_ranks):
+        results = run_spmd(n_ranks, _exchange)
+        for r in range(n_ranks):
+            assert results[r] == [f"{s}->{r}" for s in range(n_ranks)]
+
+    def test_arbitrary_objects(self):
+        async def program(comm):
+            rank, size = comm.Get_rank(), comm.Get_size()
+            objs = [{"src": rank, "dst": d, "data": [rank] * d} for d in range(size)]
+            return await bruck_alltoall(comm, objs)
+
+        results = run_spmd(4, program)
+        assert results[2][1] == {"src": 1, "dst": 2, "data": [1, 1]}
+
+    def test_wrong_length_rejected(self):
+        async def program(comm):
+            return await bruck_alltoall(comm, [1])
+
+        with pytest.raises(ValueError):
+            run_spmd(3, program)
+
+    def test_log_rounds_latency(self):
+        """Bruck's point: message count per rank is O(log P), not O(P)."""
+
+        async def program(comm):
+            size = comm.Get_size()
+            await bruck_alltoall(comm, list(range(size)))
+            return None
+
+        _, ledger = run_spmd(16, program, return_ledger=True)
+        # 4 rounds x 16 ranks sends; a direct alltoall would send 16*15.
+        assert ledger.comm.messages <= 16 * 5

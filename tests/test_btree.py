@@ -1,0 +1,197 @@
+"""Tests for the B-tree (PARALAGG's nested-index substrate)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ds.btree import BTreeMap, BTreeSet
+
+KEYS = st.integers(min_value=-1000, max_value=1000)
+
+
+class TestBTreeMapBasics:
+    def test_empty(self):
+        t = BTreeMap()
+        assert len(t) == 0
+        assert not t
+        assert 1 not in t
+        assert t.get(1) is None
+        assert t.get(1, "d") == "d"
+
+    def test_insert_get(self):
+        t = BTreeMap()
+        t[3] = "c"
+        t[1] = "a"
+        t[2] = "b"
+        assert (t[1], t[2], t[3]) == ("a", "b", "c")
+        assert len(t) == 3
+
+    def test_overwrite_keeps_len(self):
+        t = BTreeMap()
+        t[1] = "x"
+        t[1] = "y"
+        assert len(t) == 1 and t[1] == "y"
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            BTreeMap()[0]
+
+    def test_setdefault(self):
+        t = BTreeMap()
+        assert t.setdefault(1, "a") == "a"
+        assert t.setdefault(1, "b") == "a"
+
+    def test_tuple_keys_sorted_iteration(self):
+        t = BTreeMap()
+        for k in [(2, 1), (1, 9), (1, 2), (3, 0)]:
+            t[k] = None
+        assert list(t) == [(1, 2), (1, 9), (2, 1), (3, 0)]
+
+    def test_min_max(self):
+        t = BTreeMap()
+        for k in [5, 3, 9, 1]:
+            t[k] = k
+        assert t.min_key() == 1 and t.max_key() == 9
+
+    def test_min_max_empty_raise(self):
+        with pytest.raises(KeyError):
+            BTreeMap().min_key()
+        with pytest.raises(KeyError):
+            BTreeMap().max_key()
+
+    def test_min_degree_validation(self):
+        with pytest.raises(ValueError):
+            BTreeMap(min_degree=1)
+
+    def test_init_from_items(self):
+        t = BTreeMap([(i, i * i) for i in range(50)], min_degree=2)
+        assert len(t) == 50 and t[7] == 49
+
+    def test_repr(self):
+        assert "BTreeMap" in repr(BTreeMap())
+
+
+class TestBTreeMapBulk:
+    @pytest.mark.parametrize("min_degree", [2, 3, 16])
+    def test_many_inserts_sorted(self, min_degree):
+        import random
+
+        rnd = random.Random(7)
+        keys = list(range(500))
+        rnd.shuffle(keys)
+        t = BTreeMap(min_degree=min_degree)
+        for k in keys:
+            t[k] = k * 2
+        assert list(t) == sorted(keys)
+        t.check_invariants()
+        assert t.depth() > 1
+
+    @pytest.mark.parametrize("min_degree", [2, 3, 16])
+    def test_delete_half(self, min_degree):
+        t = BTreeMap(min_degree=min_degree)
+        for k in range(300):
+            t[k] = k
+        for k in range(0, 300, 2):
+            del t[k]
+        t.check_invariants()
+        assert list(t) == list(range(1, 300, 2))
+
+    def test_delete_all_then_reuse(self):
+        t = BTreeMap(min_degree=2)
+        for k in range(100):
+            t[k] = k
+        for k in range(100):
+            del t[k]
+        assert len(t) == 0
+        t[5] = "again"
+        assert t[5] == "again"
+
+    def test_delete_missing_raises(self):
+        t = BTreeMap()
+        t[1] = 1
+        with pytest.raises(KeyError):
+            del t[2]
+
+    def test_pop(self):
+        t = BTreeMap()
+        t[1] = "a"
+        assert t.pop(1) == "a"
+        assert t.pop(1, "default") == "default"
+        with pytest.raises(KeyError):
+            t.pop(1)
+
+    def test_discard(self):
+        t = BTreeMap()
+        t[1] = "a"
+        assert t.discard(1) is True
+        assert t.discard(1) is False
+
+
+class TestBTreeRange:
+    def setup_method(self):
+        self.t = BTreeMap(min_degree=3)
+        for k in range(0, 100, 3):  # 0,3,...,99
+            self.t[k] = str(k)
+
+    def test_range_window(self):
+        got = [k for k, _ in self.t.range(10, 31)]
+        assert got == [12, 15, 18, 21, 24, 27, 30]
+
+    def test_range_open_ends(self):
+        assert [k for k, _ in self.t.range()] == list(range(0, 100, 3))
+        assert [k for k, _ in self.t.range(90)] == [90, 93, 96, 99]
+        assert [k for k, _ in self.t.range(None, 7)] == [0, 3, 6]
+
+    def test_range_empty_window(self):
+        assert list(self.t.range(40, 40)) == []
+
+
+@settings(max_examples=60)
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["set", "del"]), KEYS),
+        max_size=200,
+    )
+)
+def test_btree_matches_dict_model(ops):
+    """Property: a BTreeMap behaves exactly like a dict under set/del."""
+    t = BTreeMap(min_degree=2)
+    model = {}
+    for op, k in ops:
+        if op == "set":
+            t[k] = k
+            model[k] = k
+        else:
+            assert t.discard(k) == (model.pop(k, None) is not None)
+    assert len(t) == len(model)
+    assert list(t.items()) == sorted(model.items())
+    t.check_invariants()
+
+
+class TestBTreeSet:
+    def test_add_dedup(self):
+        s = BTreeSet()
+        assert s.add(5) is True
+        assert s.add(5) is False
+        assert len(s) == 1
+
+    def test_init_iterable_and_contains(self):
+        s = BTreeSet([3, 1, 2, 1])
+        assert len(s) == 3
+        assert 2 in s and 9 not in s
+        assert list(s) == [1, 2, 3]
+
+    def test_discard(self):
+        s = BTreeSet([1])
+        assert s.discard(1) is True
+        assert s.discard(1) is False
+        assert not s
+
+    def test_range(self):
+        s = BTreeSet(range(10))
+        assert list(s.range(3, 6)) == [3, 4, 5]
+
+    def test_repr_and_invariants(self):
+        s = BTreeSet(range(64))
+        assert "BTreeSet" in repr(s)
+        s.check_invariants()

@@ -1,0 +1,88 @@
+"""CLI tests (argument parsing and end-to-end command paths)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDatasets:
+    def test_lists_all(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "twitter_like" in out and "stokes" in out
+
+
+class TestRun:
+    def test_sssp(self, capsys):
+        rc = main([
+            "run", "sssp", "--dataset", "topcats", "--ranks", "8",
+            "--scale-shift", "3", "--sources", "0,1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "shortest paths" in out
+        assert "modeled cluster time" in out
+
+    def test_cc(self, capsys):
+        rc = main([
+            "run", "cc", "--dataset", "flickr", "--ranks", "8",
+            "--scale-shift", "4",
+        ])
+        assert rc == 0
+        assert "components" in capsys.readouterr().out
+
+    def test_no_dynamic_join_flag(self, capsys):
+        rc = main([
+            "run", "sssp", "--dataset", "topcats", "--ranks", "4",
+            "--scale-shift", "4", "--no-dynamic-join",
+        ])
+        assert rc == 0
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "sssp", "--dataset", "missing"])
+
+    def test_unknown_query_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "pagerank"])
+
+
+class TestExperiment:
+    def test_fig3(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE_SHIFT", "4")
+        rc = main(["experiment", "fig3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Fig. 3" in out and "regenerated" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+    def test_scale_shift_flag(self, capsys):
+        rc = main(["experiment", "fig3", "--scale-shift", "4"])
+        assert rc == 0
+
+
+class TestQuerySpmd:
+    def test_spmd_flag_matches_bsp(self, capsys, tmp_path):
+        from repro.cli import main
+
+        src = tmp_path / "prog.dl"
+        src.write_text(
+            ".decl e(x, y, w) keys(x)\n"
+            "start(0).\n"
+            ".decl start(n) keys(n)\n"
+            "e(0, 1, 2). e(1, 2, 3).\n"
+            "spath(n, n, 0) :- start(n).\n"
+            "spath(f, t, $min(l + w)) :- spath(f, m, l), e(m, t, w).\n"
+            ".output spath\n"
+        )
+        assert main(["query", str(src), "--ranks", "3"]) == 0
+        bsp_out = capsys.readouterr().out
+        assert main(["query", str(src), "--ranks", "3", "--spmd"]) == 0
+        spmd_out = capsys.readouterr().out
+        bsp_tuples = [l for l in bsp_out.splitlines() if l.startswith("  spath")]
+        spmd_tuples = [l for l in spmd_out.splitlines() if l.startswith("  spath")]
+        assert bsp_tuples == spmd_tuples
+        assert "SPMD engine" in spmd_out

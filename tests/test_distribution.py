@@ -1,0 +1,158 @@
+"""Tests for the double-hash bucket / sub-bucket placement."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.aggregators import MinAggregator
+from repro.relational.distribution import Distribution
+from repro.relational.schema import Schema
+from repro.util.hashing import HashSeed
+
+COL = st.integers(min_value=0, max_value=10**6)
+ROWS = st.lists(st.tuples(COL, COL, COL), min_size=1, max_size=50)
+
+
+def dist(n_ranks=32, join_cols=(0,), n_sub=1, n_dep=0, seed=None):
+    schema = Schema(
+        name="r",
+        arity=3,
+        join_cols=join_cols,
+        n_dep=n_dep,
+        aggregator=MinAggregator() if n_dep else None,
+        n_subbuckets=n_sub,
+    )
+    return Distribution(schema, n_ranks, seed)
+
+
+class TestScalarPlacement:
+    def test_bucket_determined_by_join_cols_only(self):
+        d = dist(join_cols=(0,))
+        assert d.bucket_of((5, 1, 2)) == d.bucket_of((5, 99, 100))
+
+    def test_different_keys_spread(self):
+        d = dist(n_ranks=64)
+        buckets = {d.bucket_of((k, 0, 0)) for k in range(200)}
+        assert len(buckets) > 32  # most ranks touched
+
+    def test_sub_zero_when_disabled(self):
+        d = dist(n_sub=1)
+        assert d.sub_of((1, 2, 3)) == 0
+
+    def test_sub_zero_when_no_other_cols(self):
+        # cc-like schema: all independent columns are join columns
+        schema = Schema(name="cc", arity=2, join_cols=(0,), n_dep=1,
+                        aggregator=MinAggregator(), n_subbuckets=8)
+        d = Distribution(schema, 16)
+        assert d.sub_of((3, 7)) == 0
+
+    def test_owner_sub_zero_is_home(self):
+        d = dist(n_sub=8)
+        for b in range(10):
+            assert d.owner(b, 0) == b
+
+    def test_owner_in_range(self):
+        d = dist(n_ranks=16, n_sub=8)
+        for b in range(16):
+            for s in range(8):
+                assert 0 <= d.owner(b, s) < 16
+
+    def test_bucket_ranks_covers_all_subs(self):
+        d = dist(n_ranks=64, n_sub=4)
+        ranks = d.bucket_ranks(5)
+        assert len(ranks) == 4
+        assert ranks[0] == 5
+
+    def test_rank_pure_function_of_independent_cols(self):
+        # Aggregation correctness: the dependent column must not move a
+        # tuple (the paper's "excluded from the indexing process").
+        d = dist(join_cols=(0,), n_sub=8, n_dep=1)
+        assert d.rank_of((3, 7, 100)) == d.rank_of((3, 7, 5))
+
+    def test_seed_changes_placement(self):
+        d1 = dist(seed=HashSeed())
+        d2 = dist(seed=HashSeed().derive(1))
+        placements1 = [d1.bucket_of((k, 0, 0)) for k in range(100)]
+        placements2 = [d2.bucket_of((k, 0, 0)) for k in range(100)]
+        assert placements1 != placements2
+
+    def test_rejects_zero_ranks(self):
+        with pytest.raises(ValueError):
+            dist(n_ranks=0)
+
+
+class TestVectorizedEquivalence:
+    @given(ROWS, st.sampled_from([1, 3, 8]))
+    def test_rank_of_rows_matches_scalar(self, rows, n_sub):
+        d = dist(n_ranks=17, join_cols=(1,), n_sub=n_sub)
+        arr = np.asarray(rows, dtype=np.int64)
+        vec = d.rank_of_rows(arr)
+        for row, r in zip(rows, vec):
+            assert d.rank_of(row) == int(r)
+
+    @given(ROWS)
+    def test_bucket_sub_of_rows_matches_scalar(self, rows):
+        d = dist(n_ranks=13, join_cols=(0,), n_sub=4)
+        arr = np.asarray(rows, dtype=np.int64)
+        buckets, subs = d.bucket_sub_of_rows(arr)
+        for row, b, s in zip(rows, buckets, subs):
+            assert d.bucket_of(row) == int(b)
+            assert d.sub_of(row) == int(s)
+
+    @given(ROWS)
+    def test_ranks_of_bucket_subs_matches_owner(self, rows):
+        d = dist(n_ranks=11, n_sub=5)
+        arr = np.asarray(rows, dtype=np.int64)
+        buckets, subs = d.bucket_sub_of_rows(arr)
+        ranks = d.ranks_of_bucket_subs(buckets, subs)
+        for b, s, r in zip(buckets, subs, ranks):
+            assert d.owner(int(b), int(s)) == int(r)
+
+    def test_owners_of_buckets_matches_scalar(self):
+        d = dist(n_ranks=29, n_sub=6)
+        buckets = np.arange(29, dtype=np.int64)
+        for s in range(6):
+            vec = d.owners_of_buckets(buckets, s)
+            for b, r in zip(buckets, vec):
+                assert d.owner(int(b), s) == int(r)
+
+    def test_empty_rows(self):
+        d = dist()
+        assert d.rank_of_rows(np.zeros((0, 3), dtype=np.int64)).size == 0
+
+    def test_buckets_of_key_rows_matches_probe_semantics(self):
+        """The send side's hash over probe columns must equal the bucket
+        the inner relation's own tuples were placed by."""
+        shared_seed = HashSeed()
+        # inner: edge(m, t, w) keyed on column 0
+        inner = dist(n_ranks=32, join_cols=(0,), seed=shared_seed)
+        # outer tuples: spath(f, m, l); probe col = 1 (m)
+        outer_rows = np.array([(9, 5, 1), (8, 5, 2), (7, 6, 3)], dtype=np.int64)
+        got = inner.buckets_of_key_rows(outer_rows, (1,))
+        assert got[0] == got[1] == inner.bucket_of((5, 0, 0))
+        assert got[2] == inner.bucket_of((6, 0, 0))
+
+
+class TestBalancing:
+    def test_subbuckets_spread_hot_key(self):
+        """A star graph's hub edges concentrate on one rank without
+        sub-bucketing and spread across ~n_sub ranks with it."""
+        hub_tuples = [(0, leaf, 1) for leaf in range(1, 2000)]
+        arr = np.asarray(hub_tuples, dtype=np.int64)
+
+        d1 = dist(n_ranks=64, n_sub=1)
+        ranks1 = set(d1.rank_of_rows(arr).tolist())
+        assert len(ranks1) == 1
+
+        d8 = dist(n_ranks=64, n_sub=8)
+        ranks8 = set(d8.rank_of_rows(arr).tolist())
+        assert 4 <= len(ranks8) <= 8
+
+    def test_partition_groups_by_rank(self):
+        d = dist(n_ranks=4)
+        groups = d.partition([(i, 0, 0) for i in range(100)])
+        assert sum(len(v) for v in groups.values()) == 100
+        for rank, tuples in groups.items():
+            for t in tuples:
+                assert d.rank_of(t) == rank

@@ -1,0 +1,48 @@
+"""The shipped examples must run clean (their asserts are the checks)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "custom_aggregate.py",
+    "program_analysis.py",
+    "spmd_style.py",
+    "three_engines.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip()  # examples narrate what they did
+
+
+def test_examples_directory_complete():
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {"quickstart.py", "social_media_analytics.py",
+            "pagerank_and_lsp.py"} <= scripts
+    assert len(scripts) >= 5
+
+
+@pytest.mark.slow
+def test_heavy_examples_run():
+    for script in ("pagerank_and_lsp.py", "social_media_analytics.py"):
+        proc = subprocess.run(
+            [sys.executable, str(EXAMPLES / script)],
+            capture_output=True,
+            text=True,
+            timeout=900,
+        )
+        assert proc.returncode == 0, proc.stderr

@@ -1,0 +1,176 @@
+"""Tests for extensions beyond the paper's minimum: multi-column
+aggregates (product lattices) and adaptive spatial load balancing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import Engine, EngineConfig, MAX, MIN, Program, Rel, vars_
+from repro.core.aggregators import (
+    MaxAggregator,
+    MinAggregator,
+    SumAggregator,
+    TupleAggregator,
+)
+from repro.graphs.generators import star
+from repro.lattice.semilattice import Ordering
+from repro.queries.sssp import sssp_program
+
+f, t, m, lo, hi, w, n, x = vars_("f t m lo hi w n x")
+
+
+def span_program():
+    span, edge, start = Rel("span"), Rel("edge"), Rel("start")
+    return Program(
+        rules=[
+            span(n, n, 0, 0) <= start(n),
+            span(f, t, MIN(lo + w), MAX(hi + w))
+            <= (span(f, m, lo, hi), edge(m, t, w)),
+        ],
+        edb={"edge": (3, (0,)), "start": (1, (0,))},
+    )
+
+
+class TestTupleAggregator:
+    def setup_method(self):
+        self.agg = TupleAggregator([MinAggregator(), MaxAggregator()])
+
+    def test_componentwise_join(self):
+        assert self.agg.partial_agg((5, 5), (3, 9)) == (3, 9)
+
+    def test_n_dep_and_name(self):
+        assert self.agg.n_dep == 2
+        assert "min" in self.agg.name and "max" in self.agg.name
+
+    def test_idempotence_propagates(self):
+        assert self.agg.idempotent
+        mixed = TupleAggregator([MinAggregator(), SumAggregator()])
+        assert not mixed.idempotent
+
+    def test_partial_cmp(self):
+        a = self.agg
+        assert a.partial_cmp((3, 9), (3, 9)) is Ordering.EQUAL
+        assert a.partial_cmp((5, 9), (3, 9)) is Ordering.LESS
+        assert a.partial_cmp((3, 9), (5, 9)) is Ordering.GREATER
+        assert a.partial_cmp((3, 5), (5, 9)) is Ordering.INCOMPARABLE
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TupleAggregator([])
+
+        class TwoDep(MinAggregator):
+            n_dep = 2
+
+        with pytest.raises(ValueError):
+            TupleAggregator([TwoDep()])
+
+    @given(
+        st.tuples(st.integers(-99, 99), st.integers(-99, 99)),
+        st.tuples(st.integers(-99, 99), st.integers(-99, 99)),
+        st.tuples(st.integers(-99, 99), st.integers(-99, 99)),
+    )
+    def test_product_lattice_laws(self, a, b, c):
+        j = self.agg.partial_agg
+        assert j(a, a) == a
+        assert j(a, b) == j(b, a)
+        assert j(j(a, b), c) == j(a, j(b, c))
+
+
+class TestMultiAggregateQueries:
+    def test_min_max_span(self):
+        eng = Engine(span_program(), EngineConfig(n_ranks=4))
+        eng.load("edge", [(0, 1, 2), (0, 1, 5), (1, 2, 1)])
+        eng.load("start", [(0,)])
+        res = eng.run()
+        got = {(a, b): (c, d) for a, b, c, d in res.query("span")}
+        assert got[(0, 1)] == (2, 5)    # shortest and longest edge to 1
+        assert got[(0, 2)] == (3, 6)
+
+    def test_schema_inference_for_two_deps(self):
+        eng = Engine(span_program(), EngineConfig(n_ranks=2))
+        schema = eng.compiled.schemas["span"]
+        assert schema.n_dep == 2
+        assert schema.aggregator.n_dep == 2
+        assert schema.join_cols == (1,)
+
+    def test_rank_invariance(self):
+        # NB: the graph must be a DAG — $MAX over path lengths on a cycle
+        # is an infinite-height lattice and correctly never converges
+        # (the paper's finite-height termination condition).
+        results = []
+        for p in (1, 4, 16):
+            eng = Engine(span_program(), EngineConfig(n_ranks=p))
+            eng.load("edge", [(0, 1, 2), (1, 2, 7), (0, 2, 4), (2, 3, 1)])
+            eng.load("start", [(0,)])
+            results.append(eng.run().query("span"))
+        assert results[0] == results[1] == results[2]
+
+    def test_max_on_cycle_hits_iteration_guard(self):
+        eng = Engine(
+            span_program(), EngineConfig(n_ranks=2, max_iterations=16)
+        )
+        eng.load("edge", [(0, 1, 1), (1, 0, 1)])
+        eng.load("start", [(0,)])
+        with pytest.raises(RuntimeError, match="did not converge"):
+            eng.run()
+
+    def test_conflicting_funcs_same_column_rejected(self):
+        bad, e = Rel("bad"), Rel("e")
+        prog = Program(
+            rules=[
+                bad(x, MIN(w)) <= e(x, w),
+                bad(x, MAX(w)) <= e(x, w),
+            ],
+            edb={"e": (2, (0,))},
+        )
+        with pytest.raises(ValueError, match="multiple\\s+functions"):
+            Engine(prog, EngineConfig(n_ranks=2))
+
+
+class TestAutoBalance:
+    def test_skewed_relation_gets_subbuckets(self):
+        g = star(3000).with_unit_weights()
+        eng = Engine(sssp_program(), EngineConfig(n_ranks=32, auto_balance=2.0))
+        eng.load("edge", g.tuples())
+        eng.load("start", [(0,)])
+        res = eng.run()
+        assert eng.store["edge"].schema.n_subbuckets > 1
+        assert res.phase_breakdown().get("balance", 0) > 0
+        assert (0, 7, 1) in res.query("spath")
+
+    def test_balanced_relation_untouched(self):
+        eng = Engine(sssp_program(), EngineConfig(n_ranks=2, auto_balance=4.0))
+        eng.load("edge", [(i, i + 1, 1) for i in range(64)])
+        eng.load("start", [(0,)])
+        eng.run()
+        assert eng.store["edge"].schema.n_subbuckets == 1
+
+    def test_manual_auto_balance_call(self):
+        g = star(2000).with_unit_weights()
+        eng = Engine(sssp_program(), EngineConfig(n_ranks=16))
+        eng.load("edge", g.tuples())
+        n_sub = eng.auto_balance("edge", tolerance=2.0, max_subbuckets=4)
+        assert n_sub == 4
+        assert eng.store["edge"].full_size() == g.n_edges
+
+    def test_empty_relation_noop(self):
+        eng = Engine(sssp_program(), EngineConfig(n_ranks=4))
+        assert eng.auto_balance("edge") == 1
+
+    def test_tolerance_validated(self):
+        with pytest.raises(ValueError, match="auto_balance"):
+            EngineConfig(auto_balance=0.5)
+
+    def test_result_correct_after_balance(self):
+        g = star(500).with_unit_weights()
+        plain = Engine(sssp_program(), EngineConfig(n_ranks=16))
+        plain.load("edge", g.tuples())
+        plain.load("start", [(0,)])
+        expected = plain.run().query("spath")
+
+        balanced = Engine(
+            sssp_program(), EngineConfig(n_ranks=16, auto_balance=1.5)
+        )
+        balanced.load("edge", g.tuples())
+        balanced.load("start", [(0,)])
+        assert balanced.run().query("spath") == expected

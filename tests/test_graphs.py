@@ -1,0 +1,259 @@
+"""Tests for graph generators, datasets, IO, and reference algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.datasets import (
+    DATASETS,
+    TABLE1_ORDER,
+    TABLE2_ORDER,
+    dataset_names,
+    load_dataset,
+)
+from repro.graphs.generators import (
+    chain,
+    complete,
+    erdos_renyi,
+    grid2d,
+    grid3d,
+    ring,
+    rmat,
+    star,
+)
+from repro.graphs.io import read_edgelist, write_edgelist
+from repro.graphs.reference import (
+    UnionFind,
+    connected_components,
+    count_components,
+    dijkstra,
+    pagerank,
+    reachable_from,
+)
+from repro.graphs.types import Graph
+
+
+class TestGraphType:
+    def test_validation_shapes(self):
+        with pytest.raises(ValueError):
+            Graph(edges=np.zeros((2, 4), dtype=np.int64), n_nodes=3)
+
+    def test_validation_range(self):
+        with pytest.raises(ValueError):
+            Graph(edges=np.array([(0, 5)]), n_nodes=3)
+
+    def test_empty_graph(self):
+        g = Graph(edges=np.zeros((0, 2), dtype=np.int64), n_nodes=0)
+        assert g.n_edges == 0 and not g.weighted
+
+    def test_with_weights(self):
+        g = chain(5).with_weights(np.random.default_rng(0), 9)
+        assert g.weighted
+        assert g.edges[:, 2].min() >= 1 and g.edges[:, 2].max() <= 9
+        # idempotent
+        assert g.with_weights(np.random.default_rng(1)) is g
+
+    def test_with_unit_weights(self):
+        g = chain(5).with_unit_weights()
+        assert (g.edges[:, 2] == 1).all()
+
+    def test_symmetrized(self):
+        g = chain(3).symmetrized()
+        assert (1, 0) in {tuple(e) for e in g.edges}
+        # symmetrizing twice is stable
+        assert g.symmetrized().n_edges == g.n_edges
+
+    def test_symmetrized_preserves_weights(self):
+        g = chain(3).with_unit_weights().symmetrized()
+        assert g.weighted and g.n_edges == 4
+
+    def test_deduplicated(self):
+        g = Graph(edges=np.array([(0, 1), (0, 1), (1, 2)]), n_nodes=3)
+        assert g.deduplicated().n_edges == 2
+
+    def test_without_self_loops(self):
+        g = Graph(edges=np.array([(0, 0), (0, 1)]), n_nodes=2)
+        assert g.without_self_loops().n_edges == 1
+
+    def test_degrees_and_skew(self):
+        g = star(10)
+        assert g.max_degree() == 10
+        assert g.degree_skew() > 5
+        assert g.out_degrees()[0] == 10
+
+    def test_tuples(self):
+        assert chain(3).tuples() == [(0, 1), (1, 2)]
+
+
+class TestGenerators:
+    def test_rmat_shape(self):
+        g = rmat(8, 4, seed=0)
+        assert g.n_nodes == 256
+        assert 0 < g.n_edges <= 4 * 256
+        assert (g.edges[:, 0] != g.edges[:, 1]).all()  # no self loops
+
+    def test_rmat_deterministic(self):
+        a, b = rmat(6, 4, seed=5), rmat(6, 4, seed=5)
+        assert np.array_equal(a.edges, b.edges)
+
+    def test_rmat_seed_sensitivity(self):
+        a, b = rmat(6, 4, seed=5), rmat(6, 4, seed=6)
+        assert not np.array_equal(a.edges, b.edges)
+
+    def test_rmat_skewed_vs_uniform(self):
+        skewed = rmat(10, 8, a=0.57, b=0.19, c=0.19, seed=1)
+        uniform = erdos_renyi(1024, skewed.n_edges, seed=1)
+        assert skewed.degree_skew() > 2 * uniform.degree_skew()
+
+    def test_rmat_validation(self):
+        with pytest.raises(ValueError):
+            rmat(0)
+        with pytest.raises(ValueError):
+            rmat(5, a=0.9, b=0.9, c=0.9)
+
+    def test_erdos_renyi(self):
+        g = erdos_renyi(100, 500, seed=0)
+        assert g.n_nodes == 100
+        assert 0 < g.n_edges <= 500
+
+    def test_grid2d_structure(self):
+        g = grid2d(3, 4)
+        assert g.n_nodes == 12
+        # interior connectivity: 2*(r*(c-1) + c*(r-1)) directed edges
+        assert g.n_edges == 2 * (3 * 3 + 4 * 2)
+
+    def test_grid2d_shortcuts(self):
+        base = grid2d(10, 10)
+        more = grid2d(10, 10, shortcuts=50, seed=1)
+        assert more.n_edges > base.n_edges
+
+    def test_grid3d(self):
+        g = grid3d(2, 3, 4)
+        assert g.n_nodes == 24
+        assert count_components(g) == 1
+
+    def test_star_chain_ring_complete(self):
+        assert star(5).n_edges == 5
+        assert chain(5).n_edges == 4
+        assert ring(5).n_edges == 5
+        assert complete(5).n_edges == 20
+
+    def test_generator_validations(self):
+        for bad in (lambda: star(0), lambda: chain(1), lambda: ring(1),
+                    lambda: complete(1), lambda: erdos_renyi(0, 5)):
+            with pytest.raises(ValueError):
+                bad()
+
+
+class TestDatasets:
+    def test_registry_complete(self):
+        assert set(TABLE2_ORDER) <= set(dataset_names())
+        assert set(TABLE1_ORDER) <= set(dataset_names())
+        assert len(DATASETS) == 12
+
+    @pytest.mark.parametrize("name", sorted(DATASETS))
+    def test_all_load_small(self, name):
+        g = load_dataset(name, scale_shift=4, weighted=True)
+        assert g.n_edges > 0
+        assert g.weighted
+        assert g.name == name
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_dataset("nope")
+
+    def test_scale_shift_shrinks(self):
+        big = load_dataset("flickr", scale_shift=2, weighted=False)
+        small = load_dataset("flickr", scale_shift=4, weighted=False)
+        assert small.n_edges < big.n_edges
+
+    def test_deterministic(self):
+        a = load_dataset("wiki", scale_shift=3)
+        b = load_dataset("wiki", scale_shift=3)
+        assert np.array_equal(a.edges, b.edges)
+
+    def test_social_skew_exceeds_mesh(self):
+        social = load_dataset("twitter_like", scale_shift=3, weighted=False)
+        mesh = load_dataset("ml_geer", scale_shift=2, weighted=False)
+        assert social.degree_skew() > 3 * mesh.degree_skew()
+
+
+class TestIO:
+    def test_roundtrip(self, tmp_path):
+        g = rmat(5, 3, seed=0).with_weights(np.random.default_rng(0), 5)
+        path = tmp_path / "edges.tsv"
+        write_edgelist(g, path)
+        g2 = read_edgelist(path)
+        # ids are compacted, so compare canonical structure sizes
+        assert g2.n_edges == g.n_edges
+        assert g2.weighted
+
+    def test_read_compacts_ids(self, tmp_path):
+        path = tmp_path / "e.tsv"
+        path.write_text("100\t200\n200\t300\n")
+        g = read_edgelist(path)
+        assert g.n_nodes == 3
+        assert g.edges.max() == 2
+
+    def test_read_comments_and_empty(self, tmp_path):
+        path = tmp_path / "e.tsv"
+        path.write_text("# header\n1\t2\n")
+        assert read_edgelist(path).n_edges == 1
+
+    def test_read_bad_columns(self, tmp_path):
+        path = tmp_path / "e.tsv"
+        path.write_text("1\t2\t3\t4\n")
+        with pytest.raises(ValueError):
+            read_edgelist(path)
+
+
+class TestReferenceAlgorithms:
+    """Cross-checks with networkx (available as a dev dependency)."""
+
+    def test_dijkstra_vs_networkx(self):
+        nx = pytest.importorskip("networkx")
+        g = rmat(6, 4, seed=3).with_weights(np.random.default_rng(1), 10)
+        G = nx.DiGraph()
+        for u, v, w in g.edges:
+            if G.has_edge(int(u), int(v)):
+                G[int(u)][int(v)]["weight"] = min(G[int(u)][int(v)]["weight"], int(w))
+            else:
+                G.add_edge(int(u), int(v), weight=int(w))
+        expected = nx.single_source_dijkstra_path_length(G, 0)
+        got = dijkstra(g, 0)
+        assert got == {k: int(v) for k, v in expected.items()} | {0: 0}
+
+    def test_components_vs_networkx(self):
+        nx = pytest.importorskip("networkx")
+        g = erdos_renyi(60, 80, seed=2)
+        G = nx.Graph()
+        G.add_nodes_from(range(60))
+        G.add_edges_from((int(u), int(v)) for u, v in g.edges)
+        assert count_components(g) == nx.number_connected_components(G)
+
+    def test_pagerank_vs_networkx(self):
+        nx = pytest.importorskip("networkx")
+        g = rmat(6, 4, seed=1)
+        G = nx.DiGraph()
+        G.add_nodes_from(range(g.n_nodes))
+        G.add_edges_from((int(u), int(v)) for u, v in g.edges)
+        expected = nx.pagerank(G, alpha=0.85, max_iter=200, tol=1e-12)
+        got = pagerank(g, iterations=100)
+        err = max(abs(got[v] - expected[v]) for v in range(g.n_nodes))
+        assert err < 1e-3
+
+    def test_union_find(self):
+        uf = UnionFind(5)
+        assert uf.union(0, 1)
+        assert not uf.union(1, 0)
+        assert uf.find(0) == uf.find(1)
+        assert uf.find(2) != uf.find(0)
+
+    def test_reachable_from(self):
+        g = chain(5)
+        assert reachable_from(g, [2]) == {2, 3, 4}
+
+    def test_connected_components_min_rep(self):
+        g = Graph(edges=np.array([(3, 4), (4, 5)]), n_nodes=6)
+        labels = connected_components(g)
+        assert labels[5] == 3
+        assert labels[0] == 0  # isolated nodes are their own component

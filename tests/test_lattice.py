@@ -1,0 +1,160 @@
+"""Property tests: the semilattice laws recursive aggregation relies on."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lattice.semilattice import (
+    BoolOrLattice,
+    BoundedCountLattice,
+    MaxLattice,
+    MinLattice,
+    Ordering,
+    ProductLattice,
+    Semilattice,
+    SetUnionLattice,
+)
+
+INTS = st.integers(min_value=-10**6, max_value=10**6)
+SETS = st.frozensets(st.integers(min_value=0, max_value=20), max_size=6)
+BOOLS = st.booleans()
+COUNTS = st.integers(min_value=0, max_value=100)
+
+LATTICE_CASES = [
+    (MinLattice(), INTS),
+    (MaxLattice(), INTS),
+    (BoolOrLattice(), BOOLS),
+    (SetUnionLattice(), SETS),
+    (BoundedCountLattice(100), COUNTS),
+]
+
+
+@pytest.mark.parametrize("lattice,strategy", LATTICE_CASES,
+                         ids=lambda x: type(x).__name__ if isinstance(x, Semilattice) else "")
+class TestSemilatticeLaws:
+    @given(data=st.data())
+    def test_idempotent(self, lattice, strategy, data):
+        a = data.draw(strategy)
+        assert lattice.join(a, a) == a
+
+    @given(data=st.data())
+    def test_commutative(self, lattice, strategy, data):
+        a, b = data.draw(strategy), data.draw(strategy)
+        assert lattice.join(a, b) == lattice.join(b, a)
+
+    @given(data=st.data())
+    def test_associative(self, lattice, strategy, data):
+        a, b, c = (data.draw(strategy) for _ in range(3))
+        assert lattice.join(lattice.join(a, b), c) == lattice.join(
+            a, lattice.join(b, c)
+        )
+
+    @given(data=st.data())
+    def test_join_is_upper_bound(self, lattice, strategy, data):
+        a, b = data.draw(strategy), data.draw(strategy)
+        j = lattice.join(a, b)
+        assert lattice.leq(a, j) and lattice.leq(b, j)
+
+    @given(data=st.data())
+    def test_leq_consistent_with_join(self, lattice, strategy, data):
+        a, b = data.draw(strategy), data.draw(strategy)
+        assert lattice.leq(a, b) == (lattice.join(a, b) == b)
+
+    @given(data=st.data())
+    def test_compare_matches_leq(self, lattice, strategy, data):
+        a, b = data.draw(strategy), data.draw(strategy)
+        cmp = lattice.compare(a, b)
+        if cmp is Ordering.EQUAL:
+            assert a == b or (lattice.leq(a, b) and lattice.leq(b, a))
+        elif cmp is Ordering.LESS:
+            assert lattice.leq(a, b) and not lattice.leq(b, a)
+        elif cmp is Ordering.GREATER:
+            assert lattice.leq(b, a) and not lattice.leq(a, b)
+        else:
+            assert not lattice.leq(a, b) and not lattice.leq(b, a)
+
+    @given(data=st.data())
+    def test_bottom_is_identity(self, lattice, strategy, data):
+        bottom = lattice.bottom
+        if bottom is None:
+            return
+        a = data.draw(strategy)
+        assert lattice.join(bottom, a) == a
+
+
+class TestSpecificLattices:
+    def test_min_lattice_direction(self):
+        # "higher" in the MIN lattice means numerically smaller
+        lat = MinLattice()
+        assert lat.join(3, 5) == 3
+        assert lat.leq(5, 3)          # 5 ≤ 3 in lattice order
+        assert not lat.leq(3, 5)
+
+    def test_max_lattice_direction(self):
+        lat = MaxLattice()
+        assert lat.join(3, 5) == 5
+        assert lat.leq(3, 5)
+
+    def test_bool_or(self):
+        lat = BoolOrLattice()
+        assert lat.join(False, True) is True
+        assert lat.bottom is False
+        assert lat.validate(True) and not lat.validate(1)
+
+    def test_set_union_incomparable(self):
+        lat = SetUnionLattice()
+        assert lat.compare(frozenset({1}), frozenset({2})) is Ordering.INCOMPARABLE
+        assert lat.bottom == frozenset()
+
+    def test_bounded_count_saturates(self):
+        lat = BoundedCountLattice(10)
+        assert lat.join(8, 15) == 10
+        assert lat.bottom == 0
+        assert lat.validate(10) and not lat.validate(11)
+
+    def test_bounded_count_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError):
+            BoundedCountLattice(0)
+
+
+class TestProductLattice:
+    def setup_method(self):
+        self.lat = ProductLattice([MinLattice(), MaxLattice()])
+
+    def test_pointwise_join(self):
+        assert self.lat.join((3, 3), (5, 5)) == (3, 5)
+
+    def test_leq_pointwise(self):
+        assert self.lat.leq((5, 1), (3, 2))
+        assert not self.lat.leq((3, 1), (5, 2))  # first slot went down-lattice
+
+    def test_incomparable(self):
+        assert self.lat.compare((1, 1), (2, 2)) is Ordering.INCOMPARABLE
+
+    def test_bottom_none_when_component_unbounded(self):
+        assert self.lat.bottom is None
+        both = ProductLattice([BoolOrLattice(), BoundedCountLattice(5)])
+        assert both.bottom == (False, 0)
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            self.lat.join((1,), (2, 3))
+
+    def test_empty_components_rejected(self):
+        with pytest.raises(ValueError):
+            ProductLattice([])
+
+    @given(
+        st.tuples(INTS, INTS), st.tuples(INTS, INTS), st.tuples(INTS, INTS)
+    )
+    def test_product_laws(self, a, b, c):
+        j = self.lat.join
+        assert j(a, a) == a
+        assert j(a, b) == j(b, a)
+        assert j(j(a, b), c) == j(a, j(b, c))
+
+    def test_validate(self):
+        lat = ProductLattice([BoolOrLattice(), BoolOrLattice()])
+        assert lat.validate((True, False))
+        assert not lat.validate((True,))
+        assert not lat.validate([True, False])

@@ -1,0 +1,211 @@
+"""Tests for fused dedup + local aggregation (the paper's §III-A core)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.aggregators import MaxAggregator, MinAggregator, SumAggregator
+from repro.core.local_agg import (
+    AbsorbStats,
+    AggregateShard,
+    PlainShard,
+    make_shard,
+)
+from repro.relational.schema import Schema
+
+
+def plain_schema():
+    return Schema(name="p", arity=2, join_cols=(0,))
+
+
+def min_schema():
+    # spath-like: (from, to, dist); keyed on column 1
+    return Schema(name="spath", arity=3, join_cols=(1,), n_dep=1,
+                  aggregator=MinAggregator())
+
+
+class TestPlainShard:
+    def test_absorb_dedups(self):
+        s = PlainShard(plain_schema())
+        stats = AbsorbStats()
+        assert s.absorb([(1, 2), (1, 2), (1, 3)], stats) == 2
+        assert stats.received == 3
+        assert stats.admitted == 2
+        assert stats.suppressed == 1
+        assert s.full_size() == 2
+
+    def test_delta_lifecycle(self):
+        s = PlainShard(plain_schema())
+        s.absorb([(1, 2)])
+        assert s.delta_size() == 0  # not yet advanced
+        assert s.advance() == 1
+        assert set(s.iter_delta()) == {(1, 2)}
+        s.absorb([(1, 2), (5, 6)])  # (1,2) suppressed
+        assert s.advance() == 1
+        assert set(s.iter_delta()) == {(5, 6)}
+
+    def test_probe_full(self):
+        s = PlainShard(plain_schema())
+        s.absorb([(1, 2), (1, 3), (4, 5)])
+        assert sorted(s.probe_full((1,))) == [(1, 2), (1, 3)]
+        assert list(s.probe_full((9,))) == []
+        assert s.count_full((1,)) == 2
+
+    def test_probe_delta(self):
+        s = PlainShard(plain_schema())
+        s.absorb([(1, 2)])
+        s.advance()
+        assert list(s.probe_delta((1,))) == [(1, 2)]
+
+    def test_collect(self):
+        s = PlainShard(plain_schema())
+        out = []
+        s.absorb([(1, 2), (1, 2), (3, 4)], collect=out)
+        assert sorted(out) == [(1, 2), (3, 4)]
+
+    def test_seed_delta_from_full(self):
+        s = PlainShard(plain_schema())
+        s.absorb([(1, 2), (3, 4)])
+        s.seed_delta_from_full()
+        assert set(s.iter_delta()) == {(1, 2), (3, 4)}
+
+
+class TestAggregateShard:
+    def test_requires_aggregator(self):
+        with pytest.raises(ValueError):
+            AggregateShard(plain_schema())
+
+    def test_first_tuple_admitted(self):
+        s = AggregateShard(min_schema())
+        assert s.absorb([(0, 1, 10)]) == 1
+        assert s.full_size() == 1
+
+    def test_improvement_updates_accumulator(self):
+        s = AggregateShard(min_schema())
+        s.absorb([(0, 1, 10)])
+        assert s.absorb([(0, 1, 7)]) == 1
+        assert set(s.iter_full()) == {(0, 1, 7)}
+        assert s.full_size() == 1  # still one group
+
+    def test_non_improvement_suppressed(self):
+        """Paper Fig. 1: (1,4,5) arriving over stored (1,4,2) does nothing."""
+        s = AggregateShard(min_schema())
+        s.absorb([(1, 4, 2)])
+        s.advance()
+        stats = AbsorbStats()
+        assert s.absorb([(1, 4, 5)], stats) == 0
+        assert stats.suppressed == 1
+        assert s.advance() == 0  # nothing enters delta
+        assert set(s.iter_full()) == {(1, 4, 2)}
+
+    def test_delta_carries_improved_value(self):
+        s = AggregateShard(min_schema())
+        s.absorb([(0, 1, 10), (0, 1, 4)])  # both in one batch
+        s.advance()
+        assert set(s.iter_delta()) == {(0, 1, 4)}
+
+    def test_groups_with_same_join_key_independent(self):
+        s = AggregateShard(min_schema())
+        # same join col (to=5), different from -> distinct groups
+        s.absorb([(1, 5, 10), (2, 5, 20)])
+        assert s.full_size() == 2
+        assert sorted(s.probe_full((5,))) == [(1, 5, 10), (2, 5, 20)]
+
+    def test_collect_materializes_merged_tuple(self):
+        s = AggregateShard(min_schema())
+        out = []
+        s.absorb([(0, 1, 10)], collect=out)
+        s.absorb([(0, 1, 3)], collect=out)
+        assert out == [(0, 1, 10), (0, 1, 3)]
+
+    def test_lookup(self):
+        s = AggregateShard(min_schema())
+        s.absorb([(0, 1, 10)])
+        assert s.lookup((0, 1)) == (10,)
+        assert s.lookup((9, 9)) is None
+
+    def test_max_aggregation(self):
+        schema = Schema(name="m", arity=2, join_cols=(0,), n_dep=1,
+                        aggregator=MaxAggregator())
+        s = AggregateShard(schema)
+        s.absorb([(1, 5), (1, 9), (1, 2)])
+        assert set(s.iter_full()) == {(1, 9)}
+
+    def test_fold_sum_always_admits(self):
+        schema = Schema(name="s", arity=2, join_cols=(0,), n_dep=1,
+                        aggregator=SumAggregator())
+        s = AggregateShard(schema)
+        assert s.absorb([(1, 5), (1, 7)]) == 2
+        assert set(s.iter_full()) == {(1, 12)}
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 3),
+                st.integers(0, 3),
+                st.integers(0, 100),
+            ),
+            min_size=1,
+            max_size=60,
+        ),
+        st.randoms(),
+    )
+    def test_order_insensitive_final_state(self, tuples, rnd):
+        """Property: absorb order never changes the final accumulators —
+        the invariant that makes unordered network delivery safe."""
+        a = AggregateShard(min_schema())
+        a.absorb(tuples)
+        shuffled = list(tuples)
+        rnd.shuffle(shuffled)
+        b = AggregateShard(min_schema())
+        for t in shuffled:
+            b.absorb([t])  # one at a time, different batching
+        assert set(a.iter_full()) == set(b.iter_full())
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 2), st.integers(0, 2), st.integers(0, 50)),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_accumulator_is_group_min(self, tuples):
+        s = AggregateShard(min_schema())
+        s.absorb(tuples)
+        expected = {}
+        for f, t, d in tuples:
+            expected[(f, t)] = min(expected.get((f, t), d), d)
+        got = {(f, t): d for f, t, d in s.iter_full()}
+        assert got == expected
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 2), st.integers(0, 2), st.integers(0, 50)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_reabsorb_is_noop(self, tuples):
+        """Dedup fusion: re-delivering everything changes nothing."""
+        s = AggregateShard(min_schema())
+        s.absorb(tuples)
+        s.advance()
+        state = set(s.iter_full())
+        stats = AbsorbStats()
+        s.absorb(list(state), stats)
+        assert stats.admitted == 0
+        assert set(s.iter_full()) == state
+
+
+class TestMakeShard:
+    def test_plain(self):
+        assert isinstance(make_shard(plain_schema()), PlainShard)
+
+    def test_aggregate(self):
+        assert isinstance(make_shard(min_schema()), AggregateShard)
+
+    def test_btree_backend(self):
+        s = make_shard(min_schema(), use_btree=True)
+        s.absorb([(0, 5, 1), (0, 3, 2), (0, 4, 3)])
+        # B-tree outer index iterates join keys in sorted order
+        assert [t[1] for t in s.iter_full()] == [3, 4, 5]

@@ -1,0 +1,91 @@
+"""Tests for the metrics/plotting package and failure injection."""
+
+import numpy as np
+import pytest
+
+from repro import Engine, EngineConfig
+from repro.comm.simcluster import SimCluster
+from repro.graphs.generators import rmat
+from repro.metrics import ascii_cdf, ascii_plot
+from repro.queries.sssp import sssp_program
+
+
+class TestAsciiPlot:
+    def test_marks_all_series(self):
+        out = ascii_plot(
+            {"a": {1: 1.0, 2: 2.0}, "b": {1: 2.0, 2: 1.0}},
+            width=20, height=6,
+        )
+        assert "o = a" in out and "x = b" in out
+        assert "o" in out.splitlines()[0] + out.splitlines()[-3]
+
+    def test_log_x(self):
+        out = ascii_plot(
+            {"s": {256: 1.0, 16384: 0.1}}, logx=True, width=30, height=5
+        )
+        assert "[log x]" in out
+        assert "256" in out and "16384" in out
+
+    def test_log_x_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"s": {0: 1.0, 2: 2.0}}, logx=True)
+
+    def test_empty(self):
+        assert ascii_plot({}) == "(no data)"
+
+    def test_title_and_label(self):
+        out = ascii_plot({"s": {1: 1.0}}, title="T", y_label="Y")
+        assert out.startswith("T")
+        assert "y: Y" in out
+
+    def test_constant_series(self):
+        out = ascii_plot({"s": {1: 5.0, 2: 5.0}}, width=10, height=4)
+        assert out.count("o") >= 2
+
+
+class TestAsciiCdf:
+    def test_renders(self):
+        out = ascii_cdf([1, 1, 2, 3, 10], width=20, height=5, title="CDF")
+        assert out.startswith("CDF")
+        assert "fraction of ranks" in out
+
+    def test_empty(self):
+        assert ascii_cdf([]) == "(no data)"
+
+
+class TestMessageReordering:
+    """Failure injection: network arrival order must not matter."""
+
+    def test_cluster_shuffles_delivery(self):
+        c = SimCluster(2, reorder_seed=0)
+        payload = list(range(50))
+        shuffled_any = False
+        for _ in range(5):
+            recv = c.alltoallv({0: {1: list(payload)}}, arity=1)
+            if recv[1] != payload:
+                shuffled_any = True
+        assert shuffled_any
+
+    def test_engine_results_invariant_under_reordering(self):
+        g = rmat(6, 4, seed=2).with_weights(np.random.default_rng(1), 9)
+
+        def run(seed):
+            e = Engine(
+                sssp_program(),
+                EngineConfig(n_ranks=8, reorder_messages_seed=seed),
+            )
+            e.load("edge", g.tuples())
+            e.load("start", [(0,)])
+            return e.run().query("spath")
+
+        baseline = run(None)
+        assert run(11) == baseline
+        assert run(22) == baseline
+
+    def test_cc_invariant_under_reordering(self):
+        from repro.queries.cc import run_cc
+
+        g = rmat(5, 4, seed=7)
+        a = run_cc(g, EngineConfig(n_ranks=8))
+        b = run_cc(g, EngineConfig(n_ranks=8, reorder_messages_seed=3))
+        assert a.labels == b.labels

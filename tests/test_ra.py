@@ -1,0 +1,122 @@
+"""Tests for the local relational-algebra kernels."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.relational.ra import (
+    cartesian,
+    difference,
+    fixpoint,
+    join,
+    project,
+    rename,
+    select,
+    select_eq,
+    semi_naive_step,
+    union,
+)
+
+R = frozenset({(1, 2), (1, 3), (2, 3)})
+S = frozenset({(2, 10), (3, 20), (4, 30)})
+
+RELS = st.frozensets(
+    st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=12
+)
+
+
+class TestOperators:
+    def test_select(self):
+        assert select(R, lambda t: t[0] == 1) == {(1, 2), (1, 3)}
+
+    def test_select_eq(self):
+        assert select_eq(R, 1, 3) == {(1, 3), (2, 3)}
+
+    def test_project_drops_and_dedups(self):
+        assert project(R, (0,)) == {(1,), (2,)}
+
+    def test_project_reorders_and_duplicates(self):
+        assert project(frozenset({(1, 2)}), (1, 0, 1)) == {(2, 1, 2)}
+
+    def test_rename_is_permutation(self):
+        assert rename(R, (1, 0)) == {(2, 1), (3, 1), (3, 2)}
+        with pytest.raises(ValueError):
+            rename(R, (0, 0))
+
+    def test_union_and_difference(self):
+        assert union(R, {(9, 9)}) == R | {(9, 9)}
+        assert difference(R, {(1, 2)}) == R - {(1, 2)}
+
+    def test_union_arity_check(self):
+        with pytest.raises(ValueError):
+            union(R, {(1, 2, 3)})
+
+    def test_cartesian(self):
+        assert cartesian({(1,)}, {(2, 3)}) == {(1, 2, 3)}
+
+    def test_join_basic(self):
+        # R(a, b) ⋈ S(b, c) on b
+        got = join(R, S, on=[(1, 0)])
+        assert got == {(1, 2, 10), (1, 3, 20), (2, 3, 20)}
+
+    def test_join_needs_pairs(self):
+        with pytest.raises(ValueError):
+            join(R, S, on=[])
+
+    def test_join_multi_column(self):
+        a = {(1, 2, 7), (1, 3, 8)}
+        b = {(2, 1, 100), (3, 1, 200), (3, 9, 300)}
+        got = join(a, b, on=[(0, 1), (1, 0)])
+        assert got == {(1, 2, 7, 100), (1, 3, 8, 200)}
+
+    @given(RELS, RELS)
+    def test_union_commutative_idempotent(self, a, b):
+        assert union(a, b) == union(b, a)
+        assert union(a, a) == frozenset(a)
+
+    @given(RELS)
+    def test_project_then_rename_roundtrip(self, rel):
+        assert rename(rename(rel, (1, 0)), (1, 0)) == frozenset(rel)
+
+
+class TestFixpoint:
+    def test_transitive_closure_matches_engine_semantics(self):
+        edge = frozenset({(0, 1), (1, 2), (2, 3)})
+
+        def step(delta, full):
+            # Π(x, z)(Δ(x, y) ⋈ Edge(y, z)) — the paper's §II-A plan
+            return project(join(delta, edge, on=[(1, 0)]), (0, 2))
+
+        tc = fixpoint(edge, step)
+        assert (0, 3) in tc and (0, 2) in tc
+        assert len(tc) == 6
+
+    def test_semi_naive_step_returns_delta(self):
+        edge = frozenset({(0, 1), (1, 2)})
+        full, new = semi_naive_step(
+            edge, edge,
+            lambda d, f: project(join(d, edge, on=[(1, 0)]), (0, 2)),
+        )
+        assert new == {(0, 2)}
+        assert full == edge | {(0, 2)}
+
+    def test_fixpoint_guard(self):
+        grow = lambda d, f: {(t[0] + 1, t[1]) for t in d}
+        with pytest.raises(RuntimeError):
+            fixpoint({(0, 0)}, grow, max_iterations=10)
+
+    def test_fixpoint_agrees_with_distributed_engine(self):
+        from repro import Engine, EngineConfig
+        from repro.queries.reachability import tc_program
+
+        edges = [(0, 1), (1, 2), (2, 0), (3, 0)]
+        eng = Engine(tc_program(), EngineConfig(n_ranks=4))
+        eng.load("edge", edges)
+        expected = eng.run().query("path")
+
+        edge_rel = frozenset(edges)
+        tc = fixpoint(
+            edge_rel,
+            lambda d, f: project(join(d, edge_rel, on=[(1, 0)]), (0, 2)),
+        )
+        assert tc == expected

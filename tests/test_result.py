@@ -1,0 +1,51 @@
+"""Tests for FixpointResult accessors and the engine's explain()."""
+
+from repro import Engine, EngineConfig
+from repro.queries.sssp import sssp_program
+from repro.runtime.result import IterationTrace
+
+
+def _run():
+    eng = Engine(sssp_program(), EngineConfig(n_ranks=4))
+    eng.load("edge", [(0, 1, 1), (1, 2, 1)])
+    eng.load("start", [(0,)])
+    return eng, eng.run()
+
+
+class TestFixpointResult:
+    def test_query(self):
+        _, res = _run()
+        assert res.query("spath") == {(0, 0, 0), (0, 1, 1), (0, 2, 2)}
+
+    def test_modeled_matches_ledger(self):
+        _, res = _run()
+        assert res.modeled_seconds() == res.ledger.total_seconds()
+
+    def test_phase_breakdown_is_copy(self):
+        _, res = _run()
+        breakdown = res.phase_breakdown()
+        breakdown["comm"] = -1
+        assert res.phase_breakdown()["comm"] != -1
+
+    def test_trace_entries_typed(self):
+        _, res = _run()
+        assert all(isinstance(t, IterationTrace) for t in res.trace)
+        assert sum(t.admitted for t in res.trace) == res.counters["admitted"]
+
+
+class TestExplain:
+    def test_explain_mentions_placement_and_rules(self):
+        eng, _ = _run()
+        text = eng.explain()
+        assert "spath" in text
+        assert "bucket=hash" in text
+        assert "min over cols" in text
+        assert "Algorithm-1 vote" in text
+        assert "recursive" in text
+
+    def test_explain_static_layout(self):
+        eng = Engine(
+            sssp_program(),
+            EngineConfig(n_ranks=2, dynamic_join=False, static_outer="right"),
+        )
+        assert "static outer = right" in eng.explain()

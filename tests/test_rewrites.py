@@ -1,0 +1,165 @@
+"""Tests for the compiler rewrites: n-ary chain decomposition and
+automatic secondary-index copies."""
+
+import pytest
+
+from repro import Engine, EngineConfig, MIN, Program, Rel, vars_
+from repro.planner.compile_rules import (
+    add_index_copies,
+    compile_program,
+    decompose_program,
+)
+from repro.planner.interpreter import interpret
+
+x, y, z, w, m, l, n = vars_("x y z w m l n")
+
+
+def run(prog, facts, n_ranks=5, **cfg):
+    eng = Engine(prog, EngineConfig(n_ranks=n_ranks, **cfg))
+    for name, rows in facts.items():
+        eng.load(name, rows)
+    return eng.run()
+
+
+class TestChainDecomposition:
+    def test_two_atom_rules_untouched(self):
+        e = Rel("e")
+        prog = Program(rules=[Rel("r")(x, z) <= (e(x, y), e(y, z))],
+                       edb={"e": (2, (0,))})
+        assert decompose_program(prog) is prog
+
+    def test_three_atoms_produce_one_aux(self):
+        a, b, c = Rel("a"), Rel("b"), Rel("c")
+        prog = Program(
+            rules=[Rel("r")(x, w) <= (a(x, y), b(y, z), c(z, w))],
+            edb={"a": (2, (0,)), "b": (2, (0,)), "c": (2, (0,))},
+        )
+        rewritten = decompose_program(prog)
+        assert len(rewritten.rules) == 2
+        aux = rewritten.rules[0].head
+        assert aux.relation.startswith("__aux")
+        # the aux carries exactly the variables the rest still needs
+        assert {t.name for t in aux.terms} == {"x", "z"}
+
+    def test_four_atom_chain(self):
+        a = Rel("a")
+        prog = Program(
+            rules=[
+                Rel("r")(x) <= (a(x, y), a(y, z), a(z, w), a(w, x)),
+            ],
+            edb={"a": (2, (0,))},
+        )
+        rewritten = decompose_program(prog)
+        assert len(rewritten.rules) == 3
+
+    def test_disconnected_chain_rejected(self):
+        a, b, c = Rel("a"), Rel("b"), Rel("c")
+        prog = Program(
+            rules=[Rel("r")(x, z) <= (a(x), b(z), c(x, z))],
+            edb={"a": (1, (0,)), "b": (1, (0,)), "c": (2, (0,))},
+        )
+        with pytest.raises(ValueError, match="no variables connect|shared variable"):
+            compile_program(prog)
+
+    def test_four_cycle_query_end_to_end(self):
+        a = Rel("a")
+        prog = Program(
+            rules=[Rel("sq")(x) <= (a(x, y), a(y, z), a(z, w), a(w, x))],
+            edb={"a": (2, (0,))},
+        )
+        edges = [(0, 1), (1, 2), (2, 3), (3, 0), (1, 0)]
+        oracle = interpret(prog, {"a": edges})
+        res = run(prog, {"a": edges})
+        assert res.query("sq") == oracle["sq"]
+        assert (0,) in res.query("sq")
+
+    def test_aggregate_stays_in_final_head(self):
+        cost, e = Rel("cost"), Rel("e")
+        prog = Program(
+            rules=[
+                cost(x, MIN(l + w)) <= (cost(x, l), e(x, y), Rel("wt")(y, w)),
+            ],
+            edb={"e": (2, (0,)), "wt": (2, (0,))},
+        )
+        rewritten = decompose_program(prog)
+        assert rewritten.rules[0].head.agg_terms() == ()
+        assert rewritten.rules[-1].head.agg_terms() != ()
+
+
+class TestIndexCopies:
+    def test_self_join_tc_variant(self):
+        """path(x,z) ← path(x,y), path(y,z): joins path on both columns."""
+        path, e = Rel("path"), Rel("e")
+        prog = Program(
+            rules=[
+                path(x, y) <= e(x, y),
+                path(x, z) <= (path(x, y), path(y, z)),
+            ],
+            edb={"e": (2, (0,))},
+        )
+        edges = [(0, 1), (1, 2), (2, 3)]
+        oracle = interpret(prog, {"e": edges})
+        res = run(prog, {"e": edges})
+        assert res.query("path") == oracle["path"]
+        assert (0, 3) in res.query("path")
+
+    def test_copy_schema_keyed_for_secondary_path(self):
+        path, e = Rel("path"), Rel("e")
+        prog = Program(
+            rules=[
+                path(x, y) <= e(x, y),
+                path(x, z) <= (path(x, y), path(y, z)),
+            ],
+            edb={"e": (2, (0,))},
+        )
+        cp = compile_program(prog)
+        copies = [n for n in cp.schemas if n.startswith("__idx_path")]
+        assert len(copies) == 1
+        base_key = cp.schemas["path"].join_cols
+        copy_key = cp.schemas[copies[0]].join_cols
+        assert {base_key, copy_key} == {(0,), (1,)}
+
+    def test_aggregate_copy_keeps_aggregator(self):
+        """A secondary index over an aggregate relation must fold the same
+        lattice — never store stale partial values."""
+        spath, e, probe2 = Rel("spath"), Rel("e"), Rel("probe2")
+        f, t = vars_("f t")
+        prog = Program(
+            rules=[
+                spath(n, n, 0) <= Rel("start")(n),
+                spath(f, t, MIN(l + w)) <= (spath(f, m, l), e(m, t, w)),
+                # second access path: spath keyed by its first column
+                probe2(f, m) <= (spath(f, m, l), Rel("seed")(f)),
+            ],
+            edb={"e": (3, (0,)), "start": (1, (0,)), "seed": (1, (0,))},
+        )
+        cp = compile_program(prog)
+        copies = [n for n in cp.schemas if n.startswith("__idx_spath")]
+        assert len(copies) == 1
+        copy_schema = cp.schemas[copies[0]]
+        assert copy_schema.is_aggregate
+        assert copy_schema.aggregator.name == "min"
+        # end-to-end: the copy holds exactly the final accumulators
+        facts = {"e": [(0, 1, 5), (1, 2, 1), (0, 2, 9)],
+                 "start": [(0,)], "seed": [(0,)]}
+        res = run(prog, facts)
+        assert res.query(copies[0]) == res.query("spath")
+        assert res.query("probe2") == {(0, 1), (0, 2), (0, 0)}
+
+    def test_no_copies_when_keys_agree(self):
+        from repro.queries.sssp import sssp_program
+
+        cp = compile_program(sssp_program())
+        assert not any(n.startswith("__idx") for n in cp.schemas)
+
+    def test_parser_n_ary_rule(self):
+        from repro.planner.parser import parse_program
+
+        parsed = parse_program(
+            ".decl e(x, y) keys(x)\n"
+            "e(0,1). e(1,2). e(2,0).\n"
+            "tri(x, y, z) :- e(x, y), e(y, z), e(z, x).\n"
+            ".output tri\n"
+        )
+        res = run(parsed.program, parsed.facts)
+        assert (0, 1, 2) in res.query("tri")

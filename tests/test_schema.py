@@ -1,0 +1,102 @@
+"""Tests for relation schemas and the split/merge tuple layout."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.aggregators import MinAggregator
+from repro.relational.schema import Schema
+
+COL = st.integers(min_value=0, max_value=10**9)
+
+
+def plain(name="r", arity=3, join_cols=(0,), n_subbuckets=1):
+    return Schema(name=name, arity=arity, join_cols=join_cols,
+                  n_subbuckets=n_subbuckets)
+
+
+def agg(name="a", arity=3, join_cols=(1,), n_dep=1):
+    return Schema(name=name, arity=arity, join_cols=join_cols, n_dep=n_dep,
+                  aggregator=MinAggregator())
+
+
+class TestValidation:
+    def test_plain_ok(self):
+        s = plain()
+        assert not s.is_aggregate
+        assert s.n_indep == 3
+        assert s.other_cols == (1, 2)
+
+    def test_aggregate_ok(self):
+        s = agg()
+        assert s.is_aggregate
+        assert s.dep_cols == (2,)
+        assert s.other_cols == (0,)
+
+    def test_zero_arity_rejected(self):
+        with pytest.raises(ValueError):
+            plain(arity=0, join_cols=())
+
+    def test_join_col_in_dep_region_rejected(self):
+        # the paper's core restriction: dependent columns are never hashed
+        with pytest.raises(ValueError, match="never hashed"):
+            Schema(name="x", arity=3, join_cols=(2,), n_dep=1,
+                   aggregator=MinAggregator())
+
+    def test_duplicate_join_cols_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            plain(join_cols=(0, 0))
+
+    def test_aggregator_required_iff_dep(self):
+        with pytest.raises(ValueError, match="aggregator"):
+            Schema(name="x", arity=2, join_cols=(0,), n_dep=1)
+        with pytest.raises(ValueError, match="aggregator"):
+            Schema(name="x", arity=2, join_cols=(0,), n_dep=0,
+                   aggregator=MinAggregator())
+
+    def test_n_dep_equal_arity_is_global_aggregate(self):
+        s = Schema(name="lsp", arity=1, join_cols=(), n_dep=1,
+                   aggregator=MinAggregator())
+        assert s.n_indep == 0
+        assert s.key_of((5,)) == ()
+
+    def test_n_dep_too_large(self):
+        with pytest.raises(ValueError):
+            Schema(name="x", arity=1, join_cols=(), n_dep=2,
+                   aggregator=MinAggregator())
+
+    def test_subbuckets_validated(self):
+        with pytest.raises(ValueError):
+            plain(n_subbuckets=0)
+
+    def test_aggregator_ndep_mismatch(self):
+        class TwoDep(MinAggregator):
+            n_dep = 2
+
+        with pytest.raises(ValueError, match="dependent columns"):
+            Schema(name="x", arity=3, join_cols=(0,), n_dep=1, aggregator=TwoDep())
+
+
+class TestSplitMerge:
+    def test_key_other_dep(self):
+        s = agg(arity=4, join_cols=(1,), n_dep=1)  # indep: 0,1,2; dep: 3
+        t = (10, 20, 30, 99)
+        assert s.key_of(t) == (20,)
+        assert s.other_of(t) == (10, 30)
+        assert s.dep_of(t) == (99,)
+        assert s.indep_of(t) == (10, 20, 30)
+
+    @given(st.tuples(COL, COL, COL, COL))
+    def test_merge_inverts_split(self, t):
+        s = agg(arity=4, join_cols=(2, 0), n_dep=1)
+        # join_cols normalized as given; reassembly must reproduce the tuple
+        assert s.merge(s.key_of(t), s.other_of(t), s.dep_of(t)) == t
+
+    @given(st.tuples(COL, COL, COL))
+    def test_merge_inverts_split_plain(self, t):
+        s = plain(arity=3, join_cols=(1,))
+        assert s.merge(s.key_of(t), s.other_of(t)) == t
+
+    def test_check_tuple(self):
+        with pytest.raises(ValueError, match="arity"):
+            plain(arity=3).check_tuple((1, 2))

@@ -1,0 +1,146 @@
+"""Tests for cluster-wide relation storage."""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregators import MinAggregator
+from repro.core.local_agg import AbsorbStats
+from repro.relational.schema import Schema
+from repro.relational.storage import RelationStore, VersionedRelation
+from repro.util.hashing import HashSeed
+
+
+def edge_schema(n_sub=1):
+    return Schema(name="edge", arity=3, join_cols=(0,), n_subbuckets=n_sub)
+
+
+def spath_schema():
+    return Schema(name="spath", arity=3, join_cols=(1,), n_dep=1,
+                  aggregator=MinAggregator())
+
+
+class TestVersionedRelation:
+    def test_load_dedups(self):
+        rel = VersionedRelation(edge_schema(), 8)
+        stats = AbsorbStats()
+        assert rel.load([(1, 2, 3), (1, 2, 3), (4, 5, 6)], stats=stats) == 2
+        assert rel.full_size() == 2
+        assert stats.suppressed == 1
+
+    def test_load_empty(self):
+        rel = VersionedRelation(edge_schema(), 8)
+        assert rel.load([]) == 0
+
+    def test_load_arity_check(self):
+        rel = VersionedRelation(edge_schema(), 8)
+        with pytest.raises(ValueError, match="arity"):
+            rel.load([(1, 2)])
+
+    def test_load_aggregate_folds(self):
+        rel = VersionedRelation(spath_schema(), 8)
+        assert rel.load([(0, 1, 9), (0, 1, 4)]) == 2  # insert then improve
+        assert rel.as_set() == {(0, 1, 4)}
+        assert rel.full_size() == 1
+
+    def test_tuples_land_on_owner_shard(self):
+        rel = VersionedRelation(edge_schema(n_sub=4), 16)
+        tuples = [(i, i + 1, 1) for i in range(200)]
+        rel.load(tuples)
+        for (b, s), shard in rel.shards.items():
+            for t in shard.iter_full():
+                assert rel.dist.bucket_of(t) == b
+                assert rel.dist.sub_of(t) == s
+
+    def test_sizes_by_rank_sum(self):
+        rel = VersionedRelation(edge_schema(), 8)
+        rel.load([(i, 0, 0) for i in range(100)])
+        by_rank = rel.full_sizes_by_rank()
+        assert by_rank.sum() == 100
+        assert len(by_rank) == 8
+
+    def test_advance_promotes(self):
+        rel = VersionedRelation(edge_schema(), 4)
+        rel.load([(1, 2, 3)])
+        assert rel.delta_size() == 0
+        assert rel.advance() == 1
+        assert rel.delta_size() == 1
+        assert rel.advance() == 0
+
+    def test_iterators_deterministic(self):
+        rel = VersionedRelation(edge_schema(), 8)
+        tuples = [(i, i * 7 % 13, 1) for i in range(50)]
+        rel.load(tuples)
+        assert list(rel.iter_full()) == list(rel.iter_full())
+
+    def test_version_batches_tag_owner(self):
+        rel = VersionedRelation(edge_schema(n_sub=2), 8)
+        rel.load([(i, i, 0) for i in range(60)])
+        total = 0
+        for owner, batch in rel.version_batches("full"):
+            total += len(batch)
+            for t in batch:
+                assert rel.dist.rank_of(t) == owner
+        assert total == 60
+
+    def test_version_batches_bad_version(self):
+        rel = VersionedRelation(edge_schema(), 4)
+        with pytest.raises(ValueError):
+            list(rel.version_batches("nope"))
+
+    def test_probe_cache_invalidation(self):
+        rel = VersionedRelation(edge_schema(), 4)
+        rel.load([(0, 1, 1)])
+        b = rel.dist.bucket_of((0, 1, 1))
+        before = rel.shards_at_rank_for_bucket(b, b)
+        assert len(before) == 1
+        # a new shard appears: cache must refresh
+        other = next(k for k in range(100) if rel.dist.bucket_of((k, 0, 0)) != b)
+        rel.load([(other, 0, 0)])
+        again = rel.shards_at_rank_for_bucket(b, b)
+        assert len(again) == 1
+
+    def test_seed_delta_from_full(self):
+        rel = VersionedRelation(edge_schema(), 4)
+        rel.load([(1, 2, 3), (4, 5, 6)])
+        rel.advance()
+        rel.advance()  # delta drained
+        assert rel.delta_size() == 0
+        rel.seed_delta_from_full()
+        assert rel.delta_size() == 2
+
+    def test_repr(self):
+        rel = VersionedRelation(edge_schema(), 4)
+        assert "edge" in repr(rel)
+
+
+class TestRelationStore:
+    def test_declare_and_lookup(self):
+        store = RelationStore(4)
+        rel = store.declare(edge_schema())
+        assert store["edge"] is rel
+        assert "edge" in store
+        assert "other" not in store
+
+    def test_duplicate_declare_rejected(self):
+        store = RelationStore(4)
+        store.declare(edge_schema())
+        with pytest.raises(ValueError, match="already declared"):
+            store.declare(edge_schema())
+
+    def test_shared_seed_across_relations(self):
+        """Join colocation invariant: the bucket of a key value is the
+        same regardless of which relation computes it."""
+        store = RelationStore(32, seed=HashSeed().derive(7))
+        edge = store.declare(edge_schema())
+        spath = store.declare(spath_schema())
+        for key in range(50):
+            # edge keyed on col 0, spath keyed on col 1 — same key value
+            assert edge.dist.bucket_of((key, 1, 1)) == spath.dist.bucket_of(
+                (9, key, 9)
+            )
+
+    def test_iter(self):
+        store = RelationStore(4)
+        store.declare(edge_schema())
+        store.declare(spath_schema())
+        assert len(list(store)) == 2

@@ -1,0 +1,133 @@
+"""Tests for timers, interner, getters, and config validators."""
+
+import time
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ds.interner import Interner
+from repro.util.config import check_fraction, check_positive, check_power_of_two
+from repro.util.getters import tuple_getter
+from repro.util.timing import PhaseTimer, Stopwatch
+
+
+class TestStopwatch:
+    def test_accumulates(self):
+        sw = Stopwatch()
+        with sw:
+            time.sleep(0.001)
+        with sw:
+            pass
+        assert sw.elapsed > 0
+        assert sw.count == 2
+
+    def test_double_start_rejected(self):
+        sw = Stopwatch()
+        sw.start()
+        with pytest.raises(RuntimeError):
+            sw.start()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+
+class TestPhaseTimer:
+    def test_phase_accumulation(self):
+        t = PhaseTimer()
+        with t.phase("a"):
+            pass
+        with t.phase("a"):
+            pass
+        with t.phase("b"):
+            pass
+        assert t.phases["a"].count == 2
+        assert set(t.totals()) == {"a", "b"}
+        assert t.total() == pytest.approx(sum(t.totals().values()))
+
+    def test_add_modeled_time(self):
+        t = PhaseTimer()
+        t.add("x", 1.5)
+        assert t.totals()["x"] == 1.5
+
+    def test_snapshot_deltas(self):
+        t = PhaseTimer()
+        t.add("x", 1.0)
+        first = t.snapshot()
+        t.add("x", 0.25)
+        second = t.snapshot()
+        assert first["x"] == 1.0
+        assert second["x"] == pytest.approx(0.25)
+        assert len(t.iterations) == 2
+
+    def test_merge(self):
+        a, b = PhaseTimer(), PhaseTimer()
+        a.add("x", 1.0)
+        b.add("x", 2.0)
+        b.add("y", 3.0)
+        a.merge(b)
+        assert a.totals() == {"x": 3.0, "y": 3.0}
+
+
+class TestInterner:
+    def test_intern_stable(self):
+        i = Interner()
+        assert i.intern("a") == 0
+        assert i.intern("b") == 1
+        assert i.intern("a") == 0
+        assert len(i) == 2
+
+    def test_lookup_inverse(self):
+        i = Interner()
+        for sym in ("x", "y", ("tuple", 1)):
+            assert i.lookup(i.intern(sym)) == sym
+
+    def test_lookup_errors(self):
+        i = Interner()
+        with pytest.raises(IndexError):
+            i.lookup(0)
+        i.intern("a")
+        with pytest.raises(IndexError):
+            i.lookup(-1)
+
+    def test_contains_iter(self):
+        i = Interner()
+        i.intern("a")
+        assert "a" in i and "b" not in i
+        assert list(i) == ["a"]
+
+    @given(st.lists(st.text(max_size=5)))
+    def test_codes_dense(self, symbols):
+        i = Interner()
+        for s in symbols:
+            i.intern(s)
+        assert len(i) == len(set(symbols))
+        assert sorted(i.intern(s) for s in set(symbols)) == list(range(len(i)))
+
+
+class TestTupleGetter:
+    @given(st.tuples(st.integers(), st.integers(), st.integers()))
+    def test_shapes(self, t):
+        assert tuple_getter(())(t) == ()
+        assert tuple_getter((1,))(t) == (t[1],)
+        assert tuple_getter((2, 0))(t) == (t[2], t[0])
+
+
+class TestConfigValidators:
+    def test_check_positive(self):
+        check_positive("x", 1)
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", 0)
+
+    def test_check_fraction(self):
+        check_fraction("f", 0.0)
+        check_fraction("f", 1.0)
+        with pytest.raises(ValueError):
+            check_fraction("f", 1.01)
+
+    def test_check_power_of_two(self):
+        check_power_of_two("p", 8)
+        for bad in (0, 3, -4):
+            with pytest.raises(ValueError):
+                check_power_of_two("p", bad)
