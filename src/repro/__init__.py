@@ -56,6 +56,7 @@ from repro.runtime.config import EngineConfig
 from repro.runtime.engine import Engine
 from repro.runtime.result import FixpointResult
 from repro.comm.costmodel import CostModel
+from repro.obs import MetricsRegistry, NullTracer, Span, Tracer
 
 __version__ = "1.0.0"
 
@@ -70,11 +71,15 @@ __all__ = [
     "MAX",
     "MCOUNT",
     "MIN",
+    "MetricsRegistry",
+    "NullTracer",
     "Program",
     "Rel",
     "Rule",
     "SUM",
     "COUNT",
+    "Span",
+    "Tracer",
     "UNION",
     "Var",
     "vars_",

@@ -89,7 +89,7 @@ class RaSQLLikeEngine(Engine):
         # difference from Spark's driver constants (ablation use).
         frac = self.SERIAL_FRACTION if serial_fraction is None else serial_fraction
         self.cluster.ledger = SerialFractionLedger(
-            n_ranks=config.n_ranks, serial_fraction=frac
+            n_ranks=config.n_ranks, serial_fraction=frac, tracer=self.tracer
         )
         # The "global hashmap": one auxiliary store per aggregate relation,
         # partitioned by the full group key (its own hash space).

@@ -29,13 +29,12 @@ class SerialFractionLedger(PhaseLedger):
         check_fraction("serial_fraction", self.serial_fraction)
 
     def add_compute_step(self, phase: str, per_rank_seconds: np.ndarray) -> float:
-        if per_rank_seconds.shape != (self.n_ranks,):
-            raise ValueError(
-                f"expected shape ({self.n_ranks},), got {per_rank_seconds.shape}"
-            )
+        self._check_shape(per_rank_seconds)
         parallel = float(per_rank_seconds.max()) if self.n_ranks else 0.0
         serial = self.serial_fraction * float(per_rank_seconds.sum())
         step = parallel + serial
-        self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + step
-        self.rank_compute += per_rank_seconds
+        # The shared charge path keeps tracer spans/metrics consistent; in
+        # a traced run the serial tax shows up as idle lane time between a
+        # rank's own compute span and the next superstep.
+        self._charge_compute(phase, step, per_rank_seconds)
         return step

@@ -63,5 +63,7 @@ class SociaLiteLikeEngine(Engine):
             config = replace(config, cost_model=socialite_cost_model())
         super().__init__(program, config)
         self.cluster.ledger = SerialFractionLedger(
-            n_ranks=config.n_ranks, serial_fraction=self.SERIAL_FRACTION
+            n_ranks=config.n_ranks,
+            serial_fraction=self.SERIAL_FRACTION,
+            tracer=self.tracer,
         )

@@ -15,6 +15,7 @@ EXPERIMENTS.md for the side-by-side).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import List, Optional
@@ -22,9 +23,79 @@ from typing import List, Optional
 from repro.experiments import ablations, fig2, fig3, fig4, fig5, fig6, fig7, table1, table2
 from repro.experiments.common import ExperimentDefaults, defaults_from_env
 from repro.graphs.datasets import DATASETS, load_dataset
+from repro.obs.tracer import Tracer
 from repro.queries.cc import run_cc
 from repro.queries.sssp import run_sssp
 from repro.runtime.config import EngineConfig
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """Observability flags shared by the ``run`` and ``query`` commands."""
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record a span trace of the run and write it to PATH "
+             "(phases, iterations, per-rank compute/comm lanes)",
+    )
+    parser.add_argument(
+        "--trace-format", choices=["chrome", "jsonl"], default="chrome",
+        help="trace file format: 'chrome' = Chrome trace-event JSON "
+             "(open in chrome://tracing or https://ui.perfetto.dev, one "
+             "lane per rank), 'jsonl' = one JSON record per line for "
+             "jq/pandas (default: chrome)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print a machine-readable JSON report (phase breakdown, "
+             "counters, metrics) instead of the human-readable text",
+    )
+
+
+def _finish_obs(args: argparse.Namespace, fp, report: dict) -> int:
+    """Shared tail of a traced/JSON run: write the trace, emit the report."""
+    if args.trace:
+        try:
+            n = fp.write_trace(
+                args.trace, args.trace_format,
+                meta={"command": " ".join(sys.argv[1:])},
+            )
+        except OSError as exc:
+            raise SystemExit(f"cannot write trace to {args.trace}: {exc}")
+        report["trace"] = {
+            "path": args.trace, "format": args.trace_format, "records": n,
+        }
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True, default=str))
+    elif args.trace:
+        from repro.metrics.obsreport import render_rank_utilization, render_span_summary
+
+        print(f"trace: {report['trace']['records']} records -> {args.trace} "
+              f"[{args.trace_format}]")
+        if args.trace_format == "chrome":
+            print("  open in https://ui.perfetto.dev (one lane per rank)")
+        print(render_span_summary(fp.spans))
+        print(render_rank_utilization(fp.spans))
+    return 0
+
+
+def _base_report(fp, *, ranks: int) -> dict:
+    comm = fp.ledger.comm
+    report = {
+        "ranks": ranks,
+        "iterations": fp.iterations,
+        "modeled_seconds": fp.modeled_seconds(),
+        "wall_seconds": fp.wall_seconds(),
+        "phase_seconds": fp.phase_breakdown(),
+        "imbalance_ratio": fp.ledger.imbalance_ratio(),
+        "counters": dict(fp.counters),
+        "comm": {
+            "bytes": comm.bytes_total,
+            "messages": comm.messages,
+            "bytes_by_kind": dict(comm.by_kind),
+        },
+    }
+    if fp.metrics:
+        report["metrics"] = fp.metrics_dict()
+    return report
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -51,6 +122,7 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="disable Algorithm 1's per-iteration vote")
     run.add_argument("--explain", action="store_true",
                      help="print the compiled evaluation plan before running")
+    _add_obs_flags(run)
 
     query = sub.add_parser(
         "query", help="run a Datalog source file (surface syntax)"
@@ -67,6 +139,7 @@ def _build_parser() -> argparse.ArgumentParser:
                             "instead of the fast BSP driver")
     query.add_argument("--limit", type=int, default=20,
                        help="max tuples to print per output relation")
+    _add_obs_flags(query)
 
     exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     exp.add_argument(
@@ -88,13 +161,17 @@ def _cmd_datasets() -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     graph = load_dataset(args.dataset, seed=args.seed, scale_shift=args.scale_shift)
+    tracer = Tracer() if args.trace else None
     config = EngineConfig(
         n_ranks=args.ranks,
         dynamic_join=not args.no_dynamic_join,
         subbuckets={"edge": args.subbuckets},
         seed=args.seed,
+        tracer=tracer,
     )
-    print(f"{graph} on {args.ranks} simulated ranks")
+    quiet = args.json
+    if not quiet:
+        print(f"{graph} on {args.ranks} simulated ranks")
     if args.explain:
         from repro.queries.cc import cc_program
         from repro.queries.sssp import sssp_program
@@ -107,29 +184,39 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
         print(_E(prog, config).explain())
     t0 = time.time()
+    summary: dict = {"query": args.query, "dataset": args.dataset}
     if args.query == "sssp":
         sources = [int(s) for s in args.sources.split(",") if s]
         result = run_sssp(graph, sources, config)
         fp = result.fixpoint
-        print(
-            f"sssp: {result.n_paths} shortest paths from {len(sources)} "
-            f"source(s) in {result.iterations} iterations"
-        )
+        summary.update(n_paths=result.n_paths, sources=sources)
+        if not quiet:
+            print(
+                f"sssp: {result.n_paths} shortest paths from {len(sources)} "
+                f"source(s) in {result.iterations} iterations"
+            )
     else:
         result = run_cc(graph, config)
         fp = result.fixpoint
-        print(
-            f"cc: {result.n_components} components over "
-            f"{len(result.labels)} non-isolated vertices in "
-            f"{result.iterations} iterations"
+        summary.update(
+            n_components=result.n_components, n_vertices=len(result.labels)
         )
-    print(f"wall (simulation host): {time.time() - t0:.2f}s")
-    print(f"modeled cluster time:   {fp.modeled_seconds():.6f}s")
-    for phase, seconds in sorted(fp.phase_breakdown().items()):
-        print(f"  {phase:14s} {seconds:.6f}s")
-    comm = fp.ledger.comm
-    print(f"communication: {comm.bytes_total} bytes in {comm.messages} messages")
-    return 0
+        if not quiet:
+            print(
+                f"cc: {result.n_components} components over "
+                f"{len(result.labels)} non-isolated vertices in "
+                f"{result.iterations} iterations"
+            )
+    if not quiet:
+        print(f"wall (simulation host): {time.time() - t0:.2f}s")
+        print(f"modeled cluster time:   {fp.modeled_seconds():.6f}s")
+        for phase, seconds in sorted(fp.phase_breakdown().items()):
+            print(f"  {phase:14s} {seconds:.6f}s")
+        comm = fp.ledger.comm
+        print(f"communication: {comm.bytes_total} bytes in {comm.messages} messages")
+    report = _base_report(fp, ranks=args.ranks)
+    report.update(summary)
+    return _finish_obs(args, fp, report)
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -181,9 +268,14 @@ def _cmd_query(args: argparse.Namespace) -> int:
     from repro.planner.parser import parse_program
     from repro.runtime.engine import Engine
 
+    if args.spmd and (args.trace or args.json):
+        raise SystemExit("--trace/--json require the BSP driver (drop --spmd)")
     source = pathlib.Path(args.file).read_text()
     parsed = parse_program(source)
-    engine = Engine(parsed.program, EngineConfig(n_ranks=args.ranks))
+    tracer = Tracer() if args.trace else None
+    engine = Engine(
+        parsed.program, EngineConfig(n_ranks=args.ranks, tracer=tracer)
+    )
     if args.explain:
         print(engine.explain())
     for name, rows in parsed.facts.items():
@@ -218,16 +310,27 @@ def _cmd_query(args: argparse.Namespace) -> int:
     outputs = parsed.outputs or tuple(
         r.head.relation for r in parsed.program.rules
     )
+    quiet = getattr(args, "json", False)
+    output_sizes = {}
     for name in dict.fromkeys(outputs):
         tuples = sorted(lookup(name))
+        output_sizes[name] = len(tuples)
+        if quiet:
+            continue
         shown = tuples[: args.limit]
         print(f"{name}: {len(tuples)} tuple(s)")
         for t in shown:
             print(f"  {name}{t}")
         if len(tuples) > len(shown):
             print(f"  ... {len(tuples) - len(shown)} more")
-    print(footer)
-    return 0
+    if args.spmd:
+        print(footer)
+        return 0
+    if not quiet:
+        print(footer)
+    report = _base_report(result, ranks=args.ranks)
+    report.update(program=args.file, outputs=output_sizes)
+    return _finish_obs(args, result, report)
 
 
 def main(argv: Optional[List[str]] = None) -> int:

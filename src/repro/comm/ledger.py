@@ -10,19 +10,35 @@ The ledger therefore accepts:
 
 * ``add_compute_step(phase, per_rank_seconds)`` — charges
   ``max(per_rank_seconds)`` to the phase and records imbalance stats;
+* ``add_compute_scalar(phase, seconds)`` — charges work replicated
+  identically on every rank (driver-style bookkeeping); every rank's
+  ``rank_compute`` is charged, so ``imbalance_ratio()`` reflects the
+  replication instead of silently drifting toward 1;
 * ``add_comm(phase, event)`` — charges the event's modeled seconds.
 
-It also keeps a per-iteration trace (``snapshot()``), driving Fig. 7.
+It also keeps a per-iteration trace (``snapshot()``), driving Fig. 7 —
+via the same :class:`repro.obs.phases.IterationDeltas` bookkeeping that
+:class:`repro.util.timing.PhaseTimer` uses for wall time.
+
+When a real :class:`repro.obs.tracer.Tracer` is attached, every charge
+also advances the tracer's modeled clock and emits per-rank spans: one
+``compute`` span per rank per superstep (duration = that rank's own
+seconds, so lanes show idle gaps where imbalance lives) and one ``comm``
+span per rank per collective.  The ledger is thus the *single* writer of
+the modeled timeline; the numbers in ``phase_seconds`` and the span
+stream are definitionally consistent.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.comm.costmodel import CommEvent, CommStats
+from repro.obs.phases import IterationDeltas
+from repro.obs.tracer import NULL_TRACER
 
 
 @dataclass
@@ -32,37 +48,109 @@ class PhaseLedger:
     n_ranks: int
     phase_seconds: Dict[str, float] = field(default_factory=dict)
     comm: CommStats = field(default_factory=CommStats)
-    iterations: List[Dict[str, float]] = field(default_factory=list)
-    _last_totals: Dict[str, float] = field(default_factory=dict)
+    deltas: IterationDeltas = field(default_factory=IterationDeltas)
     #: Sum over supersteps of per-rank compute seconds (imbalance analysis).
     rank_compute: np.ndarray = field(default=None)  # type: ignore[assignment]
+    tracer: object = NULL_TRACER
 
     def __post_init__(self) -> None:
         if self.rank_compute is None:
             self.rank_compute = np.zeros(self.n_ranks)
 
+    @property
+    def iterations(self) -> List[Dict[str, float]]:
+        """Per-iteration phase deltas (one dict per ``snapshot()`` call)."""
+        return self.deltas.iterations
+
     # ----------------------------------------------------------------- charge
 
-    def add_compute_step(self, phase: str, per_rank_seconds: np.ndarray) -> float:
-        """Charge one compute superstep; returns the step's modeled time."""
+    def _check_shape(self, per_rank_seconds: np.ndarray) -> None:
         if per_rank_seconds.shape != (self.n_ranks,):
             raise ValueError(
                 f"expected shape ({self.n_ranks},), got {per_rank_seconds.shape}"
             )
+
+    def add_compute_step(self, phase: str, per_rank_seconds: np.ndarray) -> float:
+        """Charge one compute superstep; returns the step's modeled time."""
+        self._check_shape(per_rank_seconds)
         step = float(per_rank_seconds.max()) if self.n_ranks else 0.0
-        self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + step
-        self.rank_compute += per_rank_seconds
+        self._charge_compute(phase, step, per_rank_seconds)
         return step
 
     def add_compute_scalar(self, phase: str, seconds: float) -> None:
-        """Charge compute that is identical on (or dominated by) one rank."""
-        self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
+        """Charge compute replicated identically on every rank.
+
+        The step advances modeled time by ``seconds`` (all ranks do the
+        same work concurrently) and charges ``seconds`` to *every* rank's
+        ``rank_compute`` — replicated work is perfectly balanced, so it
+        must pull ``imbalance_ratio()`` toward 1 by raising the mean *and*
+        the max together, not by raising neither.
+        """
+        self._charge_compute(phase, seconds, None, scalar_seconds=seconds)
+
+    def _charge_compute(
+        self,
+        phase: str,
+        step: float,
+        per_rank_seconds: Optional[np.ndarray],
+        scalar_seconds: float = 0.0,
+    ) -> None:
+        """Common charge path (subclasses funnel through here).
+
+        ``per_rank_seconds=None`` means "``scalar_seconds`` on every rank".
+        """
+        self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + step
+        if per_rank_seconds is not None:
+            self.rank_compute += per_rank_seconds
+        else:
+            self.rank_compute += scalar_seconds
+        tracer = self.tracer
+        if tracer.enabled and step > 0:
+            start, _end = tracer.advance_modeled(step)
+            if per_rank_seconds is None:
+                durations = [scalar_seconds] * self.n_ranks
+            else:
+                durations = per_rank_seconds.tolist()
+            for rank, seconds in enumerate(durations):
+                if seconds > 0:
+                    tracer.record(
+                        phase,
+                        cat="compute",
+                        rank=rank,
+                        modeled_start=start,
+                        modeled_end=start + seconds,
+                    )
+            tracer.metrics.histogram(f"compute_seconds/{phase}").observe_many(
+                durations
+            )
 
     def add_comm(self, event: CommEvent) -> None:
         self.comm.record(event)
         self.phase_seconds[event.phase] = (
             self.phase_seconds.get(event.phase, 0.0) + event.seconds
         )
+        tracer = self.tracer
+        if tracer.enabled:
+            start, end = tracer.advance_modeled(event.seconds)
+            attrs = {
+                "phase": event.phase,
+                "nbytes": event.nbytes,
+                "messages": event.messages,
+            }
+            for rank in range(self.n_ranks):
+                tracer.record(
+                    event.kind,
+                    cat="comm",
+                    rank=rank,
+                    modeled_start=start,
+                    modeled_end=end,
+                    attrs=attrs,
+                )
+            tracer.metrics.histogram(f"comm_bytes/{event.kind}").observe(
+                float(event.nbytes)
+            )
+            tracer.metrics.counter("comm_messages").inc(event.messages)
+            tracer.metrics.counter("comm_bytes").inc(event.nbytes)
 
     # ---------------------------------------------------------------- queries
 
@@ -74,11 +162,7 @@ class PhaseLedger:
 
     def snapshot(self) -> Dict[str, float]:
         """Close out the current iteration; return its per-phase deltas."""
-        now = dict(self.phase_seconds)
-        delta = {k: now[k] - self._last_totals.get(k, 0.0) for k in now}
-        self._last_totals = now
-        self.iterations.append(delta)
-        return delta
+        return self.deltas.snapshot(dict(self.phase_seconds))
 
     def imbalance_ratio(self) -> float:
         """max/mean of per-rank cumulative compute (1.0 = perfectly even)."""

@@ -27,6 +27,7 @@ from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.comm.costmodel import BYTES_PER_WORD, CommEvent, CostModel
 from repro.comm.ledger import PhaseLedger
+from repro.obs.tracer import NULL_TRACER
 
 
 class SimCluster:
@@ -38,6 +39,11 @@ class SimCluster:
         Number of logical MPI ranks (processes) to simulate.
     cost_model:
         Interconnect/compute cost model; default approximates Theta.
+    tracer:
+        Observability sink (:class:`repro.obs.tracer.Tracer`).  The
+        cluster's ledger emits per-rank ``comm`` spans — one lane entry
+        per rank per collective, tagged with bytes moved and modeled
+        seconds — through it.  Defaults to the zero-overhead no-op.
     """
 
     def __init__(
@@ -46,12 +52,14 @@ class SimCluster:
         cost_model: Optional[CostModel] = None,
         *,
         reorder_seed: Optional[int] = None,
+        tracer: Optional[object] = None,
     ):
         if n_ranks < 1:
             raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
         self.n_ranks = n_ranks
         self.cost = cost_model or CostModel()
-        self.ledger = PhaseLedger(n_ranks)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.ledger = PhaseLedger(n_ranks, tracer=self.tracer)
         # Failure injection: when set, every alltoallv delivery buffer is
         # shuffled before being handed to the receiver — modeling the
         # non-deterministic message arrival order of a real network.  A

@@ -41,6 +41,7 @@ def optimized_config(
     edge_subbuckets: int = 8,
     cost_model: Optional[CostModel] = None,
     seed: int = 0xC0FFEE,
+    tracer=None,
 ) -> EngineConfig:
     """PARALAGG with both §IV optimizations on (the paper's "O")."""
     return EngineConfig(
@@ -49,6 +50,7 @@ def optimized_config(
         subbuckets={"edge": edge_subbuckets},
         cost_model=cost_model,
         seed=seed,
+        tracer=tracer,
     )
 
 
@@ -57,6 +59,7 @@ def baseline_config(
     *,
     cost_model: Optional[CostModel] = None,
     seed: int = 0xC0FFEE,
+    tracer=None,
 ) -> EngineConfig:
     """The paper's "B": no vote, no sub-buckets, and the static layout
     that serializes the large static relation (§V-B: edges "mistakenly
@@ -68,6 +71,7 @@ def baseline_config(
         default_subbuckets=1,
         cost_model=cost_model,
         seed=seed,
+        tracer=tracer,
     )
 
 

@@ -9,6 +9,7 @@ paper's figures without matplotlib.
 from repro.core.balancer import ImbalanceReport, measure_imbalance
 from repro.experiments.common import format_mmss, format_si, render_series, render_table
 from repro.metrics.asciiplot import ascii_cdf, ascii_plot
+from repro.metrics.obsreport import render_rank_utilization, render_span_summary
 
 __all__ = [
     "ImbalanceReport",
@@ -19,4 +20,6 @@ __all__ = [
     "render_table",
     "ascii_plot",
     "ascii_cdf",
+    "render_rank_utilization",
+    "render_span_summary",
 ]

@@ -1,0 +1,62 @@
+"""Terminal summaries of a run's span stream.
+
+Small, dependency-free renderers over :class:`repro.obs.tracer.Span`
+lists, for the CLI's post-run report: a per-phase wall/modeled table and a
+per-rank modeled-utilization strip (the ASCII cousin of the Perfetto rank
+lanes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.obs.tracer import Span
+
+
+def render_span_summary(spans: Sequence[Span]) -> str:
+    """Per-phase totals from driver phase spans: count, wall, modeled.
+
+    A driver phase span's modeled duration is the modeled time charged
+    while the phase block ran, so the modeled column here reproduces the
+    ledger's phase breakdown — from the span stream alone.
+    """
+    totals: Dict[str, Tuple[int, float, float]] = {}
+    for sp in spans:
+        if sp.cat != "phase" or sp.rank is not None:
+            continue
+        count, wall, modeled = totals.get(sp.name, (0, 0.0, 0.0))
+        totals[sp.name] = (
+            count + 1,
+            wall + sp.wall_seconds,
+            modeled + sp.modeled_seconds,
+        )
+    if not totals:
+        return "(no phase spans recorded)"
+    lines = [f"{'phase':16s} {'spans':>6s} {'wall s':>10s} {'modeled s':>11s}"]
+    for name in sorted(totals, key=lambda n: -totals[n][2]):
+        count, wall, modeled = totals[name]
+        lines.append(f"{name:16s} {count:6d} {wall:10.4f} {modeled:11.6f}")
+    return "\n".join(lines)
+
+
+def render_rank_utilization(spans: Sequence[Span], width: int = 40) -> str:
+    """Per-rank busy fraction of the modeled timeline, as an ASCII strip.
+
+    Busy = the rank's compute spans (its own share of each superstep);
+    collectives synchronize everyone, so they count as busy for all ranks.
+    Idle gaps — the visual signature of skew — show up as short bars.
+    """
+    per_rank: Dict[int, float] = {}
+    horizon = 0.0
+    for sp in spans:
+        horizon = max(horizon, sp.modeled_end)
+        if sp.rank is not None and sp.cat in ("compute", "comm"):
+            per_rank[sp.rank] = per_rank.get(sp.rank, 0.0) + sp.modeled_seconds
+    if not per_rank or horizon <= 0:
+        return "(no per-rank spans recorded)"
+    lines: List[str] = []
+    for rank in sorted(per_rank):
+        frac = min(1.0, per_rank[rank] / horizon)
+        bar = "#" * round(frac * width)
+        lines.append(f"rank {rank:4d} |{bar:<{width}s}| {100 * frac:5.1f}%")
+    return "\n".join(lines)

@@ -1,0 +1,310 @@
+"""Trace sinks: JSONL event streams and Chrome trace-event JSON.
+
+Two formats, one span model (:class:`repro.obs.tracer.Span`):
+
+**JSONL** (``--trace-format jsonl``) — one JSON object per line.  Line 1 is
+a ``meta`` record; then one ``span`` record per span (see
+:meth:`Span.to_dict`); a final ``metrics`` record carries the metrics
+registry.  Made for ``jq``/pandas post-processing.
+
+**Chrome trace events** (``--trace-format chrome``) — a JSON object with a
+``traceEvents`` array loadable in ``chrome://tracing`` or Perfetto
+(https://ui.perfetto.dev).  Lane layout:
+
+* ``pid 0`` — the **driver**, on the *host wall clock*: the engine's
+  pipeline phases (vote / intra_bucket / local_join / comm / dedup_agg)
+  plus stratum and iteration boundary spans, nested as executed.
+* ``pid r+1`` — **rank r**, on the *modeled cluster clock*: that rank's
+  share of every compute superstep and every collective it participates
+  in.  Because the modeled clock advances only via ledger charges, rank
+  lanes tile the BSP timeline: imbalance shows up as idle gaps before
+  each synchronizing collective, exactly the pathology of paper Fig. 3/4.
+
+The two clock domains share the one trace: timestamps are microseconds on
+each lane's own clock.  Compare *within* a lane group, not across the
+driver/rank boundary (every event also carries the other clock in its
+``args``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.obs.tracer import Span
+
+#: Bumped when the JSONL record layout changes incompatibly.
+JSONL_SCHEMA_VERSION = 1
+
+_US = 1e6  # seconds -> microseconds (the trace-event time unit)
+
+
+def _span_sort_key(sp: Span) -> Tuple[int, float, float]:
+    # Rank lanes order by modeled time, the driver lane by wall time;
+    # parents (equal start) come before children via -duration.
+    if sp.rank is None:
+        return (0, sp.wall_start, -(sp.wall_seconds))
+    return (1, sp.modeled_start, -(sp.modeled_seconds))
+
+
+# --------------------------------------------------------------------- JSONL
+
+
+def jsonl_records(
+    spans: Sequence[Span],
+    metrics: Optional[Any] = None,
+    meta: Optional[Mapping[str, Any]] = None,
+) -> Iterable[Dict[str, Any]]:
+    """Yield the JSONL record stream (meta, spans, metrics)."""
+    head: Dict[str, Any] = {
+        "type": "meta",
+        "format": "repro-trace-jsonl",
+        "version": JSONL_SCHEMA_VERSION,
+        "n_spans": len(spans),
+    }
+    if meta:
+        head.update(meta)
+    yield head
+    for sp in sorted(spans, key=_span_sort_key):
+        yield sp.to_dict()
+    if metrics is not None:
+        yield {"type": "metrics", "data": metrics.as_dict()}
+
+
+def write_jsonl(
+    path: str,
+    spans: Sequence[Span],
+    metrics: Optional[Any] = None,
+    meta: Optional[Mapping[str, Any]] = None,
+) -> int:
+    """Write the JSONL stream; returns the number of records written."""
+    n = 0
+    with open(path, "w") as fh:
+        for record in jsonl_records(spans, metrics, meta):
+            fh.write(json.dumps(record, sort_keys=True))
+            fh.write("\n")
+            n += 1
+    return n
+
+
+def read_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Parse a JSONL trace back into its records (for tests/tools)."""
+    with open(path) as fh:
+        return [json.loads(line) for line in fh if line.strip()]
+
+
+# -------------------------------------------------------------- Chrome trace
+
+
+def _pid_of(span: Span) -> int:
+    return 0 if span.rank is None else span.rank + 1
+
+
+def chrome_trace(
+    spans: Sequence[Span],
+    metrics: Optional[Any] = None,
+    meta: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Build the Chrome trace-event JSON object (Perfetto compatible)."""
+    events: List[Dict[str, Any]] = []
+    pids = sorted({_pid_of(sp) for sp in spans})
+    for pid in pids:
+        name = "driver (wall clock)" if pid == 0 else f"rank {pid - 1} (modeled)"
+        events.append({
+            "ph": "M", "pid": pid, "tid": 0, "ts": 0,
+            "name": "process_name", "args": {"name": name},
+        })
+        events.append({
+            "ph": "M", "pid": pid, "tid": 0, "ts": 0,
+            "name": "process_sort_index", "args": {"sort_index": pid},
+        })
+    for sp in sorted(spans, key=_span_sort_key):
+        on_wall = sp.rank is None
+        start = sp.wall_start if on_wall else sp.modeled_start
+        dur = sp.wall_seconds if on_wall else sp.modeled_seconds
+        args: Dict[str, Any] = {
+            "wall_seconds": sp.wall_seconds,
+            "modeled_seconds": sp.modeled_seconds,
+            "modeled_start": sp.modeled_start,
+        }
+        if sp.iteration is not None:
+            args["iteration"] = sp.iteration
+        if sp.stratum is not None:
+            args["stratum"] = sp.stratum
+        args.update(sp.attrs)
+        # Round the *endpoints*, not (ts, dur) independently — adjacent
+        # spans must share exact boundaries or viewers see micro-overlaps.
+        ts = round(start * _US, 3)
+        event: Dict[str, Any] = {
+            "pid": _pid_of(sp),
+            "tid": 0,
+            "name": sp.name,
+            "cat": sp.cat,
+            "ts": ts,
+            "args": args,
+        }
+        if sp.cat == "summary":
+            event["ph"] = "i"
+            event["s"] = "p"  # process-scoped instant
+        else:
+            event["ph"] = "X"
+            event["dur"] = max(0.0, round((start + max(0.0, dur)) * _US, 3) - ts)
+        events.append(event)
+    out: Dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"format": "repro-trace-chrome", **(dict(meta) if meta else {})},
+    }
+    if metrics is not None:
+        out["otherData"]["metrics"] = metrics.as_dict()
+    return out
+
+
+def write_chrome_trace(
+    path: str,
+    spans: Sequence[Span],
+    metrics: Optional[Any] = None,
+    meta: Optional[Mapping[str, Any]] = None,
+) -> int:
+    """Write a Chrome trace file; returns the number of trace events."""
+    obj = chrome_trace(spans, metrics, meta)
+    with open(path, "w") as fh:
+        json.dump(obj, fh)
+    return len(obj["traceEvents"])
+
+
+# ------------------------------------------------------------------- dispatch
+
+TRACE_FORMATS = ("chrome", "jsonl")
+
+
+def write_trace(
+    path: str,
+    spans: Sequence[Span],
+    fmt: str = "chrome",
+    metrics: Optional[Any] = None,
+    meta: Optional[Mapping[str, Any]] = None,
+) -> int:
+    """Write ``spans`` to ``path`` in the given format; returns records written."""
+    if fmt == "chrome":
+        return write_chrome_trace(path, spans, metrics, meta)
+    if fmt == "jsonl":
+        return write_jsonl(path, spans, metrics, meta)
+    raise ValueError(f"unknown trace format {fmt!r}; expected one of {TRACE_FORMATS}")
+
+
+# ----------------------------------------------------------------- validation
+
+
+def validate_chrome_trace(obj: Any) -> Dict[str, Any]:
+    """Check a Chrome trace object; returns summary stats or raises ValueError.
+
+    Verifies the invariants Perfetto relies on: a ``traceEvents`` array,
+    complete events with non-negative ``ts``/``dur``, and — per lane —
+    properly nested spans (an event begins only after every sibling that
+    started earlier has either ended or encloses it).
+    """
+    if not isinstance(obj, dict) or not isinstance(obj.get("traceEvents"), list):
+        raise ValueError("not a Chrome trace: missing 'traceEvents' array")
+    events = obj["traceEvents"]
+    lanes: Dict[Tuple[int, int], List[Tuple[float, float, str]]] = {}
+    names = set()
+    for ev in events:
+        if not isinstance(ev, dict) or "ph" not in ev:
+            raise ValueError(f"malformed trace event: {ev!r}")
+        if ev["ph"] not in ("X", "M", "i"):
+            raise ValueError(f"unexpected event phase {ev['ph']!r}")
+        if ev["ph"] != "X":
+            continue
+        for key in ("name", "pid", "tid", "ts", "dur"):
+            if key not in ev:
+                raise ValueError(f"complete event missing {key!r}: {ev!r}")
+        if ev["ts"] < 0 or ev["dur"] < 0:
+            raise ValueError(f"negative timestamp/duration: {ev!r}")
+        names.add(ev["name"])
+        lanes.setdefault((ev["pid"], ev["tid"]), []).append(
+            (float(ev["ts"]), float(ev["dur"]), str(ev["name"]))
+        )
+    eps = 2e-3  # endpoint rounding is 1e-3 us; allow one ulp on each side
+    for lane, evs in lanes.items():
+        evs.sort(key=lambda e: (e[0], -e[1]))
+        stack: List[Tuple[float, float, str]] = []
+        for ts, dur, name in evs:
+            while stack and ts >= stack[-1][0] + stack[-1][1] - eps:
+                stack.pop()
+            if stack and ts + dur > stack[-1][0] + stack[-1][1] + eps:
+                raise ValueError(
+                    f"lane {lane}: span {name!r} [{ts}, {ts + dur}] overlaps "
+                    f"{stack[-1][2]!r} ending at {stack[-1][0] + stack[-1][1]}"
+                )
+            stack.append((ts, dur, name))
+    return {
+        "events": len(events),
+        "pids": sorted({pid for pid, _tid in lanes}),
+        "rank_lanes": sorted(pid - 1 for pid, _tid in lanes if pid > 0),
+        "names": names,
+    }
+
+
+def validate_jsonl_trace(records: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Check a JSONL record stream; returns summary stats or raises ValueError."""
+    if not records:
+        raise ValueError("empty trace")
+    head = records[0]
+    if head.get("type") != "meta" or head.get("format") != "repro-trace-jsonl":
+        raise ValueError(f"bad meta record: {head!r}")
+    if head.get("version") != JSONL_SCHEMA_VERSION:
+        raise ValueError(f"unsupported schema version: {head.get('version')!r}")
+    ids = set()
+    names = set()
+    ranks = set()
+    n_spans = 0
+    for rec in records[1:]:
+        kind = rec.get("type")
+        if kind == "metrics":
+            if not isinstance(rec.get("data"), dict):
+                raise ValueError("metrics record missing 'data'")
+            continue
+        if kind != "span":
+            raise ValueError(f"unexpected record type {kind!r}")
+        n_spans += 1
+        for key in ("id", "name", "cat", "wall_start", "wall_end",
+                    "modeled_start", "modeled_end"):
+            if key not in rec:
+                raise ValueError(f"span record missing {key!r}: {rec!r}")
+        if rec["wall_end"] < rec["wall_start"]:
+            raise ValueError(f"span {rec['id']}: wall clock runs backwards")
+        if rec["modeled_end"] < rec["modeled_start"]:
+            raise ValueError(f"span {rec['id']}: modeled clock runs backwards")
+        if rec["id"] in ids:
+            raise ValueError(f"duplicate span id {rec['id']}")
+        ids.add(rec["id"])
+        names.add(rec["name"])
+        if "rank" in rec:
+            ranks.add(rec["rank"])
+    if n_spans != head.get("n_spans"):
+        raise ValueError(
+            f"meta claims {head.get('n_spans')} spans, stream has {n_spans}"
+        )
+    return {"spans": n_spans, "ranks": sorted(ranks), "names": names}
+
+
+def validate_trace_file(path: str, fmt: Optional[str] = None) -> Dict[str, Any]:
+    """Validate a trace file on disk, sniffing the format if not given."""
+    if fmt is None:
+        fmt = "jsonl" if path.endswith(".jsonl") else "chrome"
+        with open(path) as fh:
+            first = fh.read(1)
+        if first == "{":
+            with open(path) as fh:
+                try:
+                    json.load(fh)
+                    fmt = "chrome"
+                except json.JSONDecodeError:
+                    fmt = "jsonl"
+    if fmt == "chrome":
+        with open(path) as fh:
+            return validate_chrome_trace(json.load(fh))
+    if fmt == "jsonl":
+        return validate_jsonl_trace(read_jsonl(path))
+    raise ValueError(f"unknown trace format {fmt!r}")

@@ -1,0 +1,34 @@
+"""Per-iteration delta bookkeeping shared by every phase accumulator.
+
+Both :class:`repro.util.timing.PhaseTimer` (host wall time) and
+:class:`repro.comm.ledger.PhaseLedger` (modeled cluster time) report
+per-iteration phase breakdowns by differencing monotone running totals.
+Historically each carried its own copy of that ``snapshot()`` logic; this
+module is the single implementation both now delegate to, so the wall and
+modeled views of one run can never drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+class IterationDeltas:
+    """Differences successive snapshots of a monotone per-phase total map.
+
+    ``snapshot(totals)`` records (and returns) the per-phase increase since
+    the previous snapshot; the history lives in :attr:`iterations`, one
+    entry per fixpoint iteration (this drives Fig. 7's iteration trace).
+    """
+
+    __slots__ = ("iterations", "_last")
+
+    def __init__(self) -> None:
+        self.iterations: List[Dict[str, float]] = []
+        self._last: Dict[str, float] = {}
+
+    def snapshot(self, totals: Dict[str, float]) -> Dict[str, float]:
+        delta = {name: totals[name] - self._last.get(name, 0.0) for name in totals}
+        self._last = dict(totals)
+        self.iterations.append(delta)
+        return delta

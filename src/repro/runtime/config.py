@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Literal, Optional
 
 from repro.comm.costmodel import CostModel
+from repro.obs.tracer import Tracer
 
 
 @dataclass
@@ -52,6 +53,12 @@ class EngineConfig:
         Seed for all hashing/placement; fixed seed = bit-reproducible runs.
     track_trace:
         Record per-iteration phase breakdowns (Fig. 7) and vote decisions.
+    tracer:
+        Observability sink (:class:`repro.obs.tracer.Tracer`).  When set,
+        the engine emits nested spans for every pipeline phase, iteration
+        and stratum boundary, per-rank compute/comm lane entries, and a
+        metrics registry — exportable via :mod:`repro.obs.export`.  None
+        (the default) uses the zero-overhead no-op tracer.
     """
 
     n_ranks: int = 4
@@ -73,6 +80,7 @@ class EngineConfig:
     #: this seed (models nondeterministic network arrival order; results
     #: must be unchanged).  None = deterministic delivery.
     reorder_messages_seed: Optional[int] = None
+    tracer: Optional[Tracer] = None
 
     def __post_init__(self) -> None:
         if self.n_ranks < 1:

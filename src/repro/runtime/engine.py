@@ -28,6 +28,7 @@ import numpy as np
 from repro.comm.simcluster import SimCluster
 from repro.core.join_planner import JoinSide, vote_outer_relation
 from repro.core.local_agg import AbsorbStats
+from repro.obs.tracer import NULL_TRACER
 from repro.planner.ast import Program
 from repro.planner.compile_rules import CompiledProgram, CompiledRule, compile_program
 from repro.planner.stratify import Stratum
@@ -55,6 +56,7 @@ class Engine:
 
     def __init__(self, program: Program, config: Optional[EngineConfig] = None):
         self.config = config or EngineConfig()
+        self.tracer = self.config.tracer if self.config.tracer is not None else NULL_TRACER
         self.compiled: CompiledProgram = compile_program(
             program,
             subbuckets=self.config.subbuckets,
@@ -64,6 +66,7 @@ class Engine:
             self.config.n_ranks,
             self.config.cost_model,
             reorder_seed=self.config.reorder_messages_seed,
+            tracer=self.tracer,
         )
         self.store = RelationStore(
             self.config.n_ranks,
@@ -72,7 +75,7 @@ class Engine:
         )
         for schema in self.compiled.schemas.values():
             self.store.declare(schema)
-        self.timer = PhaseTimer()
+        self.timer = PhaseTimer(tracer=self.tracer)
         self.counters: Dict[str, int] = defaultdict(int)
         self.trace: List[IterationTrace] = []
         self._iterations = 0
@@ -158,14 +161,22 @@ class Engine:
 
     def run(self) -> FixpointResult:
         """Evaluate all strata to fixpoint and return the result."""
-        if self.config.auto_balance is not None:
-            for decl in self.compiled.program.edb:
-                if self.store[decl.name].full_size():
-                    self.auto_balance(
-                        decl.name, tolerance=self.config.auto_balance
-                    )
-        for stratum in self.compiled.strata:
-            self._run_stratum(stratum)
+        with self.tracer.span(
+            "run", cat="run", attrs={"n_ranks": self.config.n_ranks}
+        ):
+            if self.config.auto_balance is not None:
+                for decl in self.compiled.program.edb:
+                    if self.store[decl.name].full_size():
+                        with self.tracer.span(
+                            "auto_balance", cat="phase",
+                            attrs={"relation": decl.name},
+                        ):
+                            self.auto_balance(
+                                decl.name, tolerance=self.config.auto_balance
+                            )
+            for stratum in self.compiled.strata:
+                self._run_stratum(stratum)
+        self._finalize_metrics()
         return FixpointResult(
             relations=dict(self.store.relations),
             iterations=self._iterations,
@@ -173,7 +184,30 @@ class Engine:
             timer=self.timer,
             trace=self.trace,
             counters=dict(self.counters),
+            spans=self.tracer.spans,
+            metrics=self.tracer.metrics,
         )
+
+    def _finalize_metrics(self) -> None:
+        """Fold run-level aggregates into the metrics registry."""
+        if not self.tracer.enabled:
+            return
+        metrics = self.tracer.metrics
+        for name, value in self.counters.items():
+            metrics.counter(f"tuples/{name}").inc(value)
+        metrics.gauge("iterations").set(self._iterations)
+        ledger = self.cluster.ledger
+        metrics.gauge("imbalance_ratio").set(ledger.imbalance_ratio())
+        metrics.gauge("modeled_seconds").set(ledger.total_seconds())
+        metrics.gauge("wall_seconds").set(self.timer.total())
+        metrics.histogram("rank_compute_seconds").observe_many(
+            ledger.rank_compute.tolist()
+        )
+        for name, rel in self.store.relations.items():
+            metrics.histogram("relation_tuples_by_rank").observe_many(
+                float(v) for v in rel.full_sizes_by_rank()
+            )
+            metrics.gauge(f"relation_tuples/{name}").set(rel.full_size())
 
     def relation(self, name: str) -> VersionedRelation:
         return self.store[name]
@@ -217,15 +251,30 @@ class Engine:
     # ----------------------------------------------------------- stratum loop
 
     def _run_stratum(self, stratum: Stratum) -> None:
+        with self.tracer.span(
+            "stratum",
+            cat="stratum",
+            stratum=stratum.index,
+            attrs={
+                "relations": sorted(stratum.relations),
+                "recursive": stratum.recursive,
+            },
+        ):
+            self._run_stratum_body(stratum)
+
+    def _run_stratum_body(self, stratum: Stratum) -> None:
         rules = self.compiled.rules_of(stratum)
         recursive_rels = set(stratum.relations)
         it_stats = _IterStats()
         # Seed pass: evaluate every rule naively (all body atoms read the
         # full version).  For non-recursive strata this is the whole job.
-        for cr in rules:
-            self._evaluate_direction(cr, delta_atom=None, stats=it_stats)
-        changed = self._advance_and_count(stratum)
-        self._record_iteration(stratum, 0, it_stats)
+        with self.tracer.span(
+            "iteration", cat="iteration", iteration=0, stratum=stratum.index
+        ):
+            for cr in rules:
+                self._evaluate_direction(cr, delta_atom=None, stats=it_stats)
+            changed = self._advance_and_count(stratum)
+            self._record_iteration(stratum, 0, it_stats)
         if not stratum.recursive:
             return
         iteration = 0
@@ -233,12 +282,18 @@ class Engine:
             iteration += 1
             self._iterations += 1
             it_stats = _IterStats()
-            for cr in rules:
-                for i, rel_name in enumerate(cr.body_names):
-                    if rel_name in recursive_rels:
-                        self._evaluate_direction(cr, delta_atom=i, stats=it_stats)
-            changed = self._advance_and_count(stratum)
-            self._record_iteration(stratum, iteration, it_stats)
+            with self.tracer.span(
+                "iteration",
+                cat="iteration",
+                iteration=iteration,
+                stratum=stratum.index,
+            ):
+                for cr in rules:
+                    for i, rel_name in enumerate(cr.body_names):
+                        if rel_name in recursive_rels:
+                            self._evaluate_direction(cr, delta_atom=i, stats=it_stats)
+                changed = self._advance_and_count(stratum)
+                self._record_iteration(stratum, iteration, it_stats)
         if changed:
             raise RuntimeError(
                 f"stratum {stratum.relations} did not converge within "
@@ -262,7 +317,33 @@ class Engine:
     def _record_iteration(self, stratum: Stratum, iteration: int, st: "_IterStats") -> None:
         if not self.config.track_trace:
             return
+        # One snapshot of each clock; the span stream's iteration_summary
+        # carries both, so the ledger, the timer, and the trace can never
+        # report different per-iteration deltas.
         phase_delta = self.cluster.ledger.snapshot()
+        wall_delta = self.timer.snapshot()
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "iteration_summary",
+                cat="summary",
+                iteration=iteration,
+                stratum=stratum.index,
+                attrs={
+                    "modeled_phase_seconds": phase_delta,
+                    "wall_phase_seconds": wall_delta,
+                    "admitted": st.admitted,
+                    "suppressed": st.suppressed,
+                    "intra_bucket_tuples": st.intra_tuples,
+                    "alltoall_tuples": st.comm_tuples,
+                    "outer_choices": st.outer_choices,
+                },
+            )
+            metrics = self.tracer.metrics
+            metrics.histogram("admitted_per_iteration").observe(st.admitted)
+            metrics.histogram("suppressed_per_iteration").observe(st.suppressed)
+            metrics.histogram("alltoall_tuples_per_iteration").observe(
+                st.comm_tuples
+            )
         self.trace.append(
             IterationTrace(
                 stratum=stratum.index,
@@ -273,6 +354,7 @@ class Engine:
                 outer_choices=st.outer_choices,
                 intra_bucket_tuples=st.intra_tuples,
                 alltoall_tuples=st.comm_tuples,
+                wall_phase_seconds=wall_delta,
             )
         )
 

@@ -3,9 +3,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.comm.ledger import PhaseLedger
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.tracer import Span
 from repro.relational.storage import VersionedRelation
 from repro.util.timing import PhaseTimer
 
@@ -30,6 +32,8 @@ class IterationTrace:
     intra_bucket_tuples: int = 0
     #: Tuples moved during the materializing all-to-all.
     alltoall_tuples: int = 0
+    #: Host wall seconds by phase for this iteration (simulation cost).
+    wall_phase_seconds: Dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -42,6 +46,10 @@ class FixpointResult:
     timer: PhaseTimer
     trace: List[IterationTrace]
     counters: Dict[str, int]
+    #: Closed spans from the run's tracer (empty when tracing is off).
+    spans: List[Span] = field(default_factory=list)
+    #: The run's metrics registry (the no-op registry when tracing is off).
+    metrics: MetricsRegistry = field(default_factory=lambda: NULL_METRICS)
 
     def query(self, name: str) -> Set[TupleT]:
         """Materialize a relation's final contents as a set of tuples."""
@@ -57,3 +65,28 @@ class FixpointResult:
     def wall_seconds(self) -> float:
         """Host wall-clock spent simulating (not a cluster-time claim)."""
         return self.timer.total()
+
+    # ------------------------------------------------------------------- obs
+
+    def spans_named(self, name: str) -> List[Span]:
+        """All spans with the given name (e.g. one pipeline phase)."""
+        return [sp for sp in self.spans if sp.name == name]
+
+    def rank_spans(self, rank: int) -> List[Span]:
+        """One rank's lane: its compute/comm spans, by modeled start."""
+        return sorted(
+            (sp for sp in self.spans if sp.rank == rank),
+            key=lambda sp: sp.modeled_start,
+        )
+
+    def metrics_dict(self) -> Dict[str, object]:
+        """Plain-data view of the metrics registry (JSON-serializable)."""
+        return self.metrics.as_dict()
+
+    def write_trace(
+        self, path: str, fmt: str = "chrome", meta: Optional[Dict[str, object]] = None
+    ) -> int:
+        """Export the span stream (see :func:`repro.obs.export.write_trace`)."""
+        from repro.obs.export import write_trace
+
+        return write_trace(path, self.spans, fmt, metrics=self.metrics, meta=meta)

@@ -5,6 +5,13 @@ balancing, join-order voting, intra-bucket communication, local join,
 all-to-all, and fused dedup/aggregation.  :class:`PhaseTimer` accumulates
 wall-clock time per named phase and supports nesting, so the runtime can
 report exactly those series.
+
+:class:`PhaseTimer` is the *wall-clock* view of the run; its modeled-time
+sibling is :class:`repro.comm.ledger.PhaseLedger`.  Both delegate their
+per-iteration delta bookkeeping to the shared
+:class:`repro.obs.phases.IterationDeltas`, and both mirror their phases
+into an attached :class:`repro.obs.tracer.Tracer` (a no-op by default), so
+the span stream, the timer, and the ledger can never disagree.
 """
 
 from __future__ import annotations
@@ -14,10 +21,18 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List
 
+from repro.obs.phases import IterationDeltas
+from repro.obs.tracer import NULL_TRACER
+
 
 @dataclass
 class Stopwatch:
-    """Accumulating stopwatch; ``with sw: ...`` adds the block's duration."""
+    """Accumulating stopwatch; ``with sw: ...`` adds the block's duration.
+
+    If the block raises, the in-flight interval is *discarded* rather than
+    charged: a half-executed phase has no meaningful duration, and adding
+    it would corrupt the accumulated totals on error paths.
+    """
 
     elapsed: float = 0.0
     count: int = 0
@@ -37,12 +52,19 @@ class Stopwatch:
         self.count += 1
         return dt
 
+    def discard(self) -> None:
+        """Abandon the in-flight interval without charging it."""
+        self._start = None
+
     def __enter__(self) -> "Stopwatch":
         self.start()
         return self
 
-    def __exit__(self, *exc: object) -> None:
-        self.stop()
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        if exc_type is not None:
+            self.discard()
+        else:
+            self.stop()
 
 
 @dataclass
@@ -51,18 +73,29 @@ class PhaseTimer:
 
     ``snapshot()`` closes out the current iteration and records the phase
     totals since the previous snapshot — this drives the per-iteration trace
-    in Fig. 7.
+    in Fig. 7.  When a real tracer is attached, every ``phase(...)`` block
+    additionally opens a wall-clock span in the trace stream.
     """
 
     phases: Dict[str, Stopwatch] = field(default_factory=dict)
-    iterations: List[Dict[str, float]] = field(default_factory=list)
-    _last_totals: Dict[str, float] = field(default_factory=dict)
+    deltas: IterationDeltas = field(default_factory=IterationDeltas)
+    tracer: object = NULL_TRACER
+
+    @property
+    def iterations(self) -> List[Dict[str, float]]:
+        """Per-iteration phase deltas (one dict per ``snapshot()`` call)."""
+        return self.deltas.iterations
 
     @contextmanager
     def phase(self, name: str) -> Iterator[Stopwatch]:
         sw = self.phases.setdefault(name, Stopwatch())
-        with sw:
-            yield sw
+        if self.tracer.enabled:
+            with self.tracer.span(name, cat="phase"):
+                with sw:
+                    yield sw
+        else:
+            with sw:
+                yield sw
 
     def add(self, name: str, seconds: float) -> None:
         """Charge time to a phase without running a block (modeled costs)."""
@@ -78,13 +111,7 @@ class PhaseTimer:
 
     def snapshot(self) -> Dict[str, float]:
         """Record and return the per-phase deltas since the last snapshot."""
-        now = self.totals()
-        delta = {
-            name: now[name] - self._last_totals.get(name, 0.0) for name in now
-        }
-        self._last_totals = now
-        self.iterations.append(delta)
-        return delta
+        return self.deltas.snapshot(self.totals())
 
     def merge(self, other: "PhaseTimer") -> None:
         for name, sw in other.phases.items():

@@ -1,0 +1,426 @@
+"""Observability tests: tracer, metrics, ledger spans, exporters, CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import Engine, EngineConfig, Tracer
+from repro.comm.costmodel import CommEvent
+from repro.comm.ledger import PhaseLedger
+from repro.obs import NULL_TRACER, MetricsRegistry, NullTracer
+from repro.obs.export import (
+    chrome_trace,
+    read_jsonl,
+    validate_chrome_trace,
+    validate_jsonl_trace,
+    validate_trace_file,
+    write_jsonl,
+    write_trace,
+)
+from repro.obs.metrics import Histogram
+from repro.queries.sssp import sssp_program
+
+EDGES = [(0, 1, 4), (0, 2, 9), (1, 2, 1), (2, 3, 2), (3, 1, 1), (3, 4, 3)]
+PIPELINE_PHASES = ("vote", "intra_bucket", "local_join", "comm", "dedup_agg")
+
+
+def run_traced(n_ranks=4, **config_kwargs):
+    tracer = Tracer()
+    engine = Engine(
+        sssp_program(), EngineConfig(n_ranks=n_ranks, tracer=tracer, **config_kwargs)
+    )
+    engine.load("edge", EDGES)
+    engine.load("start", [(0,)])
+    return engine.run(), tracer
+
+
+@pytest.fixture(scope="module")
+def traced():
+    return run_traced()
+
+
+class TestTracer:
+    def test_span_nesting_parent_ids(self):
+        tr = Tracer()
+        with tr.span("outer") as outer:
+            with tr.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        # children close (and are appended) before parents
+        assert [s.name for s in tr.spans] == ["inner", "outer"]
+
+    def test_wall_clock_monotone(self):
+        tr = Tracer()
+        with tr.span("a"):
+            pass
+        (sp,) = tr.spans
+        assert sp.wall_end >= sp.wall_start >= 0.0
+
+    def test_modeled_clock_advances_only_by_charge(self):
+        tr = Tracer()
+        with tr.span("a") as sp:
+            start, end = tr.advance_modeled(2.5)
+        assert (start, end) == (0.0, 2.5)
+        assert sp.modeled_start == 0.0 and sp.modeled_end == 2.5
+        assert sp.modeled_seconds == 2.5
+        with tr.span("b") as sp2:
+            pass
+        assert sp2.modeled_seconds == 0.0  # no charge, no modeled time
+
+    def test_record_inherits_iteration_and_stratum(self):
+        tr = Tracer()
+        with tr.span("iteration", cat="iteration", iteration=3, stratum=1):
+            sp = tr.record("local_join", rank=2, modeled_start=0.0, modeled_end=1.0)
+        assert sp.iteration == 3 and sp.stratum == 1 and sp.rank == 2
+
+    def test_span_closed_on_exception(self):
+        tr = Tracer()
+        with pytest.raises(ValueError):
+            with tr.span("broken"):
+                raise ValueError("boom")
+        assert len(tr.spans) == 1
+        assert tr.spans[0].wall_end >= tr.spans[0].wall_start
+        # the stack unwound: a new span is top-level again
+        with tr.span("next") as sp:
+            pass
+        assert sp.parent_id is None
+
+    def test_instant_zero_duration(self):
+        tr = Tracer()
+        tr.advance_modeled(1.0)
+        sp = tr.instant("mark", attrs={"k": 1})
+        assert sp.modeled_start == sp.modeled_end == 1.0
+        assert sp.wall_seconds == 0.0
+        assert sp.attrs == {"k": 1}
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        tr = NullTracer()
+        assert tr.enabled is False
+        with tr.span("anything", rank=3) as sp:
+            assert sp is None
+        assert tr.spans == []
+        assert tr.record("x") is None
+        assert tr.advance_modeled(5.0) == (0.0, 0.0)
+
+    def test_null_metrics_discard_writes(self):
+        tr = NullTracer()
+        tr.metrics.counter("c").inc(5)
+        tr.metrics.histogram("h").observe_many([1.0, 2.0])
+        assert tr.metrics.as_dict() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+    def test_shared_singleton_never_accumulates(self):
+        engine = Engine(sssp_program(), EngineConfig(n_ranks=2))
+        engine.load("edge", EDGES)
+        engine.load("start", [(0,)])
+        result = engine.run()
+        assert engine.tracer is NULL_TRACER
+        assert result.spans == []
+        assert NULL_TRACER.spans == []
+
+
+class TestMetricsRegistry:
+    def test_get_or_create(self):
+        m = MetricsRegistry()
+        assert m.counter("a") is m.counter("a")
+        m.counter("a").inc()
+        m.counter("a").inc(2)
+        assert m.counter("a").value == 3
+        m.gauge("g").set(1.5)
+        assert m.gauge("g").value == 1.5
+
+    def test_histogram_stats(self):
+        h = Histogram("h")
+        h.observe_many([4, 1, 3, 2])
+        assert h.count == 4
+        assert h.total == 10.0
+        assert h.mean == 2.5
+        assert h.percentile(0) == 1.0
+        assert h.percentile(50) == 2.0
+        assert h.percentile(100) == 4.0
+        s = h.summary()
+        assert s["min"] == 1.0 and s["max"] == 4.0 and s["count"] == 4
+
+    def test_histogram_empty_and_bad_percentile(self):
+        h = Histogram("h")
+        assert h.summary()["count"] == 0
+        assert h.percentile(50) == 0.0
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_as_dict_is_json_serializable(self):
+        m = MetricsRegistry()
+        m.counter("c").inc()
+        m.gauge("g").set(2.0)
+        m.histogram("h").observe(1.0)
+        json.dumps(m.as_dict())
+
+
+class TestLedgerSpans:
+    def test_compute_step_emits_per_rank_spans(self):
+        tr = Tracer()
+        ledger = PhaseLedger(n_ranks=3, tracer=tr)
+        ledger.add_compute_step("local_join", np.array([1.0, 0.5, 0.0]))
+        spans = [s for s in tr.spans if s.cat == "compute"]
+        # rank 2 did no work -> no span; others sized to their own seconds
+        assert {(s.rank, s.modeled_seconds) for s in spans} == {(0, 1.0), (1, 0.5)}
+        # the clock advanced by the superstep max
+        assert tr.modeled_now == 1.0
+        assert ledger.total_seconds() == 1.0
+
+    def test_comm_emits_span_on_every_rank(self):
+        tr = Tracer()
+        ledger = PhaseLedger(n_ranks=4, tracer=tr)
+        ledger.add_comm(CommEvent(
+            kind="alltoallv", phase="comm", nbytes=640, messages=12, seconds=0.25,
+        ))
+        spans = [s for s in tr.spans if s.cat == "comm"]
+        assert sorted(s.rank for s in spans) == [0, 1, 2, 3]
+        assert all(s.name == "alltoallv" for s in spans)
+        assert all(s.attrs["nbytes"] == 640 for s in spans)
+        assert all((s.modeled_start, s.modeled_end) == (0.0, 0.25) for s in spans)
+        assert tr.metrics.counter("comm_bytes").value == 640
+
+    def test_modeled_clock_matches_ledger_total(self):
+        tr = Tracer()
+        ledger = PhaseLedger(n_ranks=2, tracer=tr)
+        ledger.add_compute_step("a", np.array([1.0, 2.0]))
+        ledger.add_compute_scalar("b", 0.5)
+        ledger.add_comm(CommEvent("allreduce", "vote", 8, 2, 0.125))
+        assert tr.modeled_now == pytest.approx(ledger.total_seconds())
+
+    def test_scalar_compute_charges_every_rank(self):
+        """Regression: scalar compute must charge rank_compute (it used to
+        vanish, silently skewing imbalance_ratio downward)."""
+        ledger = PhaseLedger(n_ranks=4)
+        ledger.add_compute_step("a", np.array([4.0, 0.0, 0.0, 0.0]))
+        assert ledger.imbalance_ratio() == pytest.approx(4.0)
+        ledger.add_compute_scalar("a", 1.0)
+        # replicated work: every rank +1 -> max 5, mean 2
+        assert np.allclose(ledger.rank_compute, [5.0, 1.0, 1.0, 1.0])
+        assert ledger.imbalance_ratio() == pytest.approx(2.5)
+        # phase charge is the step time, not n_ranks * step
+        assert ledger.phase("a") == pytest.approx(5.0)
+
+    def test_scalar_only_ledger_is_balanced(self):
+        ledger = PhaseLedger(n_ranks=8)
+        ledger.add_compute_scalar("setup", 2.0)
+        assert ledger.imbalance_ratio() == pytest.approx(1.0)
+        assert float(ledger.rank_compute.sum()) == pytest.approx(16.0)
+
+
+class TestEngineIntegration:
+    def test_all_pipeline_phases_have_spans(self, traced):
+        result, _ = traced
+        names = {s.name for s in result.spans if s.cat == "phase"}
+        for phase in PIPELINE_PHASES:
+            assert phase in names
+
+    def test_rank_lanes_present(self, traced):
+        result, _ = traced
+        assert {s.rank for s in result.spans if s.rank is not None} == {0, 1, 2, 3}
+        lane = result.rank_spans(0)
+        assert lane and all(s.rank == 0 for s in lane)
+        starts = [s.modeled_start for s in lane]
+        assert starts == sorted(starts)
+
+    def test_iteration_and_stratum_spans(self, traced):
+        result, _ = traced
+        iters = [s for s in result.spans if s.cat == "iteration"]
+        assert len(iters) >= result.iterations
+        assert {s.cat for s in result.spans} >= {"run", "stratum", "iteration"}
+
+    def test_span_stream_matches_ledger_and_timer_deltas(self, traced):
+        """Acceptance: PhaseLedger and PhaseTimer report identical
+        per-iteration deltas to the span stream (single source of truth)."""
+        result, _ = traced
+        summaries = [s for s in result.spans if s.name == "iteration_summary"]
+        assert summaries
+        assert [s.attrs["modeled_phase_seconds"] for s in summaries] == (
+            result.ledger.iterations
+        )
+        assert [s.attrs["wall_phase_seconds"] for s in summaries] == (
+            result.timer.iterations
+        )
+        assert [t.phase_seconds for t in result.trace] == result.ledger.iterations
+        assert [t.wall_phase_seconds for t in result.trace] == result.timer.iterations
+
+    def test_modeled_clock_equals_modeled_seconds(self, traced):
+        result, tracer = traced
+        assert tracer.modeled_now == pytest.approx(result.modeled_seconds())
+
+    def test_metrics_populated(self, traced):
+        result, _ = traced
+        md = result.metrics_dict()
+        assert md["counters"]["tuples/admitted"] == result.counters["admitted"]
+        assert md["gauges"]["iterations"] == result.iterations
+        assert md["histograms"]["rank_compute_seconds"]["count"] == 4
+        assert md["histograms"]["admitted_per_iteration"]["count"] == len(result.trace)
+
+    def test_traced_run_result_unchanged(self, traced):
+        """Tracing is observation only: results match an untraced run."""
+        result, _ = traced
+        engine = Engine(sssp_program(), EngineConfig(n_ranks=4))
+        engine.load("edge", EDGES)
+        engine.load("start", [(0,)])
+        untraced = engine.run()
+        assert untraced.query("spath") == result.query("spath")
+        assert untraced.modeled_seconds() == pytest.approx(result.modeled_seconds())
+        assert untraced.ledger.comm.bytes_total == result.ledger.comm.bytes_total
+
+
+class TestChromeExport:
+    def test_valid_and_loadable(self, traced, tmp_path):
+        result, _ = traced
+        path = str(tmp_path / "trace.json")
+        n = result.write_trace(path, "chrome")
+        with open(path) as fh:
+            obj = json.load(fh)
+        stats = validate_chrome_trace(obj)
+        assert stats["events"] == n
+        assert stats["rank_lanes"] == [0, 1, 2, 3]
+        for phase in PIPELINE_PHASES:
+            assert phase in stats["names"]
+
+    def test_process_metadata_names_ranks(self, traced):
+        result, _ = traced
+        obj = chrome_trace(result.spans)
+        meta = {
+            ev["pid"]: ev["args"]["name"]
+            for ev in obj["traceEvents"]
+            if ev["ph"] == "M" and ev["name"] == "process_name"
+        }
+        assert meta[0] == "driver (wall clock)"
+        assert meta[1] == "rank 0 (modeled)"
+        assert len(meta) == 5  # driver + 4 ranks
+
+    def test_timestamps_non_negative_and_nested(self, traced):
+        result, _ = traced
+        stats = validate_chrome_trace(chrome_trace(result.spans))
+        assert stats["events"] > 0  # validator enforces ts/dur/nesting
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError, match="traceEvents"):
+            validate_chrome_trace({"foo": 1})
+        with pytest.raises(ValueError, match="missing"):
+            validate_chrome_trace({"traceEvents": [{"ph": "X", "name": "x"}]})
+        with pytest.raises(ValueError, match="negative"):
+            validate_chrome_trace({"traceEvents": [
+                {"ph": "X", "name": "x", "pid": 0, "tid": 0, "ts": -1, "dur": 1}
+            ]})
+
+    def test_rejects_overlapping_lane(self):
+        events = [
+            {"ph": "X", "name": "a", "pid": 1, "tid": 0, "ts": 0, "dur": 10},
+            {"ph": "X", "name": "b", "pid": 1, "tid": 0, "ts": 5, "dur": 10},
+        ]
+        with pytest.raises(ValueError, match="overlaps"):
+            validate_chrome_trace({"traceEvents": events})
+
+
+class TestJsonlExport:
+    def test_round_trip(self, traced, tmp_path):
+        result, _ = traced
+        path = str(tmp_path / "trace.jsonl")
+        n = write_jsonl(path, result.spans, result.metrics, meta={"k": "v"})
+        records = read_jsonl(path)
+        assert len(records) == n
+        assert records[0]["type"] == "meta" and records[0]["k"] == "v"
+        stats = validate_jsonl_trace(records)
+        assert stats["spans"] == len(result.spans)
+        assert stats["ranks"] == [0, 1, 2, 3]
+        for phase in PIPELINE_PHASES:
+            assert phase in stats["names"]
+
+    def test_validator_rejects_backwards_clocks(self, traced, tmp_path):
+        result, _ = traced
+        records = [json.loads(json.dumps(r)) for r in
+                   read_jsonl_path(tmp_path, result)]
+        for rec in records:
+            if rec.get("type") == "span":
+                rec["modeled_end"] = rec["modeled_start"] - 1.0
+                break
+        with pytest.raises(ValueError, match="backwards"):
+            validate_jsonl_trace(records)
+
+    def test_validator_rejects_span_count_mismatch(self, traced, tmp_path):
+        result, _ = traced
+        records = read_jsonl_path(tmp_path, result)
+        with pytest.raises(ValueError, match="spans"):
+            validate_jsonl_trace(records[:-2])
+
+
+def read_jsonl_path(tmp_path, result):
+    path = str(tmp_path / "rt.jsonl")
+    write_jsonl(path, result.spans)
+    return read_jsonl(path)
+
+
+class TestWriteTraceDispatch:
+    def test_unknown_format_rejected(self, traced, tmp_path):
+        result, _ = traced
+        with pytest.raises(ValueError, match="unknown trace format"):
+            write_trace(str(tmp_path / "x"), result.spans, "protobuf")
+
+    def test_validate_trace_file_sniffs_format(self, traced, tmp_path):
+        result, _ = traced
+        chrome = str(tmp_path / "a.json")
+        jsonl = str(tmp_path / "b.out")
+        result.write_trace(chrome, "chrome")
+        result.write_trace(jsonl, "jsonl")
+        assert validate_trace_file(chrome)["rank_lanes"] == [0, 1, 2, 3]
+        assert validate_trace_file(jsonl)["ranks"] == [0, 1, 2, 3]
+
+
+class TestCli:
+    def test_run_with_trace_and_json(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = str(tmp_path / "trace.json")
+        rc = main([
+            "run", "sssp", "--dataset", "topcats", "--ranks", "4",
+            "--scale-shift", "4", "--trace", path, "--json",
+        ])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["iterations"] > 0
+        assert set(PIPELINE_PHASES) <= set(report["phase_seconds"])
+        assert report["trace"]["format"] == "chrome"
+        assert validate_trace_file(path)["rank_lanes"] == [0, 1, 2, 3]
+
+    def test_query_with_jsonl_trace(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = str(tmp_path / "trace.jsonl")
+        rc = main([
+            "query", "examples/programs/sssp.dl", "--ranks", "4",
+            "--trace", path, "--trace-format", "jsonl",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out and "rank" in out
+        stats = validate_trace_file(path)
+        assert stats["ranks"] == [0, 1, 2, 3]
+
+    def test_query_json_report(self, capsys):
+        from repro.cli import main
+
+        rc = main(["query", "examples/programs/sssp.dl", "--ranks", "2", "--json"])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["outputs"]["spath"] > 0
+        assert "phase_seconds" in report
+
+    def test_spmd_rejects_trace(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="BSP"):
+            main([
+                "query", "examples/programs/sssp.dl", "--spmd",
+                "--trace", str(tmp_path / "t.json"),
+            ])

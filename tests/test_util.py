@@ -32,6 +32,31 @@ class TestStopwatch:
         with pytest.raises(RuntimeError):
             Stopwatch().stop()
 
+    def test_exception_discards_interval(self):
+        """A block that raises must not pollute elapsed/count."""
+        sw = Stopwatch()
+        with sw:
+            pass
+        elapsed, count = sw.elapsed, sw.count
+        with pytest.raises(ValueError):
+            with sw:
+                time.sleep(0.001)
+                raise ValueError("boom")
+        assert sw.elapsed == elapsed
+        assert sw.count == count
+        # and the watch is reusable afterwards
+        with sw:
+            pass
+        assert sw.count == count + 1
+
+    def test_discard_is_idempotent(self):
+        sw = Stopwatch()
+        sw.discard()  # no-op when not running
+        sw.start()
+        sw.discard()
+        sw.discard()
+        assert sw.elapsed == 0.0 and sw.count == 0
+
 
 class TestPhaseTimer:
     def test_phase_accumulation(self):
@@ -68,6 +93,42 @@ class TestPhaseTimer:
         b.add("y", 3.0)
         a.merge(b)
         assert a.totals() == {"x": 3.0, "y": 3.0}
+
+    def test_merge_empty_timers(self):
+        a, b = PhaseTimer(), PhaseTimer()
+        a.merge(b)
+        assert a.totals() == {}
+        b.add("x", 1.0)
+        a.merge(PhaseTimer())
+        a.merge(b)
+        assert a.totals() == {"x": 1.0}
+
+    def test_snapshot_empty_timer(self):
+        t = PhaseTimer()
+        assert t.snapshot() == {}
+        assert t.iterations == [{}]
+
+    def test_snapshot_phase_appearing_mid_run(self):
+        t = PhaseTimer()
+        t.add("x", 1.0)
+        first = t.snapshot()
+        t.add("y", 2.0)
+        second = t.snapshot()
+        assert first == {"x": 1.0}
+        # a phase first seen in iteration 2 deltas from zero; earlier
+        # phases stay listed with a zero delta
+        assert second == {"x": 0.0, "y": 2.0}
+
+    def test_repeated_snapshots_yield_zero_deltas(self):
+        t = PhaseTimer()
+        t.add("x", 1.0)
+        t.snapshot()
+        again = t.snapshot()
+        assert all(v == 0.0 for v in again.values())
+        assert len(t.iterations) == 2
+        assert sum(d.get("x", 0.0) for d in t.iterations) == pytest.approx(
+            t.totals()["x"]
+        )
 
 
 class TestInterner:
