@@ -1,0 +1,30 @@
+"""PR 2 — columnar vs scalar executor on the fixpoint hot path.
+
+Runs SSSP and CC on the twitter stand-in through both executors (fixed
+seed, 64 ranks) and reports per-phase host wall seconds.  The columnar
+kernels are a pure simulation-speed optimization: the benchmark asserts
+results and modeled ledgers are identical before reporting any speedup.
+
+``paralagg bench`` produces the same report as JSON (``BENCH_PR2.json``).
+"""
+
+from repro.experiments import hotpath
+
+
+def test_hotpath_executor_speedup(once, defaults):
+    report = once(
+        hotpath.run_hotpath_bench,
+        ranks=64,
+        seed=defaults.seed,
+        scale_shift=defaults.scale_shift,
+    )
+    print()
+    print(hotpath.render(report))
+    # Correctness is gating: both executors must agree bit-for-bit.
+    for query, q in report["queries"].items():
+        assert q["identical_results"], f"{query}: results differ across executors"
+        assert q["identical_ledger"], f"{query}: modeled ledgers differ"
+    # The speedup itself is informational at reduced benchmark scale
+    # (fixed per-batch overheads dominate tiny graphs); the full-scale
+    # acceptance number lives in BENCH_PR2.json / EXPERIMENTS.md.
+    assert report["end_to_end_speedup"] > 0

@@ -81,6 +81,7 @@ class RaSQLLikeEngine(Engine):
             static_outer="left",
             subbuckets={},                # no spatial load balancing
             default_subbuckets=1,
+            executor="scalar",            # models per-tuple JVM processing
         )
         if config.cost_model is None:
             config = replace(config, cost_model=rasql_cost_model())

@@ -141,6 +141,26 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="max tuples to print per output relation")
     _add_obs_flags(query)
 
+    bench = sub.add_parser(
+        "bench",
+        help="benchmark the scalar vs columnar executors on the fixpoint "
+             "hot path and verify they agree bit-for-bit",
+    )
+    bench.add_argument("--dataset", default="twitter_like")
+    bench.add_argument("--ranks", type=int, default=64)
+    bench.add_argument("--scale-shift", type=int, default=0,
+                       help="halve the graph's linear scale this many times")
+    bench.add_argument("--seed", type=int, default=42)
+    bench.add_argument("--subbuckets", type=int, default=8)
+    bench.add_argument("--sources", default="0,1,2",
+                       help="comma-separated SSSP source vertices")
+    bench.add_argument("--queries", default="sssp,cc",
+                       help="comma-separated subset of sssp,cc")
+    bench.add_argument("--output", default="BENCH_PR2.json", metavar="PATH",
+                       help="write the JSON report here ('-' to skip)")
+    bench.add_argument("--json", action="store_true",
+                       help="print the JSON report instead of the table")
+
     exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     exp.add_argument(
         "name",
@@ -217,6 +237,31 @@ def _cmd_run(args: argparse.Namespace) -> int:
     report = _base_report(fp, ranks=args.ranks)
     report.update(summary)
     return _finish_obs(args, fp, report)
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.experiments import hotpath
+
+    report = hotpath.run_hotpath_bench(
+        dataset=args.dataset,
+        ranks=args.ranks,
+        seed=args.seed,
+        scale_shift=args.scale_shift,
+        sources=[int(s) for s in args.sources.split(",") if s],
+        edge_subbuckets=args.subbuckets,
+        queries=[q for q in args.queries.split(",") if q],
+    )
+    if args.output != "-":
+        with open(args.output, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(hotpath.render(report))
+        if args.output != "-":
+            print(f"[report written to {args.output}]")
+    return 0 if report["all_identical"] else 1
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -341,6 +386,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "query":
         return _cmd_query(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     return _cmd_experiment(args)
 
 

@@ -36,6 +36,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
+import numpy as np
+
 from repro.core.aggregators import RecursiveAggregator
 from repro.ds.btree import BTreeMap
 from repro.relational.schema import Schema
@@ -80,7 +82,7 @@ class AbsorbStats:
 class _ShardBase:
     """Interface shared by plain and aggregate shards."""
 
-    __slots__ = ("schema", "full", "delta", "_next_delta", "n_full")
+    __slots__ = ("schema", "full", "delta", "_next_delta", "n_full", "n_delta", "_n_next")
 
     def __init__(self, schema: Schema, use_btree: bool = False):
         self.schema = schema
@@ -89,6 +91,11 @@ class _ShardBase:
         self.delta: Dict[TupleT, Dict[TupleT, TupleT]] = {}
         self._next_delta: Dict[TupleT, Dict[TupleT, TupleT]] = {}
         self.n_full = 0
+        #: |Δ| and |next Δ|, maintained incrementally so ``delta_size`` is
+        #: O(1) — an improvement only counts on its *first* entry into the
+        #: pending Δ (later improvements of the same group overwrite).
+        self.n_delta = 0
+        self._n_next = 0
 
     # ------------------------------------------------------------- iteration
 
@@ -96,11 +103,14 @@ class _ShardBase:
         """Promote the freshly absorbed tuples to Δ; return |Δ|."""
         self.delta = self._next_delta
         self._next_delta = {}
-        return self.delta_size()
+        self.n_delta = self._n_next
+        self._n_next = 0
+        return self.n_delta
 
     def seed_delta_from_full(self) -> None:
         """Make Δ = full (used when (re)starting a fixpoint from loaded data)."""
         self.delta = {jk: dict(group) for jk, group in self.full.items()}
+        self.n_delta = self.n_full
 
     # ----------------------------------------------------------------- sizes
 
@@ -108,7 +118,7 @@ class _ShardBase:
         return self.n_full
 
     def delta_size(self) -> int:
-        return sum(len(g) for g in self.delta.values())
+        return self.n_delta
 
     # ------------------------------------------------------------- iterators
 
@@ -134,6 +144,28 @@ class _ShardBase:
     def count_full(self, jk: TupleT) -> int:
         group = self.full.get(jk)
         return len(group) if group else 0
+
+    # ------------------------------------------------------- block interface
+    # Dict shards interoperate with the columnar executor through these
+    # adapters (used for aggregators without a vector combiner, and for
+    # the columnar join index over scalar-stored relations).
+
+    def absorb_block(
+        self, rows: "np.ndarray", stats: Optional[AbsorbStats] = None
+    ) -> int:
+        """Absorb an ``(n, arity)`` int64 row-block (same order as rows)."""
+        return self.absorb(
+            [tuple(r) for r in rows.tolist()], stats
+        )  # type: ignore[attr-defined]
+
+    def version_block(self, version: str) -> "np.ndarray":
+        """One version's tuples as an ``(n, arity)`` int64 block, in the
+        shard's nested iteration order."""
+        it = self.iter_full() if version == "full" else self.iter_delta()
+        rows = list(it)
+        if not rows:
+            return np.empty((0, self.schema.arity), dtype=np.int64)
+        return np.asarray(rows, dtype=np.int64)
 
 
 class PlainShard(_ShardBase):
@@ -175,6 +207,7 @@ class PlainShard(_ShardBase):
             if dgroup is None:
                 dgroup = next_delta[jk] = {}
             dgroup[other] = t
+            self._n_next += 1
             admitted += 1
             if collect is not None:
                 collect.append(t)
@@ -239,6 +272,7 @@ class AggregateShard(_ShardBase):
                 if dgroup is None:
                     dgroup = next_delta[jk] = {}
                 dgroup[other] = t
+                self._n_next += 1
                 admitted += 1
                 if collect is not None:
                     collect.append(t)
@@ -251,6 +285,8 @@ class AggregateShard(_ShardBase):
                 dgroup = next_delta.get(jk)
                 if dgroup is None:
                     dgroup = next_delta[jk] = {}
+                if other not in dgroup:
+                    self._n_next += 1
                 dgroup[other] = new_t
                 admitted += 1
                 if collect is not None:
@@ -272,8 +308,21 @@ class AggregateShard(_ShardBase):
         return None if t is None else t[self.schema.n_indep:]
 
 
-def make_shard(schema: Schema, use_btree: bool = False) -> _ShardBase:
-    """Factory selecting the shard flavour from the schema."""
+def make_shard(schema: Schema, use_btree: bool = False, columnar: bool = False):
+    """Factory selecting the shard flavour from the schema.
+
+    ``columnar=True`` returns a numpy-backed shard from
+    :mod:`repro.kernels.absorb` when the schema's aggregator has a vector
+    combiner (always, for plain schemas); aggregators without one (custom
+    or product lattices) fall back to the dict shards above, which the
+    columnar executor drives through their block adapters.
+    """
+    if columnar and not use_btree:
+        from repro.kernels.absorb import columnar_shard_for
+
+        shard = columnar_shard_for(schema)
+        if shard is not None:
+            return shard
     if schema.is_aggregate:
         return AggregateShard(schema, use_btree)
     return PlainShard(schema, use_btree)

@@ -1,0 +1,154 @@
+"""Hot-path executor benchmark: scalar vs columnar kernels (PR 2).
+
+Runs the same workloads through both executors, records *host wall
+seconds* per pipeline phase (the simulation's own cost, not modeled
+cluster time), and verifies the two executors produced byte-identical
+results and identical modeled ledgers — the columnar kernels are a pure
+simulation-speed optimization and must be invisible to every modeled
+number.
+
+``paralagg bench`` drives this module and writes the JSON report
+(``BENCH_PR2.json`` by default) consumed by CI's perf-smoke job.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.graphs.datasets import load_dataset
+from repro.runtime.config import EngineConfig
+
+#: Phases reported per executor (matches engine.PHASES plus load).
+_PHASES = (
+    "load", "vote", "intra_bucket", "local_join", "comm", "dedup_agg", "other",
+)
+
+
+def _run_one(query: str, graph, config: EngineConfig, sources: Sequence[int]):
+    from repro.queries import run_cc, run_sssp
+
+    t0 = time.perf_counter()
+    if query == "sssp":
+        res = run_sssp(graph, list(sources), config)
+    elif query == "cc":
+        res = run_cc(graph, config)
+    else:
+        raise ValueError(f"unknown bench query {query!r}")
+    wall = time.perf_counter() - t0
+    return res, wall
+
+
+def _executor_report(fp, wall: float) -> Dict[str, object]:
+    totals = fp.timer.totals()
+    return {
+        "wall_seconds": wall,
+        "phase_wall_seconds": {p: totals.get(p, 0.0) for p in _PHASES},
+        "modeled_seconds": fp.modeled_seconds(),
+        "iterations": fp.iterations,
+    }
+
+
+def run_hotpath_bench(
+    *,
+    dataset: str = "twitter_like",
+    ranks: int = 64,
+    seed: int = 42,
+    scale_shift: int = 0,
+    sources: Sequence[int] = (0, 1, 2),
+    edge_subbuckets: int = 8,
+    queries: Sequence[str] = ("sssp", "cc"),
+) -> Dict[str, object]:
+    """Benchmark both executors; return the comparison report.
+
+    Every modeled quantity (results, counters, ledger totals) is asserted
+    identical across executors — a speedup that changed any result would
+    be a correctness bug, not a win.
+    """
+    graph = load_dataset(dataset, seed=seed, scale_shift=scale_shift)
+    report: Dict[str, object] = {
+        "benchmark": "hotpath_executor",
+        "dataset": dataset,
+        "edges": int(graph.edges.shape[0]),
+        "ranks": ranks,
+        "seed": seed,
+        "scale_shift": scale_shift,
+        "edge_subbuckets": edge_subbuckets,
+        "queries": {},
+    }
+    speedups: List[float] = []
+    total_wall = {"scalar": 0.0, "columnar": 0.0}
+    for query in queries:
+        per_exec: Dict[str, Dict[str, object]] = {}
+        summaries = {}
+        answers = {}
+        for executor in ("scalar", "columnar"):
+            config = EngineConfig(
+                n_ranks=ranks,
+                subbuckets={"edge": edge_subbuckets},
+                seed=seed,
+                executor=executor,
+            )
+            res, wall = _run_one(query, graph, config, sources)
+            fp = res.fixpoint
+            per_exec[executor] = _executor_report(fp, wall)
+            summaries[executor] = fp.summary()
+            answers[executor] = (
+                res.distances if query == "sssp" else res.labels
+            )
+            total_wall[executor] += wall
+        identical_results = answers["scalar"] == answers["columnar"]
+        identical_ledger = summaries["scalar"] == summaries["columnar"]
+        sw = per_exec["scalar"]["wall_seconds"]
+        cw = per_exec["columnar"]["wall_seconds"]
+        speedup = sw / cw if cw > 0 else float("inf")
+        speedups.append(speedup)
+        phase_speedup = {}
+        for p in _PHASES:
+            s = per_exec["scalar"]["phase_wall_seconds"][p]
+            c = per_exec["columnar"]["phase_wall_seconds"][p]
+            if c > 0:
+                phase_speedup[p] = s / c
+        report["queries"][query] = {
+            "scalar": per_exec["scalar"],
+            "columnar": per_exec["columnar"],
+            "speedup": speedup,
+            "phase_speedup": phase_speedup,
+            "identical_results": identical_results,
+            "identical_ledger": identical_ledger,
+        }
+    report["end_to_end_speedup"] = (
+        total_wall["scalar"] / total_wall["columnar"]
+        if total_wall["columnar"] > 0
+        else float("inf")
+    )
+    report["all_identical"] = all(
+        q["identical_results"] and q["identical_ledger"]
+        for q in report["queries"].values()
+    )
+    return report
+
+
+def render(report: Dict[str, object]) -> str:
+    """Human-readable table of the benchmark report."""
+    lines = [
+        f"hot-path executor benchmark — {report['dataset']} "
+        f"({report['edges']} edges), {report['ranks']} ranks, "
+        f"seed {report['seed']}",
+        f"{'query':8s} {'executor':9s} {'wall s':>8s} "
+        f"{'join s':>8s} {'dedup s':>8s} {'comm s':>8s} {'speedup':>8s}",
+    ]
+    for query, q in report["queries"].items():
+        for executor in ("scalar", "columnar"):
+            e = q[executor]
+            ph = e["phase_wall_seconds"]
+            tag = f"{q['speedup']:7.2f}x" if executor == "columnar" else ""
+            lines.append(
+                f"{query:8s} {executor:9s} {e['wall_seconds']:8.2f} "
+                f"{ph['local_join']:8.2f} {ph['dedup_agg']:8.2f} "
+                f"{ph['comm']:8.2f} {tag:>8s}"
+            )
+        ok = "yes" if q["identical_results"] and q["identical_ledger"] else "NO"
+        lines.append(f"{'':8s} identical results+ledger: {ok}")
+    lines.append(f"end-to-end speedup: {report['end_to_end_speedup']:.2f}x")
+    return "\n".join(lines)

@@ -22,6 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.core.aggregators import make_aggregator
 from repro.planner.ast import (
     AggTerm,
@@ -57,8 +59,8 @@ def _var_positions(atom: Atom) -> Dict[str, int]:
     return out
 
 
-def _compile_match(atom: Atom) -> Optional[Callable[[TupleT], bool]]:
-    """Constant filters + repeated-variable equality for one body atom."""
+def _match_checks(atom: Atom) -> Tuple[List[Tuple[int, int]], List[Tuple[int, int]]]:
+    """Constant filters + repeated-variable equality pairs for one atom."""
     const_checks: List[Tuple[int, int]] = []
     eq_checks: List[Tuple[int, int]] = []
     first: Dict[str, int] = {}
@@ -77,6 +79,12 @@ def _compile_match(atom: Atom) -> Optional[Callable[[TupleT], bool]]:
                 f"body atom {atom!r} may contain only variables and constants, "
                 f"found {t!r}"
             )
+    return const_checks, eq_checks
+
+
+def _compile_match(atom: Atom) -> Optional[Callable[[TupleT], bool]]:
+    """Constant filters + repeated-variable equality for one body atom."""
+    const_checks, eq_checks = _match_checks(atom)
     if not const_checks and not eq_checks:
         return None
 
@@ -90,6 +98,35 @@ def _compile_match(atom: Atom) -> Optional[Callable[[TupleT], bool]]:
         return True
 
     return match
+
+
+class BlockMatch:
+    """The vectorized twin of a scalar match predicate: rows → bool mask."""
+
+    __slots__ = ("const_checks", "eq_checks")
+
+    def __init__(
+        self,
+        const_checks: Sequence[Tuple[int, int]],
+        eq_checks: Sequence[Tuple[int, int]],
+    ):
+        self.const_checks = tuple(const_checks)
+        self.eq_checks = tuple(eq_checks)
+
+    def mask(self, rows: np.ndarray) -> np.ndarray:
+        mask = np.ones(rows.shape[0], dtype=bool)
+        for i, v in self.const_checks:
+            mask &= rows[:, i] == v
+        for i, j in self.eq_checks:
+            mask &= rows[:, i] == rows[:, j]
+        return mask
+
+
+def _compile_match_block(atom: Atom) -> Optional[BlockMatch]:
+    const_checks, eq_checks = _match_checks(atom)
+    if not const_checks and not eq_checks:
+        return None
+    return BlockMatch(const_checks, eq_checks)
 
 
 Binding = Dict[str, Tuple[int, int]]  # var name -> (side, column); side 0=left
@@ -135,6 +172,98 @@ def _compile_emit(head: Atom, binding: Binding) -> Callable[[TupleT, TupleT], Tu
     return eval(source, env)  # noqa: S307 — source built from whitelisted parts
 
 
+# Binary operators with a known vectorized equivalent.  ``//`` is handled
+# separately (numpy yields 0 on zero divisors where Python raises); custom
+# operators added via ``register_function`` have no array form, so rules
+# using them force the engine onto the scalar executor.
+_VECTOR_OPS: Dict[str, Callable[..., np.ndarray]] = {
+    "+": np.add,
+    "-": np.subtract,
+    "*": np.multiply,
+    "min": np.minimum,
+    "max": np.maximum,
+}
+
+
+def _block_floordiv(a, b):
+    if isinstance(b, (int, np.integer)):
+        if b == 0:
+            raise ZeroDivisionError("integer division or modulo by zero")
+    elif not np.all(b):
+        raise ZeroDivisionError("integer division or modulo by zero")
+    return a // b
+
+
+def _compile_term_block(
+    expr: Expr, binding: Binding
+) -> Tuple[Optional[Callable], bool]:
+    """Compile one head expression to a block evaluator over (lt, rt).
+
+    The evaluator returns either an int64 column or a Python int (a
+    constant subtree, broadcast at assignment).  Returns ``(None, False)``
+    when the expression uses an operator with no vector form.
+    """
+    if isinstance(expr, Const):
+        v = int(expr.value)
+        return (lambda lt, rt: v), True
+    if isinstance(expr, Var):
+        if _is_wild(expr):
+            raise ValueError("wildcard '_' cannot appear in a rule head")
+        try:
+            side, col = binding[expr.name]
+        except KeyError:
+            raise ValueError(f"head variable {expr.name!r} unbound in body") from None
+        if side == 0:
+            return (lambda lt, rt: lt[:, col]), True
+        return (lambda lt, rt: rt[:, col]), True
+    if isinstance(expr, BinOp):
+        lf, lok = _compile_term_block(expr.left, binding)
+        rf, rok = _compile_term_block(expr.right, binding)
+        if not (lok and rok):
+            return None, False
+        if expr.op == "//":
+            return (lambda lt, rt: _block_floordiv(lf(lt, rt), rf(lt, rt))), True
+        op = _VECTOR_OPS.get(expr.op)
+        if op is None:
+            return None, False
+        return (lambda lt, rt: op(lf(lt, rt), rf(lt, rt))), True
+    raise TypeError(f"cannot compile expression {expr!r}")
+
+
+class EmitSpec:
+    """Columnar head emitter: evaluate every head term over row-blocks.
+
+    ``eval_block(lt, rt)`` computes the ``(n, arity)`` head block for
+    ``n`` matched pairs; ``lt``/``rt`` are the gathered left/right body
+    blocks (``rt`` may be None for copy rules).  ``vectorizable`` is
+    False when any head term uses an operator without an array form —
+    the engine then falls back to the scalar executor wholesale.
+    """
+
+    __slots__ = ("_fns", "arity", "vectorizable")
+
+    def __init__(self, head: Atom, binding: Binding):
+        fns = []
+        ok = True
+        for t in head.terms:
+            expr = t.expr if isinstance(t, AggTerm) else t
+            fn, fn_ok = _compile_term_block(expr, binding)
+            ok = ok and fn_ok
+            fns.append(fn)
+        self._fns = tuple(fns)
+        self.arity = len(fns)
+        self.vectorizable = ok
+
+    def eval_block(self, lt: Optional[np.ndarray], rt: Optional[np.ndarray]) -> np.ndarray:
+        if not self.vectorizable:
+            raise RuntimeError("EmitSpec is not vectorizable")
+        n = lt.shape[0] if lt is not None else rt.shape[0]
+        out = np.empty((n, self.arity), dtype=np.int64)
+        for i, fn in enumerate(self._fns):
+            out[:, i] = fn(lt, rt)
+        return out
+
+
 @dataclass
 class CompiledRule:
     """Executable form of one rule."""
@@ -161,6 +290,11 @@ class CompiledRule:
     #: Compiled extractors for the two probe directions (hot path).
     probe_get_left: Callable[[TupleT], TupleT] = field(repr=False, default=None)  # type: ignore[assignment]
     probe_get_right: Callable[[TupleT], TupleT] = field(repr=False, default=None)  # type: ignore[assignment]
+    #: Columnar twins (see repro.kernels): per-atom block predicates and
+    #: the batch head emitter.  ``emit_spec.vectorizable`` False forces
+    #: the engine onto the scalar executor for the whole program.
+    matches_block: Tuple[Optional[BlockMatch], ...] = field(repr=False, default=())
+    emit_spec: Optional[EmitSpec] = field(repr=False, default=None)
 
     def __repr__(self) -> str:
         return f"CompiledRule({self.rule!r})"
@@ -180,6 +314,8 @@ def _compile_rule(rule: Rule) -> CompiledRule:
             body_names=(atom.relation,),
             matches=(_compile_match(atom),),
             emit=_compile_emit(head, binding),
+            matches_block=(_compile_match_block(atom),),
+            emit_spec=EmitSpec(head, binding),
         )
 
     left, right = rule.body
@@ -209,6 +345,8 @@ def _compile_rule(rule: Rule) -> CompiledRule:
         body_names=(left.relation, right.relation),
         matches=(_compile_match(left), _compile_match(right)),
         emit=_compile_emit(head, binding),
+        matches_block=(_compile_match_block(left), _compile_match_block(right)),
+        emit_spec=EmitSpec(head, binding),
         left_key_cols=left_key_cols,
         right_key_cols=right_key_cols,
         probe_from_left=probe_from_left,

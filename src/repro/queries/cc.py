@@ -84,7 +84,7 @@ def run_cc(
         else config.subbuckets.get("edge", config.default_subbuckets)
     )
     engine = Engine(cc_program(edge_subbuckets=n_sub), config)
-    engine.load("edge", g.tuples())
+    engine.load("edge", g.edges)  # ndarray fast path (no tuple boxing)
     result = engine.run()
     labels = {t[0]: t[1] for t in result.query("cc")}
     reps = {t[0] for t in result.query("cc_rep")}

@@ -70,12 +70,12 @@ def run_pagerank(
         return np.zeros(0)
     deg = g.out_degrees()
     deg_tuples = [(int(v), int(deg[v])) for v in range(n) if deg[v] > 0]
-    edge_tuples = g.tuples()
+    edge_rows = g.edges  # ndarray fast path through VersionedRelation.load
     n_sub = config.subbuckets.get("edge", config.default_subbuckets)
     pr = np.full(n, scale // n, dtype=np.int64)
     for _ in range(iterations):
         engine = Engine(_round_program(n_sub), config)
-        engine.load("edge", edge_tuples)
+        engine.load("edge", edge_rows)
         engine.load("deg", deg_tuples)
         engine.load("pr", [(int(v), int(pr[v])) for v in range(n)])
         result = engine.run()

@@ -91,7 +91,7 @@ def run_sssp(
         else config.subbuckets.get("edge", config.default_subbuckets)
     )
     engine = Engine(sssp_program(edge_subbuckets=n_sub), config)
-    engine.load("edge", graph.tuples())
+    engine.load("edge", graph.edges)  # ndarray fast path (no tuple boxing)
     engine.load("start", [(int(s),) for s in sources])
     result = engine.run()
     distances = {

@@ -18,6 +18,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 import numpy as np
 
 from repro.core.local_agg import AbsorbStats, make_shard, _ShardBase
+from repro.kernels.block import lex_group
 from repro.relational.distribution import Distribution
 from repro.relational.schema import Schema
 from repro.util.hashing import HashSeed
@@ -36,15 +37,23 @@ class VersionedRelation:
         *,
         seed: Optional[HashSeed] = None,
         use_btree: bool = False,
+        layout: str = "scalar",
     ):
         self.schema = schema
         self.n_ranks = n_ranks
         self.dist = Distribution(schema, n_ranks, seed)
         self.use_btree = use_btree
+        self.layout = layout
         self.shards: Dict[ShardKey, _ShardBase] = {}
         # (bucket, rank) → probe shard list, invalidated when shards appear.
         self._probe_cache: Dict[Tuple[int, int], List[_ShardBase]] = {}
         self._probe_cache_token = 0
+        #: Version generations for join-index caching: ``full_gen`` bumps
+        #: whenever any shard's full version changes, ``delta_gen`` whenever
+        #: Δ is replaced.  An index built at generation g stays valid while
+        #: the generation holds.
+        self.full_gen = 0
+        self.delta_gen = 0
 
     # ---------------------------------------------------------------- shards
 
@@ -52,7 +61,9 @@ class VersionedRelation:
         key = (bucket, sub)
         s = self.shards.get(key)
         if s is None and create:
-            s = make_shard(self.schema, self.use_btree)
+            s = make_shard(
+                self.schema, self.use_btree, columnar=self.layout == "columnar"
+            )
             self.shards[key] = s
         return s
 
@@ -96,23 +107,50 @@ class VersionedRelation:
         respects aggregate semantics, so loading duplicate-keyed aggregate
         facts folds them immediately.  Returns admitted tuple count.
         """
-        rows = list(tuples)
-        if not rows:
+        if isinstance(tuples, np.ndarray):
+            arr = np.ascontiguousarray(tuples, dtype=np.int64)
+        else:
+            rows = list(tuples)
+            if not rows:
+                return 0
+            arr = np.asarray(rows, dtype=np.int64)
+        if arr.size == 0:
             return 0
-        arr = np.asarray(rows, dtype=np.int64)
         if arr.ndim != 2 or arr.shape[1] != self.schema.arity:
             raise ValueError(
                 f"{self.schema.name}: expected rows of arity "
                 f"{self.schema.arity}, got array shape {arr.shape}"
             )
         b_arr, s_arr = self.dist.bucket_sub_of_rows(arr)
-        buckets, subs = b_arr.tolist(), s_arr.tolist()
-        by_shard: Dict[ShardKey, List[TupleT]] = {}
-        for i, t in enumerate(rows):
-            by_shard.setdefault((buckets[i], subs[i]), []).append(tuple(t))
         admitted = 0
-        for key, batch in by_shard.items():
-            admitted += self.shard(*key).absorb(batch, stats)
+        if self.layout == "columnar":
+            order, starts, counts = lex_group(np.column_stack([b_arr, s_arr]))
+            for g in range(starts.shape[0]):
+                idx = order[starts[g] : starts[g] + counts[g]]
+                b, s = int(b_arr[idx[0]]), int(s_arr[idx[0]])
+                admitted += self.shard(b, s).absorb_block(arr[idx], stats)
+        else:
+            buckets, subs = b_arr.tolist(), s_arr.tolist()
+            by_shard: Dict[ShardKey, List[TupleT]] = {}
+            for i, t in enumerate(arr.tolist()):
+                by_shard.setdefault((buckets[i], subs[i]), []).append(tuple(t))
+            for key, batch in by_shard.items():
+                admitted += self.shard(*key).absorb(batch, stats)
+        if admitted:
+            self.full_gen += 1
+        return admitted
+
+    def absorb_block(
+        self,
+        bucket: int,
+        sub: int,
+        rows: np.ndarray,
+        stats: Optional[AbsorbStats] = None,
+    ) -> int:
+        """Absorb a routed row-block into one shard (columnar dedup phase)."""
+        admitted = self.shard(bucket, sub).absorb_block(rows, stats)
+        if admitted:
+            self.full_gen += 1
         return admitted
 
     # ------------------------------------------------------------ iteration
@@ -122,11 +160,13 @@ class VersionedRelation:
         total = 0
         for shard in self.shards.values():
             total += shard.advance()
+        self.delta_gen += 1
         return total
 
     def seed_delta_from_full(self) -> None:
         for shard in self.shards.values():
             shard.seed_delta_from_full()
+        self.delta_gen += 1
 
     # ----------------------------------------------------------------- sizes
 
@@ -188,6 +228,19 @@ class VersionedRelation:
             if batch:
                 yield self.owner_of(key), batch
 
+    def version_blocks(self, version: str) -> Iterator[Tuple[int, np.ndarray]]:
+        """Per-shard row-blocks of one version, tagged with owner rank.
+
+        The columnar twin of :meth:`version_batches`: same shard order,
+        same within-shard row order, as ``(n, arity)`` int64 arrays.
+        """
+        if version not in ("full", "delta"):
+            raise ValueError(f"unknown version {version!r}")
+        for key in sorted(self.shards):
+            block = self.shards[key].version_block(version)
+            if block.shape[0]:
+                yield self.owner_of(key), block
+
     def as_set(self) -> set:
         """Materialize the full version as a Python set (tests/inspection)."""
         return set(self.iter_full())
@@ -203,10 +256,11 @@ class RelationStore:
     """Registry of all relations in one engine instance."""
 
     def __init__(self, n_ranks: int, *, seed: Optional[HashSeed] = None,
-                 use_btree: bool = False):
+                 use_btree: bool = False, layout: str = "scalar"):
         self.n_ranks = n_ranks
         self.seed = seed or HashSeed()
         self.use_btree = use_btree
+        self.layout = layout
         self.relations: Dict[str, VersionedRelation] = {}
 
     def declare(self, schema: Schema) -> VersionedRelation:
@@ -220,6 +274,7 @@ class RelationStore:
             self.n_ranks,
             seed=self.seed,
             use_btree=self.use_btree,
+            layout=self.layout,
         )
         self.relations[schema.name] = rel
         return rel

@@ -45,6 +45,15 @@ class EngineConfig:
     use_btree:
         Store shard outer indices in B-trees (the C++ layout) instead of
         hash maps.  Semantics identical; ordered scans become available.
+    executor:
+        ``"columnar"`` (default) runs the fixpoint hot path on numpy
+        row-block kernels (:mod:`repro.kernels`) — vectorized join, route
+        and fused dedup/aggregation.  Results, Δ contents and modeled
+        ledger charges are bit-for-bit identical to ``"scalar"``, which
+        keeps the original tuple-at-a-time loops.  The engine silently
+        falls back to scalar when a program needs features the kernels
+        don't cover (``use_btree``, custom emit operators, aggregators
+        without a vector combiner).
     cost_model:
         Interconnect + compute cost model for modeled time.
     max_iterations:
@@ -68,6 +77,7 @@ class EngineConfig:
     subbuckets: Dict[str, int] = field(default_factory=dict)
     default_subbuckets: int = 1
     use_btree: bool = False
+    executor: Literal["columnar", "scalar"] = "columnar"
     #: When set, run() adaptively sub-buckets every loaded EDB relation
     #: until its projected max/mean imbalance is at or below this value
     #: (the paper §IV-C's "if ... still imbalanced" rule); None disables.
@@ -88,6 +98,10 @@ class EngineConfig:
         if self.max_iterations < 1:
             raise ValueError(
                 f"max_iterations must be >= 1, got {self.max_iterations}"
+            )
+        if self.executor not in ("columnar", "scalar"):
+            raise ValueError(
+                f"executor must be 'columnar' or 'scalar', got {self.executor!r}"
             )
         if self.static_outer not in ("left", "right"):
             raise ValueError(

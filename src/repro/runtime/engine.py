@@ -28,6 +28,9 @@ import numpy as np
 from repro.comm.simcluster import SimCluster
 from repro.core.join_planner import JoinSide, vote_outer_relation
 from repro.core.local_agg import AbsorbStats
+from repro.kernels.block import concat_ranges
+from repro.kernels.join import RankJoinIndex
+from repro.kernels.route import build_intra_sends, build_route_sends
 from repro.obs.tracer import NULL_TRACER
 from repro.planner.ast import Program
 from repro.planner.compile_rules import CompiledProgram, CompiledRule, compile_program
@@ -68,17 +71,33 @@ class Engine:
             reorder_seed=self.config.reorder_messages_seed,
             tracer=self.tracer,
         )
+        #: Effective executor: the columnar kernels opt out when the
+        #: program needs features they don't cover (B-tree shards, head
+        #: operators with no array form).  Aggregators without a vector
+        #: combiner fall back per shard, not per engine.
+        self.executor = self._resolve_executor()
         self.store = RelationStore(
             self.config.n_ranks,
             seed=HashSeed().derive(self.config.seed),
             use_btree=self.config.use_btree,
+            layout=self.executor,
         )
+        #: (relation, version, rank, match token) → (generation, index).
+        self._index_cache: Dict[Tuple, Tuple[int, RankJoinIndex]] = {}
         for schema in self.compiled.schemas.values():
             self.store.declare(schema)
         self.timer = PhaseTimer(tracer=self.tracer)
         self.counters: Dict[str, int] = defaultdict(int)
         self.trace: List[IterationTrace] = []
         self._iterations = 0
+
+    def _resolve_executor(self) -> str:
+        if self.config.executor == "scalar" or self.config.use_btree:
+            return "scalar"
+        for cr in self.compiled.compiled.values():
+            if cr.emit_spec is None or not cr.emit_spec.vectorizable:
+                return "scalar"
+        return "columnar"
 
     # ------------------------------------------------------------------ load
 
@@ -142,7 +161,9 @@ class Engine:
             self.config.n_ranks,
             seed=rel.dist.seed,
             use_btree=self.config.use_btree,
+            layout=self.executor,
         )
+        self._index_cache.clear()
         # Physically move every tuple whose owner changes (phase: balance).
         sends: Dict[int, Dict[int, List[TupleT]]] = {}
         rows = np.asarray(tuples, dtype=np.int64)
@@ -162,7 +183,9 @@ class Engine:
     def run(self) -> FixpointResult:
         """Evaluate all strata to fixpoint and return the result."""
         with self.tracer.span(
-            "run", cat="run", attrs={"n_ranks": self.config.n_ranks}
+            "run",
+            cat="run",
+            attrs={"n_ranks": self.config.n_ranks, "executor": self.executor},
         ):
             if self.config.auto_balance is not None:
                 for decl in self.compiled.program.edb:
@@ -367,10 +390,17 @@ class Engine:
 
         ``delta_atom=None`` is the naive seed pass (all atoms read full).
         """
+        columnar = self.executor == "columnar"
         if cr.is_join:
-            self._eval_join(cr, delta_atom, stats)
+            if columnar:
+                self._eval_join_columnar(cr, delta_atom, stats)
+            else:
+                self._eval_join(cr, delta_atom, stats)
         else:
-            self._eval_copy(cr, delta_atom, stats)
+            if columnar:
+                self._eval_copy_columnar(cr, delta_atom, stats)
+            else:
+                self._eval_copy(cr, delta_atom, stats)
 
     def _eval_copy(
         self, cr: CompiledRule, delta_atom: Optional[int], stats: "_IterStats"
@@ -381,7 +411,7 @@ class Engine:
         emit = cr.emit
         empty: TupleT = ()
         emitted: Dict[int, List[TupleT]] = defaultdict(list)
-        per_rank_scan = np.zeros(self.config.n_ranks)
+        per_rank_scan = np.zeros(self.config.n_ranks, dtype=np.int64)
         cost = self.cluster.cost
         with self.timer.phase(P_JOIN):
             for owner, batch in rel.version_batches(version):
@@ -395,6 +425,32 @@ class Engine:
             P_JOIN, per_rank_scan * (cost.tuple_probe * cost.compute_scale)
         )
         self._route_and_absorb(cr.head_name, emitted, stats)
+
+    def _eval_copy_columnar(
+        self, cr: CompiledRule, delta_atom: Optional[int], stats: "_IterStats"
+    ) -> None:
+        rel = self.store[cr.body_names[0]]
+        version = "delta" if delta_atom == 0 else "full"
+        match_block = cr.matches_block[0]
+        spec = cr.emit_spec
+        by_owner: Dict[int, List[np.ndarray]] = defaultdict(list)
+        per_rank_scan = np.zeros(self.config.n_ranks, dtype=np.int64)
+        cost = self.cluster.cost
+        with self.timer.phase(P_JOIN):
+            for owner, block in rel.version_blocks(version):
+                per_rank_scan[owner] += block.shape[0]
+                if match_block is not None:
+                    block = block[match_block.mask(block)]
+                if block.shape[0]:
+                    by_owner[owner].append(spec.eval_block(block, None))
+        emitted = {
+            owner: (blocks[0] if len(blocks) == 1 else np.vstack(blocks))
+            for owner, blocks in by_owner.items()
+        }
+        self.cluster.ledger.add_compute_step(
+            P_JOIN, per_rank_scan * (cost.tuple_probe * cost.compute_scale)
+        )
+        self._route_and_absorb_columnar(cr.head_name, emitted, stats)
 
     def _eval_join(
         self, cr: CompiledRule, delta_atom: Optional[int], stats: "_IterStats"
@@ -447,7 +503,7 @@ class Engine:
         # bucket.  Payload entries are (bucket, tuple) so receivers don't
         # re-hash (the real system knows the bucket from message layout).
         sends: Dict[int, Dict[int, List[Tuple[int, TupleT]]]] = {}
-        per_rank_ser = np.zeros(cfg.n_ranks)
+        per_rank_ser = np.zeros(cfg.n_ranks, dtype=np.int64)
         n_intra = 0
         with self.timer.phase(P_INTRA):
             outer_tuples: List[TupleT] = []
@@ -500,8 +556,8 @@ class Engine:
         # ---- phase: local join ----
         emit = cr.emit
         emitted: Dict[int, List[TupleT]] = {}
-        per_rank_probe = np.zeros(cfg.n_ranks)
-        per_rank_emit = np.zeros(cfg.n_ranks)
+        per_rank_probe = np.zeros(cfg.n_ranks, dtype=np.int64)
+        per_rank_emit = np.zeros(cfg.n_ranks, dtype=np.int64)
         version_attr = "delta" if inner_ver == "delta" else "full"
         with self.timer.phase(P_JOIN):
             for r, items in recv.items():
@@ -550,6 +606,140 @@ class Engine:
         self.counters["emitted"] += n_emitted
 
         self._route_and_absorb(cr.head_name, emitted, stats)
+
+    def _rank_index(
+        self,
+        rel: VersionedRelation,
+        version: str,
+        rank: int,
+        match_token,
+        match_block,
+    ) -> RankJoinIndex:
+        """Build-or-reuse the batch join index for one (relation, rank).
+
+        Cache entries are validated by the relation's version generation,
+        so static inners (EDB relations) index once per run while evolving
+        fulls rebuild only after an absorb actually admitted something.
+        """
+        gen = rel.delta_gen if version == "delta" else rel.full_gen
+        key = (rel.schema.name, version, rank, match_token)
+        hit = self._index_cache.get(key)
+        if hit is not None and hit[0] == gen:
+            return hit[1]
+        index = RankJoinIndex.build(rel, version, rank, match_block)
+        self._index_cache[key] = (gen, index)
+        return index
+
+    def _eval_join_columnar(
+        self, cr: CompiledRule, delta_atom: Optional[int], stats: "_IterStats"
+    ) -> None:
+        cfg = self.config
+        cluster = self.cluster
+        cost = cluster.cost
+        left = self.store[cr.body_names[0]]
+        right = self.store[cr.body_names[1]]
+        lver = "delta" if delta_atom == 0 else "full"
+        rver = "delta" if delta_atom == 1 else "full"
+
+        # ---- phase: vote (identical to the scalar path) ----
+        with self.timer.phase(P_VOTE):
+            if cfg.dynamic_join:
+                lsizes = _sizes_by_rank(left, lver)
+                rsizes = _sizes_by_rank(right, rver)
+                side = vote_outer_relation(
+                    cluster,
+                    lsizes,
+                    rsizes,
+                    phase=P_VOTE,
+                    abstain_empty=cfg.vote_abstain_empty,
+                )
+            else:
+                side = (
+                    JoinSide.LEFT_OUTER
+                    if cfg.static_outer == "left"
+                    else JoinSide.RIGHT_OUTER
+                )
+        outer_is_left = side is JoinSide.LEFT_OUTER
+        stats.outer_choices[repr(cr.rule)] = "left" if outer_is_left else "right"
+
+        if outer_is_left:
+            outer_rel, outer_ver, inner_rel, inner_ver = left, lver, right, rver
+            probe_cols = cr.probe_from_left
+            outer_mb, inner_mb = cr.matches_block[0], cr.matches_block[1]
+            inner_pos = 1
+        else:
+            outer_rel, outer_ver, inner_rel, inner_ver = right, rver, left, lver
+            probe_cols = cr.probe_from_right
+            outer_mb, inner_mb = cr.matches_block[1], cr.matches_block[0]
+            inner_pos = 0
+        inner_dist = inner_rel.dist
+        n_sub_inner = inner_rel.schema.n_subbuckets
+        spec = cr.emit_spec
+
+        # ---- phase: intra-bucket communication (vectorized) ----
+        per_rank_ser = np.zeros(cfg.n_ranks, dtype=np.int64)
+        with self.timer.phase(P_INTRA):
+            owner_blocks: List[Tuple[int, np.ndarray]] = []
+            for owner, block in outer_rel.version_blocks(outer_ver):
+                if outer_mb is not None and block.shape[0]:
+                    block = block[outer_mb.mask(block)]
+                if block.shape[0]:
+                    owner_blocks.append((owner, block))
+            sends, n_intra = build_intra_sends(
+                owner_blocks, inner_dist, n_sub_inner, probe_cols, per_rank_ser
+            )
+            cluster.ledger.add_compute_step(
+                P_INTRA, per_rank_ser * (cost.tuple_serialize * cost.compute_scale)
+            )
+            recv = cluster.alltoallv(
+                sends,
+                arity=outer_rel.schema.arity,
+                phase=P_INTRA,
+                count_of=lambda box: box[1].shape[0],
+            )
+        stats.intra_tuples += n_intra
+        self.counters["intra_bucket_tuples"] += n_intra
+
+        # ---- phase: local join (batch hash join) ----
+        match_token = None if inner_mb is None else (id(cr), inner_pos)
+        emitted: Dict[int, np.ndarray] = {}
+        per_rank_probe = np.zeros(cfg.n_ranks, dtype=np.int64)
+        per_rank_emit = np.zeros(cfg.n_ranks, dtype=np.int64)
+        with self.timer.phase(P_JOIN):
+            for r, boxes in recv.items():
+                if len(boxes) == 1:
+                    bucket_cat, rows_cat = boxes[0]
+                else:
+                    bucket_cat = np.concatenate([b for b, _ in boxes])
+                    rows_cat = np.vstack([rows for _, rows in boxes])
+                per_rank_probe[r] += rows_cat.shape[0]
+                index = self._rank_index(
+                    inner_rel, inner_ver, r, match_token, inner_mb
+                )
+                starts, counts = index.probe(rows_cat, bucket_cat, probe_cols)
+                n_pairs = int(counts.sum())
+                per_rank_emit[r] += n_pairs
+                if not n_pairs:
+                    continue
+                outer_gather = rows_cat[
+                    np.repeat(np.arange(rows_cat.shape[0], dtype=np.int64), counts)
+                ]
+                inner_gather = index.rows[concat_ranges(starts, counts)]
+                if outer_is_left:
+                    out = spec.eval_block(outer_gather, inner_gather)
+                else:
+                    out = spec.eval_block(inner_gather, outer_gather)
+                emitted[r] = out
+            cluster.ledger.add_compute_step(
+                P_JOIN,
+                per_rank_probe * (cost.tuple_probe * cost.compute_scale)
+                + per_rank_emit * (cost.tuple_emit * cost.compute_scale),
+            )
+        n_emitted = int(per_rank_emit.sum())
+        stats.emitted += n_emitted
+        self.counters["emitted"] += n_emitted
+
+        self._route_and_absorb_columnar(cr.head_name, emitted, stats)
 
     # ------------------------------------------------ routing and absorption
 
@@ -608,13 +798,64 @@ class Engine:
         self.counters["alltoall_tuples"] += n_comm
 
         # ---- phase: fused dedup / local aggregation ----
-        per_rank_recv = np.zeros(cfg.n_ranks)
-        per_rank_adm = np.zeros(cfg.n_ranks)
+        per_rank_recv = np.zeros(cfg.n_ranks, dtype=np.int64)
+        per_rank_adm = np.zeros(cfg.n_ranks, dtype=np.int64)
         with self.timer.phase(P_DEDUP):
             for r, boxes in recv.items():
                 absorb_stats = AbsorbStats()
                 for b, s, batch in boxes:
                     head.shard(b, s).absorb(batch, absorb_stats)
+                per_rank_recv[r] = absorb_stats.received
+                per_rank_adm[r] = absorb_stats.admitted
+                stats.admitted += absorb_stats.admitted
+                stats.suppressed += absorb_stats.suppressed
+            self.cluster.ledger.add_compute_step(
+                P_DEDUP,
+                per_rank_recv * (cost.tuple_agg * cost.compute_scale)
+                + per_rank_adm * (cost.tuple_insert * cost.compute_scale),
+            )
+        self.counters["admitted"] += int(per_rank_adm.sum())
+        self.counters["suppressed"] += int(per_rank_recv.sum() - per_rank_adm.sum())
+
+    def _route_and_absorb_columnar(
+        self,
+        head_name: str,
+        emitted: Dict[int, np.ndarray],
+        stats: "_IterStats",
+    ) -> None:
+        """Columnar twin of :meth:`_route_and_absorb` over row-blocks.
+
+        Boxes carry whole ``(bucket, sub, rows)`` blocks; the receiver
+        concatenates each shard's boxes in delivery order, so per-shard
+        tuple sequences — and therefore admitted counts — match the
+        scalar path exactly.
+        """
+        head = self.store[head_name]
+        cfg = self.config
+        cost = self.cluster.cost
+
+        with self.timer.phase(P_COMM):
+            sends, n_comm = build_route_sends(emitted, head.dist)
+            recv = self.cluster.alltoallv(
+                sends,
+                arity=head.schema.arity,
+                phase=P_COMM,
+                count_of=lambda box: box[2].shape[0],
+            )
+        stats.comm_tuples += n_comm
+        self.counters["alltoall_tuples"] += n_comm
+
+        per_rank_recv = np.zeros(cfg.n_ranks, dtype=np.int64)
+        per_rank_adm = np.zeros(cfg.n_ranks, dtype=np.int64)
+        with self.timer.phase(P_DEDUP):
+            for r, boxes in recv.items():
+                absorb_stats = AbsorbStats()
+                by_shard: Dict[Tuple[int, int], List[np.ndarray]] = {}
+                for b, s, rows in boxes:
+                    by_shard.setdefault((b, s), []).append(rows)
+                for (b, s), blocks in by_shard.items():
+                    block = blocks[0] if len(blocks) == 1 else np.vstack(blocks)
+                    head.absorb_block(b, s, block, absorb_stats)
                 per_rank_recv[r] = absorb_stats.received
                 per_rank_adm[r] = absorb_stats.admitted
                 stats.admitted += absorb_stats.admitted

@@ -66,6 +66,31 @@ class FixpointResult:
         """Host wall-clock spent simulating (not a cluster-time claim)."""
         return self.timer.total()
 
+    def summary(self) -> Dict[str, object]:
+        """Deterministic digest of the run's semantics and modeled costs.
+
+        Everything here must be invariant under executor choice (scalar vs
+        columnar) — the executor-equivalence tests assert two summaries are
+        equal.  Host wall times are deliberately excluded.
+        """
+        return {
+            "iterations": self.iterations,
+            "counters": dict(sorted(self.counters.items())),
+            "relation_sizes": {
+                name: rel.full_size()
+                for name, rel in sorted(self.relations.items())
+            },
+            "relation_sizes_by_rank": {
+                name: rel.full_sizes_by_rank().tolist()
+                for name, rel in sorted(self.relations.items())
+            },
+            "phase_seconds": dict(sorted(self.ledger.phase_seconds.items())),
+            "modeled_seconds": self.ledger.total_seconds(),
+            "imbalance_ratio": self.ledger.imbalance_ratio(),
+            "comm_bytes": self.ledger.comm.bytes_total,
+            "comm_messages": self.ledger.comm.messages,
+        }
+
     # ------------------------------------------------------------------- obs
 
     def spans_named(self, name: str) -> List[Span]:

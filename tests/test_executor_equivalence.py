@@ -1,0 +1,102 @@
+"""Engine-level executor equivalence: columnar ≡ scalar, bit for bit.
+
+The columnar kernels (PR 2) are a pure simulation-speed optimization.
+These tests run whole fixpoints through both executors and assert every
+modeled observable — :meth:`FixpointResult.summary` (counters, per-rank
+relation sizes, ledger phase seconds, comm bytes/messages, imbalance),
+the final query answers, and the ledger totals — is *identical*, across
+rank counts that exercise single-rank, tiny, odd, and paper-scale
+configurations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import rmat
+from repro.queries import run_cc, run_pagerank, run_sssp
+from repro.runtime.config import EngineConfig
+from repro.runtime.engine import Engine
+
+RANKS = [1, 2, 7, 64]
+
+
+@pytest.fixture(scope="module")
+def graph():
+    g = rmat(8, 6, seed=9)
+    return g.with_weights(np.random.default_rng(5), 20)
+
+
+def _configs(ranks):
+    return {
+        executor: EngineConfig(
+            n_ranks=ranks,
+            subbuckets={"edge": 4},
+            seed=17,
+            executor=executor,
+        )
+        for executor in ("scalar", "columnar")
+    }
+
+
+def _assert_summaries_equal(scalar_fp, columnar_fp):
+    s, c = scalar_fp.summary(), columnar_fp.summary()
+    assert c == s
+    # Belt and braces on the ledger beyond what summary() digests.
+    assert columnar_fp.ledger.total_seconds() == scalar_fp.ledger.total_seconds()
+    assert columnar_fp.ledger.comm.bytes_total == scalar_fp.ledger.comm.bytes_total
+    assert columnar_fp.ledger.comm.messages == scalar_fp.ledger.comm.messages
+
+
+@pytest.mark.parametrize("ranks", RANKS)
+def test_sssp_identical_across_executors(graph, ranks):
+    cfgs = _configs(ranks)
+    res = {
+        ex: run_sssp(graph, [0, 1, 2], cfg) for ex, cfg in cfgs.items()
+    }
+    assert res["columnar"].distances == res["scalar"].distances
+    assert res["columnar"].iterations == res["scalar"].iterations
+    assert (
+        res["columnar"].fixpoint.query("spath")
+        == res["scalar"].fixpoint.query("spath")
+    )
+    _assert_summaries_equal(res["scalar"].fixpoint, res["columnar"].fixpoint)
+
+
+@pytest.mark.parametrize("ranks", RANKS)
+def test_cc_identical_across_executors(graph, ranks):
+    cfgs = _configs(ranks)
+    res = {ex: run_cc(graph, cfg) for ex, cfg in cfgs.items()}
+    assert res["columnar"].labels == res["scalar"].labels
+    assert res["columnar"].n_components == res["scalar"].n_components
+    _assert_summaries_equal(res["scalar"].fixpoint, res["columnar"].fixpoint)
+
+
+@pytest.mark.parametrize("ranks", [1, 7, 64])
+def test_pagerank_identical_across_executors(graph, ranks):
+    cfgs = _configs(ranks)
+    ranks_out = {
+        ex: run_pagerank(graph, iterations=5, config=cfg)
+        for ex, cfg in cfgs.items()
+    }
+    np.testing.assert_array_equal(ranks_out["columnar"], ranks_out["scalar"])
+
+
+def test_columnar_is_default_executor(graph):
+    from repro.queries.sssp import sssp_program
+
+    engine = Engine(sssp_program(), EngineConfig(n_ranks=4))
+    assert engine.executor == "columnar"
+
+
+def test_scalar_forced_by_btree(graph):
+    from repro.queries.sssp import sssp_program
+
+    engine = Engine(
+        sssp_program(), EngineConfig(n_ranks=4, use_btree=True)
+    )
+    assert engine.executor == "scalar"
+
+
+def test_invalid_executor_rejected():
+    with pytest.raises(ValueError):
+        EngineConfig(executor="gpu")
