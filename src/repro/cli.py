@@ -122,6 +122,18 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="disable Algorithm 1's per-iteration vote")
     run.add_argument("--explain", action="store_true",
                      help="print the compiled evaluation plan before running")
+    run.add_argument(
+        "--faults", metavar="SPEC", default=None,
+        help="inject faults under the comm substrate, e.g. "
+             "'crash=1@12,drop=0.02,dup=0.01,corrupt=0.01,"
+             "straggle=2:3.0,seed=7' (see repro.faults.parse_fault_spec); "
+             "results must match the fault-free run bit-for-bit",
+    )
+    run.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="K",
+        help="checkpoint each recursive stratum every K iterations "
+             "(required to survive an injected rank crash)",
+    )
     _add_obs_flags(run)
 
     query = sub.add_parser(
@@ -165,7 +177,7 @@ def _build_parser() -> argparse.ArgumentParser:
     exp.add_argument(
         "name",
         choices=["fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
-                 "table1", "table2", "ablations", "all"],
+                 "table1", "table2", "ablations", "recovery", "all"],
     )
     exp.add_argument("--full", action="store_true",
                      help="run the paper's full sweep (slow)")
@@ -182,12 +194,27 @@ def _cmd_datasets() -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     graph = load_dataset(args.dataset, seed=args.seed, scale_shift=args.scale_shift)
     tracer = Tracer() if args.trace else None
+    faults = None
+    if args.faults:
+        from repro.faults import parse_fault_spec
+
+        try:
+            faults = parse_fault_spec(args.faults)
+        except ValueError as exc:
+            raise SystemExit(f"bad --faults spec: {exc}")
+        if faults.has_crash and args.checkpoint_every is None:
+            raise SystemExit(
+                "--faults injects a rank crash but no checkpoints are "
+                "enabled; add --checkpoint-every K so the run can recover"
+            )
     config = EngineConfig(
         n_ranks=args.ranks,
         dynamic_join=not args.no_dynamic_join,
         subbuckets={"edge": args.subbuckets},
         seed=args.seed,
         tracer=tracer,
+        faults=faults,
+        checkpoint_every=args.checkpoint_every,
     )
     quiet = args.json
     if not quiet:
@@ -234,7 +261,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"  {phase:14s} {seconds:.6f}s")
         comm = fp.ledger.comm
         print(f"communication: {comm.bytes_total} bytes in {comm.messages} messages")
+        if fp.recovery is not None:
+            rec, inj = fp.recovery, fp.recovery.injected
+            print(
+                f"faults: {inj.drops} dropped / {inj.dups} duplicated / "
+                f"{inj.corruptions} corrupted ({inj.detected_corruptions} "
+                f"detected) / {inj.crashes} crash(es); "
+                f"{inj.retransmits} retransmit(s)"
+            )
+            print(
+                f"recovery: {rec.checkpoints} checkpoint(s) "
+                f"({rec.checkpoint_bytes} bytes, "
+                f"{rec.checkpoint_seconds:.6f}s modeled), "
+                f"{rec.recoveries} recovery(ies), "
+                f"{rec.rolled_back_iterations} iteration(s) replayed"
+            )
     report = _base_report(fp, ranks=args.ranks)
+    if fp.recovery is not None:
+        report["recovery"] = fp.recovery.as_dict()
     report.update(summary)
     return _finish_obs(args, fp, report)
 
@@ -288,6 +332,10 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         print(table1.render(table1.run_table1(defaults)))
     elif args.name == "table2":
         print(table2.render(table2.run_table2(defaults)))
+    elif args.name == "recovery":
+        from repro.experiments import recovery
+
+        print(recovery.render(recovery.run_recovery(defaults)))
     elif args.name == "all":
         for sub in ("fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
                     "table1", "table2", "ablations"):

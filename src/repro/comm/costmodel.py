@@ -80,11 +80,15 @@ class CostModel:
     tuple_agg: float = 6.0e-8
     tuple_serialize: float = 2.0e-8
     compute_scale: float = 1.0
+    #: Per-rank stable-storage bandwidth for checkpoint writes/reads
+    #: (bytes/second) — a burst-buffer/Lustre-class figure, slower than
+    #: the interconnect so checkpoint frequency has a visible price.
+    checkpoint_gamma: float = 2.0e9
 
     def __post_init__(self) -> None:
         for name in ("alpha", "beta", "tuple_probe", "tuple_emit",
                      "tuple_insert", "tuple_agg", "tuple_serialize",
-                     "compute_scale"):
+                     "compute_scale", "checkpoint_gamma"):
             check_positive(name, getattr(self, name))
 
     # ------------------------------------------------------------ collectives
@@ -140,6 +144,34 @@ class CostModel:
             count_exchange
             + max_rank_peers * self.alpha
             + max_rank_bytes / self.beta
+        )
+
+    # ------------------------------------------------------------- recovery
+
+    def checkpoint_write(self, n_ranks: int, max_rank_bytes: int) -> float:
+        """Coordinated iteration-boundary checkpoint.
+
+        Every rank writes its shard partition to stable storage
+        concurrently (the slowest partition gates), then a barrier marks
+        the boundary consistent.
+        """
+        return max_rank_bytes / self.checkpoint_gamma + self.barrier(n_ranks)
+
+    def recovery_restore(
+        self, n_ranks: int, max_rank_bytes: int, failed_rank_bytes: int
+    ) -> float:
+        """Roll back to a checkpoint after a rank failure.
+
+        Survivors re-read their own partitions in parallel; the failed
+        rank's partition is re-fetched from stable storage and
+        redistributed to its replacement over the interconnect, then a
+        barrier re-synchronizes the restart.
+        """
+        read = max(max_rank_bytes, failed_rank_bytes) / self.checkpoint_gamma
+        return (
+            read
+            + self.alltoallv(n_ranks, failed_rank_bytes, max(1, n_ranks - 1))
+            + self.barrier(n_ranks)
         )
 
     # --------------------------------------------------------------- compute

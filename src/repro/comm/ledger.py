@@ -52,6 +52,10 @@ class PhaseLedger:
     #: Sum over supersteps of per-rank compute seconds (imbalance analysis).
     rank_compute: np.ndarray = field(default=None)  # type: ignore[assignment]
     tracer: object = NULL_TRACER
+    #: Optional per-rank compute multipliers (straggler injection): each
+    #: rank's charge is scaled before the max-per-superstep is taken, so a
+    #: slow rank stretches exactly the supersteps it gates.  None = off.
+    rank_scale: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         if self.rank_compute is None:
@@ -73,6 +77,8 @@ class PhaseLedger:
     def add_compute_step(self, phase: str, per_rank_seconds: np.ndarray) -> float:
         """Charge one compute superstep; returns the step's modeled time."""
         self._check_shape(per_rank_seconds)
+        if self.rank_scale is not None:
+            per_rank_seconds = per_rank_seconds * self.rank_scale
         step = float(per_rank_seconds.max()) if self.n_ranks else 0.0
         self._charge_compute(phase, step, per_rank_seconds)
         return step
@@ -86,6 +92,10 @@ class PhaseLedger:
         must pull ``imbalance_ratio()`` toward 1 by raising the mean *and*
         the max together, not by raising neither.
         """
+        if self.rank_scale is not None:
+            scaled = seconds * self.rank_scale
+            self._charge_compute(phase, float(scaled.max()), scaled)
+            return
         self._charge_compute(phase, seconds, None, scalar_seconds=seconds)
 
     def _charge_compute(

@@ -27,6 +27,8 @@ from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.comm.costmodel import BYTES_PER_WORD, CommEvent, CostModel
 from repro.comm.ledger import PhaseLedger
+from repro.faults.invariants import check_conservation
+from repro.faults.plane import FaultPlane, MessageLossError, payload_checksum
 from repro.obs.tracer import NULL_TRACER
 
 
@@ -53,6 +55,7 @@ class SimCluster:
         *,
         reorder_seed: Optional[int] = None,
         tracer: Optional[object] = None,
+        fault_plane: Optional[FaultPlane] = None,
     ):
         if n_ranks < 1:
             raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
@@ -67,6 +70,40 @@ class SimCluster:
         self._reorder_rng = (
             None if reorder_seed is None else _random.Random(reorder_seed)
         )
+        #: Deterministic fault injector (crash / drop / dup / corrupt /
+        #: stragglers); None = perfect network, zero overhead.
+        self.faults = fault_plane
+        if fault_plane is not None:
+            self.ledger.rank_scale = fault_plane.straggler_scale()
+
+    # --------------------------------------------------------------- faults
+
+    def _superstep(self, kind: str) -> int:
+        """Advance the fault clock at a collective rendezvous.
+
+        A due (or still-unrecovered) crash surfaces here as
+        :class:`~repro.faults.plane.RankFailure` — the survivors time out
+        waiting for the dead rank, so one barrier's worth of detection
+        latency is charged to the ``recovery`` phase first.
+        """
+        plane = self.faults
+        if plane is None:
+            return 0
+        step = plane.begin_superstep(kind)
+        try:
+            plane.check_alive(step, kind)
+        except Exception:
+            self.ledger.add_comm(
+                CommEvent(
+                    kind="fault_detect",
+                    phase="recovery",
+                    nbytes=0,
+                    messages=self.n_ranks,
+                    seconds=self.cost.barrier(self.n_ranks),
+                )
+            )
+            raise
+        return step
 
     # ------------------------------------------------------------ collectives
 
@@ -84,6 +121,7 @@ class SimCluster:
         mapping (absent ranks contribute nothing — the reduction ``op``
         receives only present values, callers supply identity semantics).
         """
+        self._superstep("allreduce")
         if isinstance(per_rank_values, Mapping):
             values: Iterable[Any] = per_rank_values.values()
         else:
@@ -112,6 +150,7 @@ class SimCluster:
         phase: str = "comm",
     ) -> List[Any]:
         """Every rank contributes one value; all ranks see the full list."""
+        self._superstep("allgather")
         if len(per_rank_values) != self.n_ranks:
             raise ValueError(
                 f"expected {self.n_ranks} values, got {len(per_rank_values)}"
@@ -129,6 +168,7 @@ class SimCluster:
 
     def bcast(self, value: Any, *, nbytes: int = BYTES_PER_WORD, phase: str = "comm") -> Any:
         """Broadcast from a root; returns the value (identical on all ranks)."""
+        self._superstep("bcast")
         self.ledger.add_comm(
             CommEvent(
                 kind="bcast",
@@ -141,6 +181,7 @@ class SimCluster:
         return value
 
     def barrier(self, *, phase: str = "comm") -> None:
+        self._superstep("barrier")
         self.ledger.add_comm(
             CommEvent(
                 kind="barrier",
@@ -179,33 +220,80 @@ class SimCluster:
 
         Local "sends" (``src == dst``) are delivered but cost nothing on the
         wire, as in MPI implementations that shortcut self-messages.
+
+        Under an active fault plane every wire message carries a CRC-32
+        envelope: dropped or corrupted copies are detected by the receiver
+        and retransmitted (bounded by ``FaultConfig.max_retries``, extra
+        traffic charged to the ledger); duplicated copies are delivered
+        twice.  Each delivery keeps its send-loop sequence number, so after
+        retransmission the receive buffers are reassembled in the exact
+        order a fault-free exchange would produce (duplicates adjacent to
+        their original).  Both paths finish with a tuple-conservation
+        check — everything sent must arrive, plus exactly the counted
+        duplicates.
         """
+        plane = self.faults
+        step = self._superstep("alltoallv")
         recv: Dict[int, List[Any]] = {}
         sent_bytes: Dict[int, int] = {}
         recv_bytes: Dict[int, int] = {}
         peers: Dict[int, int] = {}
         wire_messages = 0
         wire_bytes = 0
+        n_sent = 0
+        n_delivered = 0
+        n_dup_tuples = 0
+        faulty = plane is not None and plane.has_message_faults
+        #: Deliveries under faults: slots[dst] holds (seq, payload) pairs,
+        #: reassembled into source order once retransmission settles.
+        slots: Dict[int, List[Tuple[int, Any]]] = {}
+        #: Wire messages with zero intact deliveries: (seq, src, dst,
+        #: payload, checksum, n_tuples, nbytes) awaiting retransmission.
+        pending: List[Tuple[int, int, int, Any, int, int, int]] = []
+        seq = 0
         for src in sorted(sends):
             for dst, payload in sorted(sends[src].items()):
                 if not payload:
                     continue
                 if not 0 <= dst < self.n_ranks:
                     raise ValueError(f"destination rank {dst} out of range")
-                recv.setdefault(dst, []).extend(payload)
-                if src != dst:
-                    n_tuples = (
-                        len(payload)
-                        if count_of is None
-                        else sum(count_of(item) for item in payload)
+                n_tuples = (
+                    len(payload)
+                    if count_of is None
+                    else sum(count_of(item) for item in payload)
+                )
+                n_sent += n_tuples
+                seq += 1
+                if src == dst:
+                    # Self-sends shortcut the wire; faults cannot hit them.
+                    if faulty:
+                        slots.setdefault(dst, []).append((seq, payload))
+                    else:
+                        recv.setdefault(dst, []).extend(payload)
+                    n_delivered += n_tuples
+                    continue
+                nbytes = self.cost.tuple_bytes(n_tuples, arity)
+                sent_bytes[src] = sent_bytes.get(src, 0) + nbytes
+                recv_bytes[dst] = recv_bytes.get(dst, 0) + nbytes
+                peers[src] = peers.get(src, 0) + 1
+                peers[dst] = peers.get(dst, 0) + 1
+                wire_messages += 1
+                wire_bytes += nbytes
+                if not faulty:
+                    recv.setdefault(dst, []).extend(payload)
+                    n_delivered += n_tuples
+                    continue
+                checksum = payload_checksum(payload)
+                good = self._deliver_copies(
+                    plane, slots, seq, step, src, dst, payload, checksum, 0
+                )
+                if good == 0:
+                    pending.append(
+                        (seq, src, dst, payload, checksum, n_tuples, nbytes)
                     )
-                    nbytes = self.cost.tuple_bytes(n_tuples, arity)
-                    sent_bytes[src] = sent_bytes.get(src, 0) + nbytes
-                    recv_bytes[dst] = recv_bytes.get(dst, 0) + nbytes
-                    peers[src] = peers.get(src, 0) + 1
-                    peers[dst] = peers.get(dst, 0) + 1
-                    wire_messages += 1
-                    wire_bytes += nbytes
+                else:
+                    n_delivered += good * n_tuples
+                    n_dup_tuples += (good - 1) * n_tuples
         busiest = 0
         for r in set(sent_bytes) | set(recv_bytes):
             busiest = max(busiest, sent_bytes.get(r, 0) + recv_bytes.get(r, 0))
@@ -219,10 +307,106 @@ class SimCluster:
                 seconds=self.cost.alltoallv(self.n_ranks, busiest, max_peers),
             )
         )
+        if pending:
+            n_delivered, n_dup_tuples = self._retransmit(
+                plane, slots, step, phase, pending, n_delivered, n_dup_tuples
+            )
+        if faulty:
+            # Reassemble each receive buffer in send-loop order, so the
+            # absorbed tuple sequence — and every downstream counter — is
+            # exactly what a fault-free exchange would have produced.
+            for dst, entries in slots.items():
+                buf = recv.setdefault(dst, [])
+                for _seq, copy_payload in sorted(entries, key=lambda e: e[0]):
+                    buf.extend(copy_payload)
+        check_conservation(n_sent, n_delivered, n_dup_tuples)
         if self._reorder_rng is not None:
             for buf in recv.values():
                 self._reorder_rng.shuffle(buf)
         return recv
+
+    @staticmethod
+    def _deliver_copies(
+        plane: FaultPlane,
+        slots: Dict[int, List[Tuple[int, Any]]],
+        seq: int,
+        step: int,
+        src: int,
+        dst: int,
+        payload: Any,
+        checksum: int,
+        attempt: int,
+    ) -> int:
+        """Deliver one wire message's planned copies; returns intact count.
+
+        Copies whose CRC no longer matches the sender's envelope are
+        discarded at the receiver (counted as detected corruptions) — the
+        caller retransmits if nothing intact got through.  Intact copies
+        land in ``slots[dst]`` tagged with the message's send sequence
+        number so the caller can reassemble source order.
+        """
+        good = 0
+        for copy_payload, intact in plane.deliveries(step, src, dst, payload, attempt):
+            if not intact and payload_checksum(copy_payload) != checksum:
+                plane.stats.detected_corruptions += 1
+                continue
+            slots.setdefault(dst, []).append((seq, copy_payload))
+            good += 1
+        return good
+
+    def _retransmit(
+        self,
+        plane: FaultPlane,
+        slots: Dict[int, List[Tuple[int, Any]]],
+        step: int,
+        phase: str,
+        pending: List[Tuple[int, int, int, Any, int, int, int]],
+        n_delivered: int,
+        n_dup_tuples: int,
+    ) -> Tuple[int, int]:
+        """Bounded retry of messages with no intact delivery.
+
+        Each round re-sends every still-missing message (new fault draws
+        keyed by attempt number) and charges the extra traffic as one
+        ``retransmit`` event.  Exhausting the budget raises
+        :class:`~repro.faults.plane.MessageLossError`.
+        """
+        max_retries = plane.config.max_retries
+        attempt = 0
+        while pending:
+            attempt += 1
+            if attempt > max_retries:
+                src, dst = pending[0][1], pending[0][2]
+                raise MessageLossError(src, dst, attempt)
+            round_bytes = 0
+            round_busiest = 0
+            still: List[Tuple[int, int, int, Any, int, int, int]] = []
+            for seq, src, dst, payload, checksum, n_tuples, nbytes in pending:
+                plane.stats.retransmits += 1
+                plane.stats.retransmitted_bytes += nbytes
+                round_bytes += nbytes
+                round_busiest = max(round_busiest, nbytes)
+                good = self._deliver_copies(
+                    plane, slots, seq, step, src, dst, payload, checksum, attempt
+                )
+                if good == 0:
+                    still.append(
+                        (seq, src, dst, payload, checksum, n_tuples, nbytes)
+                    )
+                else:
+                    n_delivered += good * n_tuples
+                    n_dup_tuples += (good - 1) * n_tuples
+            self.ledger.add_comm(
+                CommEvent(
+                    kind="retransmit",
+                    phase=phase,
+                    nbytes=round_bytes,
+                    messages=len(pending),
+                    seconds=self.cost.alltoallv(self.n_ranks, round_busiest, 1),
+                )
+            )
+            pending = still
+        return n_delivered, n_dup_tuples
 
     def p2p_exchange(
         self,
@@ -236,13 +420,55 @@ class SimCluster:
         :meth:`alltoallv`, every message pays full per-message latency —
         this is what makes the SociaLite-style per-tuple messaging baseline
         expensive at scale.
+
+        Under an active fault plane each wire message is independently
+        dropped / duplicated / corrupted and recovered by checksum-guarded
+        bounded retransmission, exactly like :meth:`alltoallv`.
         """
+        plane = self.faults
+        step = self._superstep("p2p")
+        faulty = plane is not None and plane.has_message_faults
         recv: Dict[int, List[Any]] = {}
         total_bytes = 0
         count = 0
         max_seconds = 0.0
+        retrans_bytes = 0
+        retrans_msgs = 0
+        #: Distinct fault draws for repeated (src, dst) pairs in one batch.
+        seq: Dict[Tuple[int, int], int] = {}
         for src, dst, payload, nbytes in messages:
-            recv.setdefault(dst, []).append(payload)
+            if not faulty or src == dst:
+                recv.setdefault(dst, []).append(payload)
+            else:
+                # Attempt ids are striped per (src, dst) sequence number so
+                # every message draws an independent fault stream.
+                base = seq.get((src, dst), 0)
+                seq[(src, dst)] = base + 1
+                stride = plane.config.max_retries + 2
+                checksum = payload_checksum(payload)
+                delivered = 0
+                attempt = 0
+                while True:
+                    for copy_payload, intact in plane.deliveries(
+                        step, src, dst, payload, base * stride + attempt
+                    ):
+                        if (
+                            not intact
+                            and payload_checksum(copy_payload) != checksum
+                        ):
+                            plane.stats.detected_corruptions += 1
+                            continue
+                        recv.setdefault(dst, []).append(copy_payload)
+                        delivered += 1
+                    if delivered:
+                        break
+                    attempt += 1
+                    if attempt > plane.config.max_retries:
+                        raise MessageLossError(src, dst, attempt)
+                    plane.stats.retransmits += 1
+                    plane.stats.retransmitted_bytes += nbytes
+                    retrans_bytes += nbytes
+                    retrans_msgs += 1
             if src != dst:
                 total_bytes += nbytes
                 count += 1
@@ -261,4 +487,15 @@ class SimCluster:
                 + total_bytes / self.cost.beta / max(1, self.n_ranks),
             )
         )
+        if retrans_msgs:
+            self.ledger.add_comm(
+                CommEvent(
+                    kind="retransmit",
+                    phase=phase,
+                    nbytes=retrans_bytes,
+                    messages=retrans_msgs,
+                    seconds=retrans_msgs * self.cost.alpha
+                    + retrans_bytes / self.cost.beta,
+                )
+            )
         return recv

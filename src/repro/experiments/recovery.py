@@ -1,0 +1,172 @@
+"""Recovery experiment — checkpoint overhead vs. replay cost.
+
+Not a paper figure: the paper runs fault-free, but any real deployment of
+its engine on thousands of ranks must survive rank loss.  This experiment
+quantifies the classic checkpoint-interval trade-off *under the same
+modeled cost machinery* the scaling figures use:
+
+* sweep the checkpoint interval K — frequent checkpoints cost more
+  modeled time up front but bound the work replayed after a crash;
+* inject one rank crash mid-fixpoint (at a fixed collective superstep)
+  and measure modeled recovery + replay cost at each K;
+* verify every recovered run is bit-for-bit identical to the fault-free
+  baseline (results, counters, per-rank relation sizes) — recovery is
+  correct, not just fast.
+
+Run via ``paralagg experiment recovery`` (``--full`` widens the sweep).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.experiments.common import (
+    ExperimentDefaults,
+    defaults_from_env,
+    optimized_config,
+    render_table,
+)
+from repro.faults import FaultConfig
+from repro.graphs.datasets import load_dataset
+from repro.queries.sssp import run_sssp
+from repro.runtime.config import EngineConfig
+
+FULL_INTERVALS = (1, 2, 4, 8, 16)
+QUICK_INTERVALS = (1, 2, 4, 8)
+
+#: Collective superstep at which the injected rank dies (mid-fixpoint for
+#: the quick dataset sizes; early enough to exist even on small sweeps).
+CRASH_SUPERSTEP = 12
+CRASH_RANK = 1
+
+
+@dataclass
+class RecoveryPoint:
+    """One checkpoint-interval sample."""
+
+    interval: int
+    checkpoints: int
+    checkpoint_seconds: float
+    recovery_seconds: float
+    replayed_iterations: int
+    total_seconds: float
+    #: modeled overhead vs. the fault-free baseline (seconds)
+    overhead_seconds: float
+    identical: bool
+
+
+@dataclass
+class RecoveryResult:
+    query: str
+    n_ranks: int
+    baseline_seconds: float
+    iterations: int
+    points: List[RecoveryPoint] = field(default_factory=list)
+
+    def all_identical(self) -> bool:
+        return all(p.identical for p in self.points)
+
+
+def _fingerprint(fp) -> Dict[str, object]:
+    """The bit-for-bit identity a recovered run must reproduce."""
+    return {
+        "spath": fp.query("spath"),
+        "counters": dict(sorted(fp.counters.items())),
+        "sizes": {
+            name: rel.full_sizes_by_rank().tolist()
+            for name, rel in sorted(fp.relations.items())
+        },
+        "iterations": fp.iterations,
+    }
+
+
+def run_recovery(
+    defaults: Optional[ExperimentDefaults] = None,
+    *,
+    n_ranks: int = 16,
+    n_sources: int = 10,
+) -> RecoveryResult:
+    d = defaults or defaults_from_env()
+    graph = load_dataset(
+        "twitter_like", seed=d.seed, scale_shift=d.scale_shift, max_weight=4
+    )
+    sources = list(range(n_sources))
+
+    base_cfg = optimized_config(n_ranks)
+    baseline = run_sssp(graph, sources, base_cfg).fixpoint
+    want = _fingerprint(baseline)
+    result = RecoveryResult(
+        query="sssp",
+        n_ranks=n_ranks,
+        baseline_seconds=baseline.modeled_seconds(),
+        iterations=baseline.iterations,
+    )
+
+    faults = FaultConfig(crash_rank=CRASH_RANK, crash_superstep=CRASH_SUPERSTEP)
+    for interval in (FULL_INTERVALS if d.full else QUICK_INTERVALS):
+        cfg = EngineConfig(
+            n_ranks=n_ranks,
+            dynamic_join=base_cfg.dynamic_join,
+            subbuckets=dict(base_cfg.subbuckets),
+            seed=base_cfg.seed,
+            faults=faults,
+            checkpoint_every=interval,
+        )
+        fp = run_sssp(graph, sources, cfg).fixpoint
+        rec = fp.recovery
+        assert rec is not None
+        result.points.append(
+            RecoveryPoint(
+                interval=interval,
+                checkpoints=rec.checkpoints,
+                checkpoint_seconds=rec.checkpoint_seconds,
+                recovery_seconds=rec.recovery_seconds,
+                replayed_iterations=rec.rolled_back_iterations,
+                total_seconds=fp.modeled_seconds(),
+                overhead_seconds=fp.modeled_seconds() - baseline.modeled_seconds(),
+                identical=_fingerprint(fp) == want,
+            )
+        )
+    return result
+
+
+def render(result: RecoveryResult) -> str:
+    headers = [
+        "K", "ckpts", "ckpt s", "recov s", "replayed", "total s",
+        "overhead s", "identical",
+    ]
+    rows = []
+    for p in result.points:
+        rows.append([
+            p.interval,
+            p.checkpoints,
+            f"{p.checkpoint_seconds:.6f}",
+            f"{p.recovery_seconds:.6f}",
+            p.replayed_iterations,
+            f"{p.total_seconds:.6f}",
+            f"{p.overhead_seconds:+.6f}",
+            "yes" if p.identical else "NO",
+        ])
+    table = render_table(
+        headers,
+        rows,
+        title=(
+            f"Recovery — {result.query} on {result.n_ranks} ranks, one rank "
+            f"crash at superstep {CRASH_SUPERSTEP}, checkpoint interval sweep"
+        ),
+    )
+    verdict = (
+        "all recovered runs identical to fault-free baseline"
+        if result.all_identical()
+        else "MISMATCH: some recovered runs diverged from the baseline"
+    )
+    return (
+        f"{table}\n"
+        f"baseline (fault-free): {result.baseline_seconds:.6f}s over "
+        f"{result.iterations} iterations\n{verdict}"
+    )
+
+
+if __name__ == "__main__":
+    print(render(run_recovery()))

@@ -1,0 +1,53 @@
+"""Fault injection and recovery for the simulated cluster.
+
+The package splits into four planes:
+
+* :mod:`repro.faults.config` — :class:`FaultConfig`, the declarative
+  fault schedule, and :func:`parse_fault_spec` for the CLI;
+* :mod:`repro.faults.plane` — :class:`FaultPlane`, the deterministic
+  injector threaded under both comm substrates, plus the error taxonomy
+  (:class:`RankFailure`, :class:`MessageLossError`,
+  :class:`CorruptionError`) and per-message checksums;
+* :mod:`repro.faults.invariants` — tuple-conservation and lattice
+  monotonicity checkers (defense in depth under the checksum);
+* :mod:`repro.faults.checkpoint` — iteration-boundary snapshots and the
+  :class:`RecoveryStats` the engine reports.
+"""
+
+from repro.faults.config import FaultConfig, parse_fault_spec
+from repro.faults.checkpoint import RecoveryStats, StratumCheckpoint
+from repro.faults.invariants import (
+    ConservationError,
+    accumulator_map,
+    check_conservation,
+    monotonicity_audit,
+)
+from repro.faults.plane import (
+    CorruptionError,
+    FaultError,
+    FaultPlane,
+    InjectionStats,
+    MessageLossError,
+    RankFailure,
+    corrupt_payload,
+    payload_checksum,
+)
+
+__all__ = [
+    "ConservationError",
+    "CorruptionError",
+    "FaultConfig",
+    "FaultError",
+    "FaultPlane",
+    "InjectionStats",
+    "MessageLossError",
+    "RankFailure",
+    "RecoveryStats",
+    "StratumCheckpoint",
+    "accumulator_map",
+    "check_conservation",
+    "corrupt_payload",
+    "monotonicity_audit",
+    "parse_fault_spec",
+    "payload_checksum",
+]

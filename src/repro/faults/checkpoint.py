@@ -1,0 +1,152 @@
+"""Iteration-boundary checkpoints and recovery bookkeeping.
+
+A :class:`StratumCheckpoint` is a coordinated snapshot of everything a
+stratum's fixpoint loop mutates: the shards of every relation in the
+stratum (deep-copied, so later iterations cannot alias into it), the
+engine's tuple counters, and the loop's position.  Because the simulated
+cluster is one process, "each rank writes its shard partition to stable
+storage" collapses to a deep copy — the *modeled* cost of the parallel
+write is still charged to the ledger by the engine
+(:meth:`repro.comm.costmodel.CostModel.checkpoint_write`).
+
+Restores deep-copy *out of* the snapshot, so one checkpoint survives any
+number of rollbacks (repeated failures within one interval all recover
+from the same boundary).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.comm.costmodel import BYTES_PER_WORD
+from repro.faults.plane import InjectionStats
+
+TupleT = Tuple[int, ...]
+
+
+@dataclass
+class RelationSnapshot:
+    """Frozen shard state of one relation (plus version generations)."""
+
+    shards: dict
+    full_gen: int
+    delta_gen: int
+    tuples: int
+    nbytes: int
+
+
+@dataclass
+class StratumCheckpoint:
+    """One coordinated snapshot of a stratum's mutable state.
+
+    ``iteration == -1`` marks the pre-seed checkpoint (the stratum has not
+    run its naive pass yet); ``iteration == k >= 0`` means iterations
+    ``0..k`` are fully absorbed and Δ-advanced.
+    """
+
+    stratum: int
+    iteration: int
+    changed: bool
+    #: Engine-level totals at capture time, restored verbatim on rollback
+    #: so replayed work is not double-counted.
+    iterations_total: int
+    counters: Dict[str, int]
+    trace_len: int
+    relations: Dict[str, RelationSnapshot] = field(default_factory=dict)
+
+    @property
+    def tuples(self) -> int:
+        return sum(snap.tuples for snap in self.relations.values())
+
+    @property
+    def nbytes(self) -> int:
+        return sum(snap.nbytes for snap in self.relations.values())
+
+    def rank_nbytes(self, store, rank: int) -> int:
+        """Checkpointed bytes owned by one rank (the failed rank's shard)."""
+        total = 0
+        for name in self.relations:
+            rel = store[name]
+            total += int(rel.full_sizes_by_rank()[rank]) * rel.schema.arity * BYTES_PER_WORD
+        return total
+
+
+def capture(
+    store,
+    names,
+    *,
+    stratum: int,
+    iteration: int,
+    changed: bool,
+    iterations_total: int,
+    counters: Dict[str, int],
+    trace_len: int,
+) -> StratumCheckpoint:
+    """Snapshot the named relations (deep copy) plus loop position."""
+    ckpt = StratumCheckpoint(
+        stratum=stratum,
+        iteration=iteration,
+        changed=changed,
+        iterations_total=iterations_total,
+        counters=dict(counters),
+        trace_len=trace_len,
+    )
+    for name in sorted(names):
+        rel = store[name]
+        tuples = rel.full_size()
+        ckpt.relations[name] = RelationSnapshot(
+            shards=copy.deepcopy(rel.shards),
+            full_gen=rel.full_gen,
+            delta_gen=rel.delta_gen,
+            tuples=tuples,
+            nbytes=tuples * rel.schema.arity * BYTES_PER_WORD,
+        )
+    return ckpt
+
+
+def restore(store, ckpt: StratumCheckpoint) -> None:
+    """Roll the named relations back to the checkpoint's shard state.
+
+    Deep-copies out of the snapshot (the checkpoint stays reusable) and
+    invalidates each relation's probe cache — the restored shard objects
+    are new, and the cache's shard-count token alone cannot detect that.
+    """
+    for name, snap in ckpt.relations.items():
+        rel = store[name]
+        rel.shards = copy.deepcopy(snap.shards)
+        rel.full_gen = snap.full_gen
+        rel.delta_gen = snap.delta_gen
+        rel._probe_cache.clear()
+        rel._probe_cache_token = -1
+
+
+@dataclass
+class RecoveryStats:
+    """Fault, checkpoint and recovery accounting for one run."""
+
+    checkpoints: int = 0
+    checkpoint_tuples: int = 0
+    checkpoint_bytes: int = 0
+    checkpoint_seconds: float = 0.0
+    failures: int = 0
+    recoveries: int = 0
+    rolled_back_iterations: int = 0
+    recovery_seconds: float = 0.0
+    injected: InjectionStats = field(default_factory=InjectionStats)
+    #: (stratum, detected-at iteration, restored-to iteration) per recovery.
+    events: List[Tuple[int, int, int]] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "checkpoints": self.checkpoints,
+            "checkpoint_tuples": self.checkpoint_tuples,
+            "checkpoint_bytes": self.checkpoint_bytes,
+            "checkpoint_seconds": self.checkpoint_seconds,
+            "failures": self.failures,
+            "recoveries": self.recoveries,
+            "rolled_back_iterations": self.rolled_back_iterations,
+            "recovery_seconds": self.recovery_seconds,
+            "injected": self.injected.as_dict(),
+        }

@@ -1,0 +1,197 @@
+"""Fault-injection configuration.
+
+:class:`FaultConfig` is the single declarative description of everything
+the fault plane may do to a run: crash one rank at a chosen superstep,
+drop / duplicate / corrupt messages with per-edge probabilities, and slow
+down straggler ranks.  It is deliberately *data only* — the decisions
+themselves live in :class:`repro.faults.plane.FaultPlane`, which derives
+every per-message coin flip deterministically from ``seed`` so that a
+faulty schedule replays bit-for-bit.
+
+:func:`parse_fault_spec` turns the CLI's compact ``--faults`` string into
+a config, e.g.::
+
+    crash=1@12,drop=0.01,dup=0.02,corrupt=0.005,straggle=2:4,seed=7
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+#: (drop, duplicate, corrupt) probabilities for one directed rank edge.
+EdgeRates = Tuple[float, float, float]
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Declarative fault schedule for one run.
+
+    Parameters
+    ----------
+    seed:
+        Root of every injection decision.  Two runs with the same config,
+        program and input see *identical* faults.
+    drop, dup, corrupt:
+        Global per-message probabilities of losing, duplicating or
+        bit-flipping a payload on the wire.  All default to 0.
+    per_edge:
+        ``(src, dst) -> (drop, dup, corrupt)`` overrides for specific
+        directed rank pairs (models a single flaky link).
+    crash_rank, crash_superstep:
+        Kill ``crash_rank`` at the first collective whose superstep index
+        is ``>= crash_superstep``.  The crash fires exactly once; after
+        recovery the replacement rank ("restart with spare") is healthy.
+    stragglers:
+        ``rank -> slowdown factor`` (>= 1): that rank's compute charges
+        are scaled by the factor, stretching every superstep it is the
+        max of (modeled time only; results are unaffected).
+    max_retries:
+        Bounded retransmission attempts for a message whose every copy
+        was dropped or failed its checksum.  Exhaustion raises
+        :class:`repro.faults.plane.MessageLossError`.
+    recv_timeout, recv_backoff:
+        Point-to-point receive patience under :mod:`repro.comm.asyncmpi`:
+        initial wall-clock timeout per attempt and the multiplier applied
+        after each retransmission round.
+    audit_monotonicity:
+        Run the lattice monotonicity audit after every absorb (defense in
+        depth against corruption that slips past the checksum).
+    """
+
+    seed: int = 0xFA017
+    drop: float = 0.0
+    dup: float = 0.0
+    corrupt: float = 0.0
+    per_edge: Mapping[Tuple[int, int], EdgeRates] = field(default_factory=dict)
+    crash_rank: Optional[int] = None
+    crash_superstep: Optional[int] = None
+    stragglers: Mapping[int, float] = field(default_factory=dict)
+    max_retries: int = 3
+    recv_timeout: float = 0.02
+    recv_backoff: float = 2.0
+    audit_monotonicity: bool = True
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "dup", "corrupt"):
+            p = getattr(self, name)
+            if not 0.0 <= p < 1.0:
+                raise ValueError(f"{name} must be in [0, 1), got {p}")
+        for edge, rates in self.per_edge.items():
+            if len(rates) != 3 or any(not 0.0 <= p < 1.0 for p in rates):
+                raise ValueError(
+                    f"per_edge[{edge}] must be (drop, dup, corrupt) in [0, 1), "
+                    f"got {rates}"
+                )
+        if (self.crash_rank is None) != (self.crash_superstep is None):
+            raise ValueError(
+                "crash_rank and crash_superstep must be set together"
+            )
+        if self.crash_rank is not None and self.crash_rank < 0:
+            raise ValueError(f"crash_rank must be >= 0, got {self.crash_rank}")
+        if self.crash_superstep is not None and self.crash_superstep < 0:
+            raise ValueError(
+                f"crash_superstep must be >= 0, got {self.crash_superstep}"
+            )
+        for rank, factor in self.stragglers.items():
+            if rank < 0:
+                raise ValueError(f"straggler rank must be >= 0, got {rank}")
+            if factor < 1.0:
+                raise ValueError(
+                    f"straggler factor must be >= 1.0, got {factor} for rank {rank}"
+                )
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.recv_timeout <= 0:
+            raise ValueError(f"recv_timeout must be > 0, got {self.recv_timeout}")
+        if self.recv_backoff < 1.0:
+            raise ValueError(f"recv_backoff must be >= 1.0, got {self.recv_backoff}")
+
+    # -------------------------------------------------------------- queries
+
+    @property
+    def has_crash(self) -> bool:
+        return self.crash_rank is not None
+
+    @property
+    def has_message_faults(self) -> bool:
+        """True when any message-level fault (drop/dup/corrupt) can fire."""
+        return (
+            self.drop > 0.0
+            or self.dup > 0.0
+            or self.corrupt > 0.0
+            or bool(self.per_edge)
+        )
+
+    def rates_for(self, src: int, dst: int) -> EdgeRates:
+        """Effective (drop, dup, corrupt) for one directed rank edge."""
+        override = self.per_edge.get((src, dst))
+        return override if override is not None else (self.drop, self.dup, self.corrupt)
+
+
+def parse_fault_spec(spec: str) -> FaultConfig:
+    """Parse the CLI ``--faults`` mini-language into a :class:`FaultConfig`.
+
+    Comma-separated ``key=value`` entries:
+
+    * ``crash=R@S`` — kill rank ``R`` at superstep ``S``;
+    * ``drop=P`` / ``dup=P`` / ``corrupt=P`` — global probabilities;
+    * ``edge=SRC>DST:PDROP:PDUP:PCORRUPT`` — per-edge override
+      (repeatable via ``/``: ``edge=0>1:0.5:0:0/1>0:0.1:0:0``);
+    * ``straggle=R:F`` — rank ``R`` runs ``F``× slower
+      (repeatable via ``/``: ``straggle=2:4/5:1.5``);
+    * ``seed=N``, ``retries=N`` — plane seed and retransmission bound.
+    """
+    cfg: Dict[str, object] = {}
+    per_edge: Dict[Tuple[int, int], EdgeRates] = {}
+    stragglers: Dict[int, float] = {}
+    for raw in spec.split(","):
+        entry = raw.strip()
+        if not entry:
+            continue
+        if "=" not in entry:
+            raise ValueError(f"bad --faults entry {entry!r} (expected key=value)")
+        key, _, value = entry.partition("=")
+        key = key.strip()
+        value = value.strip()
+        if key == "crash":
+            rank_s, _, step_s = value.partition("@")
+            if not step_s:
+                raise ValueError(
+                    f"bad crash spec {value!r} (expected RANK@SUPERSTEP)"
+                )
+            cfg["crash_rank"] = int(rank_s)
+            cfg["crash_superstep"] = int(step_s)
+        elif key in ("drop", "dup", "corrupt"):
+            cfg[key] = float(value)
+        elif key == "edge":
+            for part in value.split("/"):
+                head, *rates = part.split(":")
+                src_s, _, dst_s = head.partition(">")
+                if not dst_s or len(rates) != 3:
+                    raise ValueError(
+                        f"bad edge spec {part!r} "
+                        "(expected SRC>DST:PDROP:PDUP:PCORRUPT)"
+                    )
+                per_edge[(int(src_s), int(dst_s))] = (
+                    float(rates[0]), float(rates[1]), float(rates[2])
+                )
+        elif key == "straggle":
+            for part in value.split("/"):
+                rank_s, _, factor_s = part.partition(":")
+                if not factor_s:
+                    raise ValueError(
+                        f"bad straggle spec {part!r} (expected RANK:FACTOR)"
+                    )
+                stragglers[int(rank_s)] = float(factor_s)
+        elif key == "seed":
+            cfg["seed"] = int(value, 0)
+        elif key == "retries":
+            cfg["max_retries"] = int(value)
+        else:
+            raise ValueError(f"unknown --faults key {key!r}")
+    if per_edge:
+        cfg["per_edge"] = per_edge
+    if stragglers:
+        cfg["stragglers"] = stragglers
+    return FaultConfig(**cfg)  # type: ignore[arg-type]

@@ -1,0 +1,79 @@
+"""Runtime invariant checkers guarding against silent corruption.
+
+Two independent nets sit under the checksum (defense in depth):
+
+* **Tuple conservation** — every ``alltoallv`` must deliver exactly the
+  tuples that were sent (plus intentional duplicates the plane injected
+  and counted).  A substrate bug or an undetected mutation that loses or
+  fabricates tuples trips :func:`check_conservation`.
+* **Lattice monotonicity** — aggregate accumulators may only move *up*
+  the semilattice (shorter paths for ``$MIN``, larger values for
+  ``$MAX``).  :func:`monotonicity_audit` compares a relation's grouped
+  accumulators before and after an absorb; a regression means corrupted
+  data reached storage and raises
+  :class:`~repro.faults.plane.CorruptionError`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.faults.plane import CorruptionError
+
+TupleT = Tuple[int, ...]
+
+
+class ConservationError(CorruptionError):
+    """An exchange created or destroyed tuples (sent != received)."""
+
+
+def check_conservation(
+    sent: int, received: int, duplicated: int = 0, *, kind: str = "alltoallv"
+) -> None:
+    """Assert sum-sent == sum-received (modulo counted duplicates)."""
+    if received != sent + duplicated:
+        raise ConservationError(
+            f"{kind}: tuple conservation violated — sent {sent} "
+            f"(+{duplicated} duplicated) but delivered {received}"
+        )
+
+
+def accumulator_map(rel) -> Dict[TupleT, TupleT]:
+    """Group key → dependent values of an aggregate relation's full store.
+
+    For non-aggregate relations returns the identity map over tuples
+    (monotonicity degenerates to "nothing disappears").
+    """
+    schema = rel.schema
+    if not schema.is_aggregate:
+        return {t: t for t in rel.iter_full()}
+    out: Dict[TupleT, TupleT] = {}
+    for t in rel.iter_full():
+        out[schema.indep_of(t)] = schema.dep_of(t)
+    return out
+
+
+def monotonicity_audit(before: Dict[TupleT, TupleT], rel) -> None:
+    """Verify ``rel`` only moved up-lattice relative to ``before``.
+
+    Every group present before must still exist, and each aggregate
+    accumulator must satisfy ``join(old, new) == new`` (i.e. the stored
+    value absorbed the old one — it never regressed or wandered off the
+    lattice path).  Plain relations must simply not lose tuples.
+    """
+    after = accumulator_map(rel)
+    schema = rel.schema
+    agg = schema.aggregator if schema.is_aggregate else None
+    for key, old in before.items():
+        new = after.get(key)
+        if new is None:
+            raise CorruptionError(
+                f"{schema.name}: group {key} vanished during absorb "
+                "(monotonicity audit)"
+            )
+        if agg is not None and new != old:
+            if agg.partial_agg(old, new) != new:
+                raise CorruptionError(
+                    f"{schema.name}: accumulator for {key} regressed "
+                    f"{old} -> {new} (lattice monotonicity violated)"
+                )

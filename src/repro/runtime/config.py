@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Literal, Optional
 
 from repro.comm.costmodel import CostModel
+from repro.faults.config import FaultConfig
 from repro.obs.tracer import Tracer
 
 
@@ -91,6 +92,14 @@ class EngineConfig:
     #: must be unchanged).  None = deterministic delivery.
     reorder_messages_seed: Optional[int] = None
     tracer: Optional[Tracer] = None
+    #: Fault schedule (:class:`repro.faults.FaultConfig`): rank crash,
+    #: message drop/dup/corrupt, stragglers.  None = perfect network with
+    #: zero fault-plane overhead (modeled ledger totals unchanged).
+    faults: Optional[FaultConfig] = None
+    #: Take a coordinated checkpoint of every recursive stratum's state
+    #: every K iterations (plus one before the seed pass); required to
+    #: survive an injected rank crash.  None = no checkpoints.
+    checkpoint_every: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.n_ranks < 1:
@@ -117,4 +126,8 @@ class EngineConfig:
         if self.auto_balance is not None and self.auto_balance < 1.0:
             raise ValueError(
                 f"auto_balance tolerance must be >= 1.0, got {self.auto_balance}"
+            )
+        if self.checkpoint_every is not None and self.checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
             )

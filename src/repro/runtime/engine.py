@@ -25,9 +25,14 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.comm.costmodel import BYTES_PER_WORD, CommEvent
 from repro.comm.simcluster import SimCluster
 from repro.core.join_planner import JoinSide, vote_outer_relation
 from repro.core.local_agg import AbsorbStats
+from repro.faults import checkpoint as ckpt_mod
+from repro.faults.checkpoint import RecoveryStats, StratumCheckpoint
+from repro.faults.invariants import accumulator_map, monotonicity_audit
+from repro.faults.plane import FaultPlane, RankFailure
 from repro.kernels.block import concat_ranges
 from repro.kernels.join import RankJoinIndex
 from repro.kernels.route import build_intra_sends, build_route_sends
@@ -65,11 +70,32 @@ class Engine:
             subbuckets=self.config.subbuckets,
             default_subbuckets=self.config.default_subbuckets,
         )
+        #: Deterministic fault injector (None = perfect network).
+        self.fault_plane: Optional[FaultPlane] = (
+            FaultPlane(self.config.faults, self.config.n_ranks)
+            if self.config.faults is not None
+            else None
+        )
         self.cluster = SimCluster(
             self.config.n_ranks,
             self.config.cost_model,
             reorder_seed=self.config.reorder_messages_seed,
             tracer=self.tracer,
+            fault_plane=self.fault_plane,
+        )
+        #: Fault/checkpoint/recovery accounting, exposed on the result.
+        self.recovery: Optional[RecoveryStats] = (
+            RecoveryStats()
+            if self.fault_plane is not None
+            or self.config.checkpoint_every is not None
+            else None
+        )
+        # Lattice monotonicity audit: only worth paying for when injected
+        # corruption could actually reach an absorb.
+        self._audit = (
+            self.config.faults is not None
+            and self.config.faults.audit_monotonicity
+            and self.config.faults.has_message_faults
         )
         #: Effective executor: the columnar kernels opt out when the
         #: program needs features they don't cover (B-tree shards, head
@@ -199,6 +225,8 @@ class Engine:
                             )
             for stratum in self.compiled.strata:
                 self._run_stratum(stratum)
+        if self.recovery is not None and self.fault_plane is not None:
+            self.recovery.injected = self.fault_plane.stats
         self._finalize_metrics()
         return FixpointResult(
             relations=dict(self.store.relations),
@@ -209,6 +237,7 @@ class Engine:
             counters=dict(self.counters),
             spans=self.tracer.spans,
             metrics=self.tracer.metrics,
+            recovery=self.recovery,
         )
 
     def _finalize_metrics(self) -> None:
@@ -231,6 +260,13 @@ class Engine:
                 float(v) for v in rel.full_sizes_by_rank()
             )
             metrics.gauge(f"relation_tuples/{name}").set(rel.full_size())
+        if self.recovery is not None:
+            for key, value in self.recovery.as_dict().items():
+                if isinstance(value, dict):
+                    for sub, v in value.items():
+                        metrics.gauge(f"faults/{key}/{sub}").set(float(v))
+                else:
+                    metrics.gauge(f"faults/{key}").set(float(value))
 
     def relation(self, name: str) -> VersionedRelation:
         return self.store[name]
@@ -286,43 +322,206 @@ class Engine:
             self._run_stratum_body(stratum)
 
     def _run_stratum_body(self, stratum: Stratum) -> None:
+        """One stratum's fixpoint loop, with checkpoint/rollback recovery.
+
+        ``iteration == -1`` means the naive seed pass has not run yet;
+        afterwards ``iteration`` is the last *fully absorbed* iteration.
+        A :class:`~repro.faults.plane.RankFailure` raised anywhere inside
+        an iteration rolls the stratum back to the last checkpoint and
+        replays — re-absorbed tuples are lattice no-ops, so the replayed
+        run is bit-for-bit the run that would have happened without the
+        failure (verified in the chaos tests).
+        """
         rules = self.compiled.rules_of(stratum)
         recursive_rels = set(stratum.relations)
-        it_stats = _IterStats()
-        # Seed pass: evaluate every rule naively (all body atoms read the
-        # full version).  For non-recursive strata this is the whole job.
-        with self.tracer.span(
-            "iteration", cat="iteration", iteration=0, stratum=stratum.index
-        ):
-            for cr in rules:
-                self._evaluate_direction(cr, delta_atom=None, stats=it_stats)
-            changed = self._advance_and_count(stratum)
-            self._record_iteration(stratum, 0, it_stats)
-        if not stratum.recursive:
-            return
-        iteration = 0
-        while changed and iteration < self.config.max_iterations:
-            iteration += 1
-            self._iterations += 1
-            it_stats = _IterStats()
-            with self.tracer.span(
-                "iteration",
-                cat="iteration",
-                iteration=iteration,
-                stratum=stratum.index,
-            ):
-                for cr in rules:
-                    for i, rel_name in enumerate(cr.body_names):
-                        if rel_name in recursive_rels:
-                            self._evaluate_direction(cr, delta_atom=i, stats=it_stats)
-                changed = self._advance_and_count(stratum)
-                self._record_iteration(stratum, iteration, it_stats)
+        every = self.config.checkpoint_every
+        ckpt: Optional[StratumCheckpoint] = (
+            self._take_checkpoint(stratum, -1, changed=True)
+            if every is not None
+            else None
+        )
+        iteration = -1
+        changed = True
+        while True:
+            try:
+                if iteration < 0:
+                    # Seed pass: evaluate every rule naively (all body
+                    # atoms read the full version).  For non-recursive
+                    # strata this is the whole job.
+                    it_stats = _IterStats()
+                    with self.tracer.span(
+                        "iteration", cat="iteration", iteration=0,
+                        stratum=stratum.index,
+                    ):
+                        for cr in rules:
+                            self._evaluate_direction(
+                                cr, delta_atom=None, stats=it_stats
+                            )
+                        changed = self._advance_and_count(stratum)
+                        self._record_iteration(stratum, 0, it_stats)
+                    iteration = 0
+                    if not stratum.recursive:
+                        return
+                    if every is not None and changed:
+                        ckpt = self._take_checkpoint(stratum, 0, changed)
+                    continue
+                if not changed or iteration >= self.config.max_iterations:
+                    break
+                iteration += 1
+                self._iterations += 1
+                it_stats = _IterStats()
+                with self.tracer.span(
+                    "iteration",
+                    cat="iteration",
+                    iteration=iteration,
+                    stratum=stratum.index,
+                ):
+                    for cr in rules:
+                        for i, rel_name in enumerate(cr.body_names):
+                            if rel_name in recursive_rels:
+                                self._evaluate_direction(
+                                    cr, delta_atom=i, stats=it_stats
+                                )
+                    changed = self._advance_and_count(stratum)
+                    self._record_iteration(stratum, iteration, it_stats)
+                if every is not None and changed and iteration % every == 0:
+                    ckpt = self._take_checkpoint(stratum, iteration, changed)
+            except RankFailure as failure:
+                if ckpt is None:
+                    raise  # no checkpoint to recover from — unrecoverable
+                iteration, changed = self._recover(
+                    stratum, ckpt, failure, at_iteration=iteration
+                )
         if changed:
             raise RuntimeError(
                 f"stratum {stratum.relations} did not converge within "
                 f"{self.config.max_iterations} iterations — non-terminating "
                 "program (is every aggregate a finite-height lattice?)"
             )
+
+    # ------------------------------------------------- checkpoint / recovery
+
+    def _stratum_state_bytes(self, names) -> Tuple[int, np.ndarray]:
+        """(total, per-rank) serialized bytes of the named relations."""
+        per_rank = np.zeros(self.config.n_ranks, dtype=np.int64)
+        for name in names:
+            rel = self.store[name]
+            per_rank += rel.full_sizes_by_rank() * (
+                rel.schema.arity * BYTES_PER_WORD
+            )
+        return int(per_rank.sum()), per_rank
+
+    def _take_checkpoint(
+        self, stratum: Stratum, iteration: int, changed: bool
+    ) -> StratumCheckpoint:
+        """Coordinated snapshot of the stratum's mutable relations.
+
+        Only this stratum's head relations can change inside its fixpoint
+        loop (EDBs and earlier strata are frozen by stratification), so
+        they are all that needs saving.  The modeled cost of every rank
+        writing its partition to stable storage in parallel is charged to
+        the ``checkpoint`` phase.
+        """
+        names = sorted(stratum.relations)
+        with self.tracer.span(
+            "checkpoint", cat="phase", stratum=stratum.index,
+            attrs={"iteration": iteration},
+        ):
+            with self.timer.phase("checkpoint"):
+                ckpt = ckpt_mod.capture(
+                    self.store,
+                    names,
+                    stratum=stratum.index,
+                    iteration=iteration,
+                    changed=changed,
+                    iterations_total=self._iterations,
+                    counters=dict(self.counters),
+                    trace_len=len(self.trace),
+                )
+            total_bytes, per_rank = self._stratum_state_bytes(names)
+            seconds = self.cluster.cost.checkpoint_write(
+                self.config.n_ranks, int(per_rank.max())
+            )
+            # Charged directly (not through a collective) so the fault
+            # plane can never fire mid-checkpoint.
+            self.cluster.ledger.add_comm(
+                CommEvent(
+                    kind="checkpoint",
+                    phase="checkpoint",
+                    nbytes=total_bytes,
+                    messages=self.config.n_ranks,
+                    seconds=seconds,
+                )
+            )
+        if self.recovery is not None:
+            self.recovery.checkpoints += 1
+            self.recovery.checkpoint_tuples += ckpt.tuples
+            self.recovery.checkpoint_bytes += ckpt.nbytes
+            self.recovery.checkpoint_seconds += seconds
+        return ckpt
+
+    def _recover(
+        self,
+        stratum: Stratum,
+        ckpt: StratumCheckpoint,
+        failure: RankFailure,
+        *,
+        at_iteration: int,
+    ) -> Tuple[int, bool]:
+        """Roll the stratum back to ``ckpt`` and restart the failed rank.
+
+        Every relation the stratum mutates is restored from the snapshot
+        (survivors re-read their partitions; the dead rank's shard is
+        re-fetched and redistributed to its replacement — "restart with
+        spare", so placement and therefore replayed results are identical).
+        Engine counters, iteration totals and the trace are rewound too,
+        so a recovered run's bookkeeping matches a fault-free run's.
+        Returns the (iteration, changed) loop position to resume from.
+        """
+        in_flight = at_iteration + 1 if at_iteration >= 0 else 0
+        with self.tracer.span(
+            "recovery", cat="phase", stratum=stratum.index,
+            attrs={
+                "failed_rank": failure.rank,
+                "superstep": failure.superstep,
+                "detected_at": failure.where,
+                "restored_iteration": ckpt.iteration,
+            },
+        ):
+            with self.timer.phase("recovery"):
+                failed_bytes = ckpt.rank_nbytes(self.store, failure.rank)
+                ckpt_mod.restore(self.store, ckpt)
+                self._index_cache.clear()
+                self.counters = defaultdict(int)
+                self.counters.update(ckpt.counters)
+                self._iterations = ckpt.iterations_total
+                del self.trace[ckpt.trace_len:]
+            _total, per_rank = self._stratum_state_bytes(ckpt.relations)
+            seconds = self.cluster.cost.recovery_restore(
+                self.config.n_ranks, int(per_rank.max()), failed_bytes
+            )
+            self.cluster.ledger.add_comm(
+                CommEvent(
+                    kind="recovery",
+                    phase="recovery",
+                    nbytes=failed_bytes,
+                    messages=self.config.n_ranks,
+                    seconds=seconds,
+                )
+            )
+            if self.fault_plane is not None:
+                self.fault_plane.mark_restarted(failure.rank)
+        if self.recovery is not None:
+            self.recovery.failures += 1
+            self.recovery.recoveries += 1
+            self.recovery.rolled_back_iterations += max(
+                0, in_flight - max(ckpt.iteration, 0)
+            )
+            self.recovery.recovery_seconds += seconds
+            self.recovery.events.append(
+                (stratum.index, in_flight, ckpt.iteration)
+            )
+        return ckpt.iteration, ckpt.changed
 
     def _advance_and_count(self, stratum: Stratum) -> bool:
         """Promote Δs and run the distributed fixpoint test."""
@@ -798,6 +997,11 @@ class Engine:
         self.counters["alltoall_tuples"] += n_comm
 
         # ---- phase: fused dedup / local aggregation ----
+        before = (
+            accumulator_map(head)
+            if self._audit and head.schema.is_aggregate
+            else None
+        )
         per_rank_recv = np.zeros(cfg.n_ranks, dtype=np.int64)
         per_rank_adm = np.zeros(cfg.n_ranks, dtype=np.int64)
         with self.timer.phase(P_DEDUP):
@@ -814,6 +1018,8 @@ class Engine:
                 per_rank_recv * (cost.tuple_agg * cost.compute_scale)
                 + per_rank_adm * (cost.tuple_insert * cost.compute_scale),
             )
+        if before is not None:
+            monotonicity_audit(before, head)
         self.counters["admitted"] += int(per_rank_adm.sum())
         self.counters["suppressed"] += int(per_rank_recv.sum() - per_rank_adm.sum())
 
@@ -845,6 +1051,11 @@ class Engine:
         stats.comm_tuples += n_comm
         self.counters["alltoall_tuples"] += n_comm
 
+        before = (
+            accumulator_map(head)
+            if self._audit and head.schema.is_aggregate
+            else None
+        )
         per_rank_recv = np.zeros(cfg.n_ranks, dtype=np.int64)
         per_rank_adm = np.zeros(cfg.n_ranks, dtype=np.int64)
         with self.timer.phase(P_DEDUP):
@@ -865,6 +1076,8 @@ class Engine:
                 per_rank_recv * (cost.tuple_agg * cost.compute_scale)
                 + per_rank_adm * (cost.tuple_insert * cost.compute_scale),
             )
+        if before is not None:
+            monotonicity_audit(before, head)
         self.counters["admitted"] += int(per_rank_adm.sum())
         self.counters["suppressed"] += int(per_rank_recv.sum() - per_rank_adm.sum())
 

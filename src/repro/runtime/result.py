@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.comm.ledger import PhaseLedger
+from repro.faults.checkpoint import RecoveryStats
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.obs.tracer import Span
 from repro.relational.storage import VersionedRelation
@@ -50,6 +51,9 @@ class FixpointResult:
     spans: List[Span] = field(default_factory=list)
     #: The run's metrics registry (the no-op registry when tracing is off).
     metrics: MetricsRegistry = field(default_factory=lambda: NULL_METRICS)
+    #: Fault-injection / checkpoint / recovery accounting; None when the
+    #: run had neither a fault plane nor checkpoints.
+    recovery: Optional[RecoveryStats] = None
 
     def query(self, name: str) -> Set[TupleT]:
         """Materialize a relation's final contents as a set of tuples."""

@@ -228,3 +228,146 @@ class TestLedgerIntegration:
 
         _, ledger = run_spmd(2, program, return_ledger=True)
         assert ledger.comm.by_kind.get("p2p", 0) > 0
+
+
+class TestDeadlockDiagnosis:
+    def test_recv_diagnosis_names_source_and_tag(self):
+        async def program(comm):
+            return await comm.recv(source=0, tag=9)
+
+        with pytest.raises(DeadlockError) as exc:
+            run_spmd(2, program)
+        assert "recv(source=0, tag=9)" in str(exc.value)
+        assert exc.value.diagnosis[1] == "recv(source=0, tag=9)"
+        assert set(exc.value.diagnosis) <= {0, 1}
+
+    def test_collective_diagnosis_names_call_and_arrivals(self):
+        async def program(comm):
+            if comm.Get_rank() < 2:
+                return await comm.allreduce(1)
+            return None  # rank 2 never arrives
+
+        with pytest.raises(DeadlockError) as exc:
+            run_spmd(3, program)
+        blocked = [w for w in exc.value.diagnosis.values() if "allreduce" in w]
+        assert len(blocked) == 2
+        assert any("2/3 arrived" in w for w in blocked)
+
+    def test_mixed_diagnosis_per_rank(self):
+        async def program(comm):
+            if comm.Get_rank() == 0:
+                return await comm.recv(source=1, tag=4)
+            return await comm.barrier()
+
+        with pytest.raises(DeadlockError) as exc:
+            run_spmd(2, program)
+        assert "recv(source=1, tag=4)" in exc.value.diagnosis[0]
+        assert "barrier" in exc.value.diagnosis[1]
+
+
+class TestSiblingCancellation:
+    def test_failing_rank_cancels_siblings_without_warnings(self, recwarn):
+        """When one rank raises, siblings are cancelled and awaited —
+        asyncio must not report 'Task was destroyed but it is pending'."""
+        import warnings
+
+        async def program(comm):
+            if comm.Get_rank() == 0:
+                raise RuntimeError("rank 0 exploded")
+            # Siblings park on communication that will never complete.
+            return await comm.recv(source=0, tag=1)
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            with pytest.raises(RuntimeError, match="rank 0 exploded"):
+                run_spmd(4, program)
+        assert not [w for w in recwarn if "destroyed" in str(w.message)]
+
+    def test_deadlock_cancels_siblings_cleanly(self, recwarn):
+        async def program(comm):
+            return await comm.recv(source=comm.Get_rank(), tag=0)
+
+        with pytest.raises(DeadlockError):
+            run_spmd(3, program)
+        assert not [w for w in recwarn if "destroyed" in str(w.message)]
+
+
+class TestAsyncFaults:
+    def _plane(self, **kw):
+        from repro.faults import FaultConfig, FaultPlane
+
+        n = kw.pop("n_ranks", 2)
+        return FaultPlane(FaultConfig(**kw), n)
+
+    def test_recv_retries_through_drops(self):
+        plane = self._plane(seed=6, drop=0.4, max_retries=8,
+                            recv_timeout=0.005)
+
+        async def program(comm):
+            if comm.Get_rank() == 0:
+                for k in range(16):
+                    await comm.send(("msg", k), dest=1, tag=3)
+                return None
+            return [await comm.recv(source=0, tag=3) for _ in range(16)]
+
+        results = run_spmd(2, program, fault_plane=plane)
+        assert results[1] == [("msg", k) for k in range(16)]
+        assert plane.stats.drops > 0
+        assert plane.stats.retransmits > 0
+
+    def test_recv_detects_and_repairs_corruption(self):
+        plane = self._plane(seed=7, corrupt=0.4, max_retries=8,
+                            recv_timeout=0.005)
+
+        async def program(comm):
+            if comm.Get_rank() == 0:
+                for k in range(16):
+                    await comm.send([k, k * k], dest=1)
+                return None
+            return [await comm.recv(source=0) for _ in range(16)]
+
+        results = run_spmd(2, program, fault_plane=plane)
+        assert results[1] == [[k, k * k] for k in range(16)]
+        assert plane.stats.corruptions > 0
+        assert plane.stats.detected_corruptions == plane.stats.corruptions
+
+    def test_rank_failure_raised_at_rendezvous(self):
+        from repro.faults import RankFailure
+
+        plane = self._plane(n_ranks=3, crash_rank=1, crash_superstep=2)
+
+        async def program(comm):
+            total = 0
+            for _ in range(8):
+                total = await comm.allreduce(1)
+            return total
+
+        with pytest.raises(RankFailure) as exc:
+            run_spmd(3, program, fault_plane=plane)
+        assert exc.value.rank == 1
+        assert plane.stats.crashes == 1
+
+    def test_rank_failure_cancels_siblings_cleanly(self, recwarn):
+        from repro.faults import RankFailure
+
+        plane = self._plane(n_ranks=4, crash_rank=2, crash_superstep=1)
+
+        async def program(comm):
+            await comm.barrier()
+            await comm.barrier()
+            return await comm.recv(source=(comm.Get_rank() + 1) % 4)
+
+        with pytest.raises(RankFailure):
+            run_spmd(4, program, fault_plane=plane)
+        assert not [w for w in recwarn if "destroyed" in str(w.message)]
+
+    def test_fault_free_plane_has_no_effect(self):
+        plane = self._plane(n_ranks=3)
+
+        async def program(comm):
+            part = await comm.allreduce(comm.Get_rank())
+            await comm.send(part, dest=(comm.Get_rank() + 1) % 3)
+            return await comm.recv(source=(comm.Get_rank() - 1) % 3)
+
+        assert run_spmd(3, program, fault_plane=plane) == [3, 3, 3]
+        assert plane.stats.drops == plane.stats.dups == 0

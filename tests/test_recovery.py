@@ -1,0 +1,242 @@
+"""Chaos-schedule tests: every faulty run must be bit-for-bit the
+fault-free run — results, counters and per-rank relation contents — and
+injected corruption must always be detected, never silently absorbed."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FaultConfig, RankFailure
+from repro.queries.cc import run_cc
+from repro.queries.pagerank import run_pagerank
+from repro.queries.sssp import run_sssp
+from repro.runtime.config import EngineConfig
+
+EXECUTORS = ("scalar", "columnar")
+
+#: Seeded fault schedules for the chaos matrix (message faults only).
+CHAOS = {
+    "drop": FaultConfig(seed=11, drop=0.05),
+    "dup": FaultConfig(seed=12, dup=0.08),
+    "corrupt": FaultConfig(seed=13, corrupt=0.05),
+    "mixed": FaultConfig(seed=14, drop=0.03, dup=0.04, corrupt=0.03),
+    "flaky-link": FaultConfig(seed=15, per_edge={(0, 1): (0.6, 0.2, 0.4)}),
+}
+
+CRASH = FaultConfig(seed=21, crash_rank=1, crash_superstep=12)
+
+
+def _cfg(executor, faults=None, checkpoint_every=None, n_ranks=4):
+    return EngineConfig(
+        n_ranks=n_ranks,
+        executor=executor,
+        faults=faults,
+        checkpoint_every=checkpoint_every,
+    )
+
+
+def _fingerprint(fp, rel):
+    return (
+        fp.query(rel),
+        dict(sorted(fp.counters.items())),
+        {
+            name: r.full_sizes_by_rank().tolist()
+            for name, r in sorted(fp.relations.items())
+        },
+        fp.iterations,
+    )
+
+
+class TestChaosMatrix:
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    @pytest.mark.parametrize("fault", sorted(CHAOS))
+    def test_sssp_identical_under_message_faults(
+        self, medium_weighted_graph, executor, fault
+    ):
+        sources = list(range(10))
+        base = run_sssp(
+            medium_weighted_graph, sources, _cfg(executor)
+        ).fixpoint
+        faulty = run_sssp(
+            medium_weighted_graph, sources, _cfg(executor, CHAOS[fault])
+        ).fixpoint
+        assert faulty.query("spath") == base.query("spath")
+        assert faulty.iterations == base.iterations
+        if CHAOS[fault].dup == 0 and CHAOS[fault].rates_for(0, 1)[1] == 0:
+            # Without duplicates even the suppression counters match;
+            # duplicates legitimately inflate received/suppressed.
+            assert dict(faulty.counters) == dict(base.counters)
+        else:
+            assert faulty.counters["admitted"] == base.counters["admitted"]
+        inj = faulty.recovery.injected
+        assert inj.drops or inj.dups or inj.corruptions, (
+            "chaos schedule injected nothing — rates or seed too weak"
+        )
+        # Every injected corruption was caught by the CRC envelope.
+        assert inj.detected_corruptions == inj.corruptions
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    @pytest.mark.parametrize("fault", ["drop", "mixed"])
+    def test_cc_identical_under_message_faults(
+        self, medium_graph, executor, fault
+    ):
+        base = run_cc(medium_graph, _cfg(executor)).fixpoint
+        faulty = run_cc(medium_graph, _cfg(executor, CHAOS[fault])).fixpoint
+        assert faulty.query("cc") == base.query("cc")
+        assert faulty.counters["admitted"] == base.counters["admitted"]
+
+
+class TestCrashRecovery:
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_sssp_recovers_bit_for_bit(self, medium_weighted_graph, executor):
+        sources = list(range(10))
+        base = run_sssp(
+            medium_weighted_graph, sources, _cfg(executor)
+        ).fixpoint
+        faulty = run_sssp(
+            medium_weighted_graph, sources,
+            _cfg(executor, CRASH, checkpoint_every=2),
+        ).fixpoint
+        assert _fingerprint(faulty, "spath") == _fingerprint(base, "spath")
+        rec = faulty.recovery
+        assert rec.injected.crashes == 1
+        assert rec.failures == 1 and rec.recoveries == 1
+        assert rec.checkpoints >= 1
+        assert rec.rolled_back_iterations >= 0
+        # Recovery work is charged to the modeled ledger, not free.
+        assert faulty.ledger.phase_seconds.get("recovery", 0) > 0
+        assert faulty.ledger.phase_seconds.get("checkpoint", 0) > 0
+        assert faulty.modeled_seconds() > base.modeled_seconds()
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_cc_recovers_bit_for_bit(self, medium_graph, executor):
+        base = run_cc(medium_graph, _cfg(executor)).fixpoint
+        faulty = run_cc(
+            medium_graph, _cfg(executor, CRASH, checkpoint_every=2)
+        ).fixpoint
+        assert _fingerprint(faulty, "cc") == _fingerprint(base, "cc")
+        assert faulty.recovery.recoveries == 1
+
+    def test_pagerank_recovers_identically(self, medium_graph):
+        base = run_pagerank(medium_graph, iterations=3, config=_cfg("columnar"))
+        faulty = run_pagerank(
+            medium_graph, iterations=3,
+            config=_cfg("columnar", FaultConfig(seed=22, crash_rank=1,
+                                                crash_superstep=4),
+                        checkpoint_every=1),
+        )
+        assert np.array_equal(base, faulty)
+
+    def test_crash_without_checkpoint_raises(self, medium_weighted_graph):
+        with pytest.raises(RankFailure):
+            run_sssp(
+                medium_weighted_graph, list(range(10)),
+                _cfg("columnar", CRASH),
+            )
+
+    def test_crash_with_message_faults_combined(self, medium_weighted_graph):
+        sources = list(range(10))
+        base = run_sssp(
+            medium_weighted_graph, sources, _cfg("columnar")
+        ).fixpoint
+        combined = FaultConfig(
+            seed=23, drop=0.02, corrupt=0.02, crash_rank=2, crash_superstep=10
+        )
+        faulty = run_sssp(
+            medium_weighted_graph, sources,
+            _cfg("columnar", combined, checkpoint_every=2),
+        ).fixpoint
+        assert faulty.query("spath") == base.query("spath")
+        assert faulty.recovery.recoveries == 1
+
+
+class TestIdempotence:
+    @given(seed=st.integers(0, 2**16), dup=st.floats(0.01, 0.4))
+    @settings(max_examples=15)
+    def test_duplicated_deliveries_never_change_aggregates(self, seed, dup):
+        """Replayed/duplicated messages are lattice no-ops (the property
+        the recovery protocol rests on)."""
+        from repro.graphs.types import Graph
+
+        edges = np.array(
+            [(0, 1, 4), (0, 2, 9), (1, 2, 1), (2, 3, 2),
+             (3, 1, 1), (1, 4, 7), (3, 4, 3), (5, 6, 1)],
+            dtype=np.int64,
+        )
+        graph = Graph(edges=edges, n_nodes=7, name="fixture")
+        base = run_sssp(graph, [0, 5], _cfg("columnar")).fixpoint
+        faulty = run_sssp(
+            graph, [0, 5],
+            _cfg("columnar", FaultConfig(seed=seed, dup=dup)),
+        ).fixpoint
+        assert faulty.query("spath") == base.query("spath")
+        assert faulty.counters["admitted"] == base.counters["admitted"]
+
+
+class TestFaultFreeInvariance:
+    def test_plane_absent_ledger_untouched(self, medium_weighted_graph):
+        sources = list(range(5))
+        a = run_sssp(medium_weighted_graph, sources, _cfg("columnar")).fixpoint
+        b = run_sssp(medium_weighted_graph, sources, _cfg("columnar")).fixpoint
+        assert a.summary() == b.summary()
+        assert a.recovery is None
+
+    def test_inert_plane_ledger_untouched(self, medium_weighted_graph):
+        """An all-zero fault config must not perturb modeled totals."""
+        sources = list(range(5))
+        base = run_sssp(medium_weighted_graph, sources, _cfg("columnar")).fixpoint
+        inert = run_sssp(
+            medium_weighted_graph, sources,
+            _cfg("columnar", FaultConfig(audit_monotonicity=False)),
+        ).fixpoint
+        assert inert.summary() == base.summary()
+
+    def test_straggler_changes_time_not_results(self, medium_weighted_graph):
+        sources = list(range(5))
+        base = run_sssp(medium_weighted_graph, sources, _cfg("columnar")).fixpoint
+        slow = run_sssp(
+            medium_weighted_graph, sources,
+            _cfg("columnar", FaultConfig(stragglers={1: 4.0})),
+        ).fixpoint
+        assert slow.query("spath") == base.query("spath")
+        assert dict(slow.counters) == dict(base.counters)
+        assert slow.modeled_seconds() > base.modeled_seconds()
+
+
+class TestCheckpointAccounting:
+    def test_checkpoints_without_faults(self, medium_weighted_graph):
+        """Checkpointing alone (no plane) works and charges the ledger."""
+        sources = list(range(5))
+        base = run_sssp(medium_weighted_graph, sources, _cfg("columnar")).fixpoint
+        ck = run_sssp(
+            medium_weighted_graph, sources,
+            _cfg("columnar", checkpoint_every=2),
+        ).fixpoint
+        assert ck.query("spath") == base.query("spath")
+        assert ck.recovery is not None
+        assert ck.recovery.checkpoints >= 2
+        assert ck.recovery.failures == 0
+        assert ck.ledger.phase_seconds.get("checkpoint", 0) > 0
+
+    def test_interval_controls_checkpoint_count(self, medium_weighted_graph):
+        sources = list(range(5))
+        every_1 = run_sssp(
+            medium_weighted_graph, sources,
+            _cfg("columnar", checkpoint_every=1),
+        ).fixpoint
+        every_4 = run_sssp(
+            medium_weighted_graph, sources,
+            _cfg("columnar", checkpoint_every=4),
+        ).fixpoint
+        assert every_1.recovery.checkpoints > every_4.recovery.checkpoints
+
+    def test_recovery_stats_in_report(self, medium_weighted_graph):
+        faulty = run_sssp(
+            medium_weighted_graph, list(range(10)),
+            _cfg("columnar", CRASH, checkpoint_every=2),
+        ).fixpoint
+        d = faulty.recovery.as_dict()
+        assert d["failures"] == 1
+        assert d["injected"]["crashes"] == 1
+        assert faulty.metrics_dict()
