@@ -28,3 +28,14 @@ def test_hotpath_executor_speedup(once, defaults):
     # (fixed per-batch overheads dominate tiny graphs); the full-scale
     # acceptance number lives in BENCH_PR2.json / EXPERIMENTS.md.
     assert report["end_to_end_speedup"] > 0
+    # Snapshot hygiene: every report carries the provenance envelope and
+    # passes the validator that guards `paralagg bench --compare`.
+    from repro.obs.analysis import BENCH_SCHEMA_VERSION, validate_bench_snapshot
+
+    assert report["schema_version"] == BENCH_SCHEMA_VERSION
+    for key in ("git_sha", "timestamp", "python_version", "numpy_version"):
+        assert report[key], f"missing snapshot stamp {key!r}"
+    for q in report["queries"].values():
+        for executor in ("scalar", "columnar"):
+            assert "phase_modeled_seconds" in q[executor]
+    validate_bench_snapshot(report)

@@ -48,6 +48,18 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
         help="print a machine-readable JSON report (phase breakdown, "
              "counters, metrics) instead of the human-readable text",
     )
+    parser.add_argument(
+        "--diagnostics", action="store_true",
+        help="run the performance-diagnostics plane: capture rank×rank "
+             "communication matrices, attribute the modeled critical path, "
+             "and run the skew doctor (observation only — results and "
+             "modeled costs are unchanged)",
+    )
+    parser.add_argument(
+        "--flamegraph", metavar="PATH", default=None,
+        help="write the modeled critical path as collapsed stacks to PATH "
+             "(feed to flamegraph.pl or speedscope); implies --diagnostics",
+    )
 
 
 def _finish_obs(args: argparse.Namespace, fp, report: dict) -> int:
@@ -63,9 +75,22 @@ def _finish_obs(args: argparse.Namespace, fp, report: dict) -> int:
         report["trace"] = {
             "path": args.trace, "format": args.trace_format, "records": n,
         }
+    diagnostics = None
+    if args.diagnostics or args.flamegraph:
+        diagnostics = fp.diagnose()
+        report["diagnostics"] = diagnostics.to_dict()
+    if args.flamegraph:
+        from repro.obs.analysis import write_flamegraph
+
+        try:
+            n_stacks = write_flamegraph(args.flamegraph, fp.spans)
+        except OSError as exc:
+            raise SystemExit(f"cannot write flamegraph to {args.flamegraph}: {exc}")
+        report["flamegraph"] = {"path": args.flamegraph, "stacks": n_stacks}
     if args.json:
         print(json.dumps(report, indent=2, sort_keys=True, default=str))
-    elif args.trace:
+        return 0
+    if args.trace:
         from repro.metrics.obsreport import render_rank_utilization, render_span_summary
 
         print(f"trace: {report['trace']['records']} records -> {args.trace} "
@@ -74,6 +99,16 @@ def _finish_obs(args: argparse.Namespace, fp, report: dict) -> int:
             print("  open in https://ui.perfetto.dev (one lane per rank)")
         print(render_span_summary(fp.spans))
         print(render_rank_utilization(fp.spans))
+    if diagnostics is not None:
+        from repro.obs.analysis import render_comm_heatmap, render_compute_heatmap
+
+        print(diagnostics.render())
+        print(render_compute_heatmap(fp.spans))
+        if fp.comm_profile is not None and len(fp.comm_profile):
+            print(render_comm_heatmap(fp.comm_profile))
+    if args.flamegraph:
+        print(f"flamegraph: {report['flamegraph']['stacks']} stacks -> "
+              f"{args.flamegraph}")
     return 0
 
 
@@ -168,10 +203,36 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="comma-separated SSSP source vertices")
     bench.add_argument("--queries", default="sssp,cc",
                        help="comma-separated subset of sssp,cc")
-    bench.add_argument("--output", default="BENCH_PR2.json", metavar="PATH",
-                       help="write the JSON report here ('-' to skip)")
+    bench.add_argument("--output", default=None, metavar="PATH",
+                       help="write the JSON report here ('-' to skip; "
+                            "default BENCH_PR2.json, or '-' with --compare)")
     bench.add_argument("--json", action="store_true",
                        help="print the JSON report instead of the table")
+    bench.add_argument(
+        "--compare", metavar="BASELINE.json", default=None,
+        help="compare this run against a committed bench snapshot and exit "
+             "non-zero on regression (modeled-time drift beyond the "
+             "tolerance, or an iteration-count change)",
+    )
+    bench.add_argument(
+        "--tolerance", type=float, default=5.0, metavar="PCT",
+        help="allowed modeled-seconds drift vs the baseline, in percent "
+             "(default: 5.0); host wall-time drift is advisory only",
+    )
+
+    tr = sub.add_parser(
+        "trace-report",
+        help="analyze a saved trace offline: validate it, then run the "
+             "span summary, rank utilization, and performance diagnostics "
+             "without re-running the query",
+    )
+    tr.add_argument("trace_file", help="a chrome/jsonl trace written by --trace")
+    tr.add_argument("--format", choices=["chrome", "jsonl"], default=None,
+                    help="trace format (default: sniff from the file)")
+    tr.add_argument("--json", action="store_true",
+                    help="print the full report as JSON")
+    tr.add_argument("--flamegraph", metavar="PATH", default=None,
+                    help="also write the critical path as collapsed stacks")
 
     exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     exp.add_argument(
@@ -191,9 +252,14 @@ def _cmd_datasets() -> int:
     return 0
 
 
+def _want_diagnostics(args: argparse.Namespace) -> bool:
+    return bool(args.diagnostics or args.flamegraph)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     graph = load_dataset(args.dataset, seed=args.seed, scale_shift=args.scale_shift)
-    tracer = Tracer() if args.trace else None
+    # Diagnostics need the span stream, so they imply a live tracer.
+    tracer = Tracer() if args.trace or _want_diagnostics(args) else None
     faults = None
     if args.faults:
         from repro.faults import parse_fault_spec
@@ -215,6 +281,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         tracer=tracer,
         faults=faults,
         checkpoint_every=args.checkpoint_every,
+        diagnostics=_want_diagnostics(args),
     )
     quiet = args.json
     if not quiet:
@@ -286,6 +353,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.experiments import hotpath
 
+    # With --compare the default is read-only: don't clobber the baseline
+    # file we are comparing against unless --output says so explicitly.
+    output = args.output
+    if output is None:
+        output = "-" if args.compare else "BENCH_PR2.json"
+    baseline = None
+    if args.compare:
+        from repro.obs.analysis import validate_bench_snapshot
+
+        try:
+            with open(args.compare) as fh:
+                baseline = json.load(fh)
+            validate_bench_snapshot(baseline)
+        except (OSError, json.JSONDecodeError, ValueError) as exc:
+            raise SystemExit(f"bad baseline {args.compare}: {exc}")
     report = hotpath.run_hotpath_bench(
         dataset=args.dataset,
         ranks=args.ranks,
@@ -295,17 +377,88 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         edge_subbuckets=args.subbuckets,
         queries=[q for q in args.queries.split(",") if q],
     )
-    if args.output != "-":
-        with open(args.output, "w") as fh:
+    if output != "-":
+        with open(output, "w") as fh:
             json.dump(report, fh, indent=2, sort_keys=True)
             fh.write("\n")
     if args.json:
         print(json.dumps(report, indent=2, sort_keys=True))
     else:
         print(hotpath.render(report))
-        if args.output != "-":
-            print(f"[report written to {args.output}]")
-    return 0 if report["all_identical"] else 1
+        if output != "-":
+            print(f"[report written to {output}]")
+    if not report["all_identical"]:
+        return 1
+    if baseline is not None:
+        from repro.obs.analysis import compare_bench_snapshots, render_bench_comparison
+
+        try:
+            comparison = compare_bench_snapshots(
+                baseline, report, tolerance_pct=args.tolerance
+            )
+        except ValueError as exc:
+            raise SystemExit(f"cannot compare against {args.compare}: {exc}")
+        print(render_bench_comparison(comparison))
+        return 0 if comparison["ok"] else 1
+    return 0
+
+
+def _cmd_trace_report(args: argparse.Namespace) -> int:
+    from repro.metrics.obsreport import render_rank_utilization, render_span_summary
+    from repro.obs.analysis import (
+        diagnose,
+        render_comm_heatmap,
+        render_compute_heatmap,
+        write_flamegraph,
+    )
+    from repro.obs.export import load_trace, validate_trace_file
+
+    try:
+        validation = validate_trace_file(args.trace_file, fmt=args.format)
+    except (OSError, json.JSONDecodeError, ValueError) as exc:
+        raise SystemExit(f"invalid trace {args.trace_file}: {exc}")
+    spans, metrics, meta = load_trace(args.trace_file, fmt=args.format)
+    lane_spans = [sp for sp in spans if sp.rank is not None]
+    # Offline ground truth for the critical-path check: the span stream
+    # tiles the modeled timeline, so its right edge is the ledger total.
+    expected_total = max((sp.modeled_end for sp in lane_spans), default=0.0)
+    diagnostics = diagnose(
+        spans, metrics=metrics, expected_total=expected_total or None
+    )
+    report = {
+        "trace": args.trace_file,
+        "validation": {
+            k: sorted(v) if isinstance(v, set) else v
+            for k, v in validation.items()
+        },
+        "meta": meta,
+        "diagnostics": diagnostics.to_dict(),
+    }
+    if args.flamegraph:
+        n_stacks = write_flamegraph(args.flamegraph, spans)
+        report["flamegraph"] = {"path": args.flamegraph, "stacks": n_stacks}
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True, default=str))
+        return 0
+    n_lanes = len({sp.rank for sp in lane_spans})
+    print(f"{args.trace_file}: valid trace, {len(spans)} spans, "
+          f"{n_lanes} rank lane(s)")
+    if meta.get("command"):
+        print(f"  recorded by: paralagg {meta['command']}")
+    print(render_span_summary(spans))
+    print(render_rank_utilization(spans))
+    print(diagnostics.render())
+    if lane_spans:
+        print(render_compute_heatmap(spans))
+    if diagnostics.comm_profile is not None and len(diagnostics.comm_profile):
+        print(render_comm_heatmap(diagnostics.comm_profile))
+    elif not args.json:
+        print("(no comm matrices in trace: record with --diagnostics "
+              "to enable offline comm analysis)")
+    if args.flamegraph:
+        print(f"flamegraph: {report['flamegraph']['stacks']} stacks -> "
+              f"{args.flamegraph}")
+    return 0
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -361,13 +514,20 @@ def _cmd_query(args: argparse.Namespace) -> int:
     from repro.planner.parser import parse_program
     from repro.runtime.engine import Engine
 
-    if args.spmd and (args.trace or args.json):
-        raise SystemExit("--trace/--json require the BSP driver (drop --spmd)")
+    if args.spmd and (args.trace or args.json or _want_diagnostics(args)):
+        raise SystemExit(
+            "--trace/--json/--diagnostics require the BSP driver (drop --spmd)"
+        )
     source = pathlib.Path(args.file).read_text()
     parsed = parse_program(source)
-    tracer = Tracer() if args.trace else None
+    tracer = Tracer() if args.trace or _want_diagnostics(args) else None
     engine = Engine(
-        parsed.program, EngineConfig(n_ranks=args.ranks, tracer=tracer)
+        parsed.program,
+        EngineConfig(
+            n_ranks=args.ranks,
+            tracer=tracer,
+            diagnostics=_want_diagnostics(args),
+        ),
     )
     if args.explain:
         print(engine.explain())
@@ -436,6 +596,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_query(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "trace-report":
+        return _cmd_trace_report(args)
     return _cmd_experiment(args)
 
 

@@ -115,10 +115,20 @@ class _Collective:
 class _World:
     """Shared state for one SPMD execution."""
 
-    def __init__(self, size: int, cost: CostModel, faults: Optional[FaultPlane] = None):
+    def __init__(
+        self,
+        size: int,
+        cost: CostModel,
+        faults: Optional[FaultPlane] = None,
+        comm_recorder: Optional[Any] = None,
+    ):
         self.size = size
         self.cost = cost
         self.faults = faults
+        #: Optional rank×rank traffic capture (diagnostics; observation
+        #: only).  Point-to-point sends and retransmissions are recorded;
+        #: collectives are charged to the ledger but not per-edge.
+        self.comm_recorder = comm_recorder
         self.ledger = PhaseLedger(size)
         if faults is not None:
             self.ledger.rank_scale = faults.straggler_scale()
@@ -259,6 +269,10 @@ class AsyncComm:
             box.setdefault((self._rank, tag), deque()).append(obj)
         world.progress += 1
         world.charge("p2p", nbytes, 1, world.cost.p2p(nbytes))
+        if world.comm_recorder is not None:
+            # Self-sends are charged like wire traffic here (the lowercase
+            # API pickles regardless), so record their true size too.
+            world.comm_recorder.record(self._rank, dest, nbytes, 1)
         world.mail_arrived[dest].set()
         await asyncio.sleep(0)  # yield so receivers can progress
 
@@ -286,6 +300,10 @@ class AsyncComm:
             world.faults.stats.retransmits += 1
             world.faults.stats.retransmitted_bytes += nbytes
             world.charge("retransmit", nbytes, 1, world.cost.p2p(nbytes))
+            if world.comm_recorder is not None:
+                world.comm_recorder.record(
+                    src, self._rank, nbytes, 1, retransmit=True
+                )
             world.progress += 1
             return True
         return False
@@ -543,6 +561,7 @@ def run_spmd(
     cost_model: Optional[CostModel] = None,
     return_ledger: bool = False,
     fault_plane: Optional[FaultPlane] = None,
+    comm_recorder: Optional[Any] = None,
 ) -> List[Any] | Tuple[List[Any], PhaseLedger]:
     """Run ``fn(comm, *args)`` on ``n_ranks`` simulated ranks; gather returns.
 
@@ -561,7 +580,12 @@ def run_spmd(
     """
     if n_ranks < 1:
         raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
-    world = _World(n_ranks, cost_model or CostModel(), faults=fault_plane)
+    world = _World(
+        n_ranks,
+        cost_model or CostModel(),
+        faults=fault_plane,
+        comm_recorder=comm_recorder,
+    )
 
     async def drain(tasks: List[asyncio.Task]) -> None:
         """Cancel and await every unfinished task (exceptions swallowed)."""

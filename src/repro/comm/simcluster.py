@@ -46,6 +46,12 @@ class SimCluster:
         cluster's ledger emits per-rank ``comm`` spans — one lane entry
         per rank per collective, tagged with bytes moved and modeled
         seconds — through it.  Defaults to the zero-overhead no-op.
+    comm_recorder:
+        Diagnostics hook (:class:`repro.obs.analysis.CommMatrixRecorder`).
+        When set, every :meth:`alltoallv` / :meth:`p2p_exchange` captures
+        its rank×rank traffic matrix (bytes + tuple counts, retransmits in
+        a separate channel).  Observation only — charges and results are
+        bit-identical with or without it.
     """
 
     def __init__(
@@ -56,6 +62,7 @@ class SimCluster:
         reorder_seed: Optional[int] = None,
         tracer: Optional[object] = None,
         fault_plane: Optional[FaultPlane] = None,
+        comm_recorder: Optional[object] = None,
     ):
         if n_ranks < 1:
             raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
@@ -75,6 +82,8 @@ class SimCluster:
         self.faults = fault_plane
         if fault_plane is not None:
             self.ledger.rank_scale = fault_plane.straggler_scale()
+        #: Optional per-exchange rank×rank traffic capture (diagnostics).
+        self.comm_recorder = comm_recorder
 
     # --------------------------------------------------------------- faults
 
@@ -234,6 +243,11 @@ class SimCluster:
         """
         plane = self.faults
         step = self._superstep("alltoallv")
+        matrix = (
+            self.comm_recorder.begin("alltoallv", phase)
+            if self.comm_recorder is not None
+            else None
+        )
         recv: Dict[int, List[Any]] = {}
         sent_bytes: Dict[int, int] = {}
         recv_bytes: Dict[int, int] = {}
@@ -266,6 +280,8 @@ class SimCluster:
                 seq += 1
                 if src == dst:
                     # Self-sends shortcut the wire; faults cannot hit them.
+                    if matrix is not None:
+                        matrix.add(src, dst, 0, n_tuples)
                     if faulty:
                         slots.setdefault(dst, []).append((seq, payload))
                     else:
@@ -273,6 +289,8 @@ class SimCluster:
                     n_delivered += n_tuples
                     continue
                 nbytes = self.cost.tuple_bytes(n_tuples, arity)
+                if matrix is not None:
+                    matrix.add(src, dst, nbytes, n_tuples)
                 sent_bytes[src] = sent_bytes.get(src, 0) + nbytes
                 recv_bytes[dst] = recv_bytes.get(dst, 0) + nbytes
                 peers[src] = peers.get(src, 0) + 1
@@ -386,6 +404,10 @@ class SimCluster:
                 plane.stats.retransmitted_bytes += nbytes
                 round_bytes += nbytes
                 round_busiest = max(round_busiest, nbytes)
+                if self.comm_recorder is not None:
+                    self.comm_recorder.record(
+                        src, dst, nbytes, n_tuples, retransmit=True
+                    )
                 good = self._deliver_copies(
                     plane, slots, seq, step, src, dst, payload, checksum, attempt
                 )
@@ -427,6 +449,11 @@ class SimCluster:
         """
         plane = self.faults
         step = self._superstep("p2p")
+        matrix = (
+            self.comm_recorder.begin("p2p", phase)
+            if self.comm_recorder is not None
+            else None
+        )
         faulty = plane is not None and plane.has_message_faults
         recv: Dict[int, List[Any]] = {}
         total_bytes = 0
@@ -469,6 +496,10 @@ class SimCluster:
                     plane.stats.retransmitted_bytes += nbytes
                     retrans_bytes += nbytes
                     retrans_msgs += 1
+                    if matrix is not None:
+                        matrix.add(src, dst, nbytes, 1, retransmit=True)
+            if matrix is not None:
+                matrix.add(src, dst, 0 if src == dst else nbytes, 1)
             if src != dst:
                 total_bytes += nbytes
                 count += 1

@@ -17,6 +17,7 @@ import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.graphs.datasets import load_dataset
+from repro.obs.analysis import stamp_bench_snapshot
 from repro.runtime.config import EngineConfig
 
 #: Phases reported per executor (matches engine.PHASES plus load).
@@ -41,10 +42,12 @@ def _run_one(query: str, graph, config: EngineConfig, sources: Sequence[int]):
 
 def _executor_report(fp, wall: float) -> Dict[str, object]:
     totals = fp.timer.totals()
+    modeled = fp.phase_breakdown()
     return {
         "wall_seconds": wall,
         "phase_wall_seconds": {p: totals.get(p, 0.0) for p in _PHASES},
         "modeled_seconds": fp.modeled_seconds(),
+        "phase_modeled_seconds": {p: modeled.get(p, 0.0) for p in _PHASES},
         "iterations": fp.iterations,
     }
 
@@ -126,6 +129,10 @@ def run_hotpath_bench(
         q["identical_results"] and q["identical_ledger"]
         for q in report["queries"].values()
     )
+    # Provenance envelope (schema_version, git SHA, timestamp, toolchain)
+    # so BENCH_*.json snapshots are self-describing and comparable via
+    # ``paralagg bench --compare``.
+    stamp_bench_snapshot(report)
     return report
 
 

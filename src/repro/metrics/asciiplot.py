@@ -89,6 +89,72 @@ def ascii_plot(
     return "\n".join(lines)
 
 
+#: Intensity ramp for heatmap cells, dimmest to brightest.
+_RAMP = " .:-=+*#%@"
+
+
+def ascii_heatmap(
+    grid,
+    *,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    width: int = 64,
+    max_rows: int = 32,
+) -> str:
+    """Render a 2-D non-negative matrix as a character heatmap.
+
+    Rows are y (e.g. ranks), columns x (e.g. supersteps); cell intensity
+    is linear in value over the :data:`_RAMP` scale, normalized to the
+    matrix max.  Wide matrices are downsampled column-wise (summing bins)
+    to ``width``; tall ones row-wise to ``max_rows`` — totals are
+    preserved so hot cells stay hot after binning.
+    """
+    arr = np.asarray(grid, dtype=np.float64)
+    if arr.ndim != 2 or arr.size == 0:
+        return "(no data)"
+    n_rows, n_cols = arr.shape
+
+    def _bin(a: np.ndarray, axis: int, target: int) -> np.ndarray:
+        n = a.shape[axis]
+        if n <= target:
+            return a
+        edges = np.linspace(0, n, target + 1).round().astype(int)
+        pieces = [
+            a.take(range(edges[i], edges[i + 1]), axis=axis).sum(axis=axis)
+            for i in range(target)
+        ]
+        return np.stack(pieces, axis=axis)
+
+    binned = _bin(_bin(arr, 1, width), 0, max_rows)
+    peak = float(binned.max())
+    lines = []
+    if title:
+        lines.append(title)
+    label_w = len(str(n_rows - 1))
+    row_edges = np.linspace(0, n_rows, binned.shape[0] + 1).round().astype(int)
+    for i, row in enumerate(binned):
+        if peak > 0:
+            idx = np.minimum(
+                (row / peak * (len(_RAMP) - 1)).round().astype(int),
+                len(_RAMP) - 1,
+            )
+            cells = "".join(_RAMP[j] for j in idx)
+        else:
+            cells = _RAMP[0] * binned.shape[1]
+        lines.append(f"{row_edges[i]:>{label_w}d} │{cells}│")
+    pad = " " * label_w
+    lines.append(pad + " └" + "─" * binned.shape[1] + "┘")
+    footer = []
+    if x_label:
+        footer.append(f"x: {x_label} (0..{n_cols - 1})")
+    if y_label:
+        footer.append(f"y: {y_label}")
+    footer.append(f"scale: '{_RAMP[0]}'=0 .. '{_RAMP[-1]}'={peak:.4g}")
+    lines.append("   ".join(footer))
+    return "\n".join(lines)
+
+
 def ascii_cdf(
     values: Sequence[int],
     *,

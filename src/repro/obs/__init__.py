@@ -28,6 +28,12 @@ that produces all of it:
     :class:`~repro.comm.ledger.PhaseLedger` (modeled time), so the two
     views can never drift apart.
 
+:mod:`repro.obs.analysis`
+    The diagnostics plane over all of the above: per-exchange rank×rank
+    communication matrices, critical-path attribution on the modeled
+    timeline, the skew doctor, flamegraph/heatmap exports, and the
+    versioned bench-snapshot regression gate.
+
 Typical use::
 
     from repro import Engine, EngineConfig
@@ -41,6 +47,19 @@ Typical use::
     write_chrome_trace("out.json", result.spans)   # open in Perfetto
 """
 
+from repro.obs.analysis import (
+    CommMatrix,
+    CommMatrixRecorder,
+    CriticalPathReport,
+    Diagnosis,
+    DiagnosticsReport,
+    SkewReport,
+    compare_bench_snapshots,
+    critical_path,
+    diagnose,
+    diagnose_skew,
+    validate_bench_snapshot,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -53,7 +72,12 @@ from repro.obs.phases import IterationDeltas
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
+    "CommMatrix",
+    "CommMatrixRecorder",
     "Counter",
+    "CriticalPathReport",
+    "Diagnosis",
+    "DiagnosticsReport",
     "Gauge",
     "Histogram",
     "IterationDeltas",
@@ -62,6 +86,12 @@ __all__ = [
     "NULL_TRACER",
     "NullMetricsRegistry",
     "NullTracer",
+    "SkewReport",
     "Span",
     "Tracer",
+    "compare_bench_snapshots",
+    "critical_path",
+    "diagnose",
+    "diagnose_skew",
+    "validate_bench_snapshot",
 ]

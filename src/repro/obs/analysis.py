@@ -1,0 +1,1175 @@
+"""Performance diagnostics: comm matrices, critical path, skew doctor.
+
+PR 1's observability layer records *what happened* — flat spans and
+counters.  This module turns that stream into *why it was slow*, the
+three questions the paper's own evaluation revolves around:
+
+1. **Which rank×rank edge carried the bytes?**
+   :class:`CommMatrixRecorder` captures one sparse rank×rank matrix per
+   exchange (bytes + tuple counts) inside
+   :meth:`~repro.comm.simcluster.SimCluster.alltoallv` /
+   :meth:`~repro.comm.simcluster.SimCluster.p2p_exchange` and the
+   :mod:`repro.comm.asyncmpi` substrate.  Fault-driven retransmissions
+   land in a separate channel so recovered traffic never masquerades as
+   algorithmic traffic.  Capture is observation-only: ledgers and results
+   are bit-identical with it on or off, and :meth:`CommMatrixRecorder.
+   reconcile` proves the matrices sum to the ledger's comm counters.
+
+2. **Which phase on which rank bounds the superstep?**
+   :func:`critical_path` replays the per-rank span lanes charge by
+   charge.  BSP semantics make the modeled critical path exact: each
+   charge's cost is the *max over ranks*, so attributing every charge to
+   its bounding rank decomposes total modeled time with zero residue
+   (validated to ``rel_tol`` by :meth:`CriticalPathReport.validate`).
+
+3. **Is the slowness skew?**
+   :func:`diagnose_skew` computes per-superstep load-imbalance factors
+   (max/mean, idle-rank starvation), per-relation placement skew (Gini
+   over bucket sizes, top-bucket share), join-vote oscillation, and
+   comm-matrix hotspots, and emits structured :class:`Diagnosis` records
+   with actionable recommendations — the measurement side of the paper's
+   §IV-C spatial load balancing and §IV-D dynamic join planning.
+
+The same functions run *offline* on a saved trace (``paralagg
+trace-report``): span loaders in :mod:`repro.obs.export` reconstruct the
+span stream, and comm matrices ride along as ``comm_matrix`` instant
+spans when diagnostics are enabled.
+
+The module also owns the **perf-regression contract**: versioned
+``BENCH_*.json`` snapshots (:func:`stamp_bench_snapshot`,
+:func:`validate_bench_snapshot`) and :func:`compare_bench_snapshots`,
+which gates on *modeled*-time drift — deterministic, machine-independent
+— while reporting host-wall drift as advisory only.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+#: Bumped when the BENCH_*.json layout changes incompatibly.
+BENCH_SCHEMA_VERSION = 2
+
+#: Channel names inside a comm matrix.  ``data`` is first-transmission
+#: traffic; ``retransmit`` is fault-recovery traffic (tagged separately so
+#: chaos runs can prove injected faults never leak into the data channel).
+CHANNELS = ("data", "retransmit")
+
+
+# ===================================================================== comm
+
+
+class CommMatrix:
+    """One exchange's sparse rank×rank traffic matrix.
+
+    ``data[(src, dst)] = [nbytes, tuples]`` for first transmissions;
+    ``retransmit`` holds the same shape for fault-recovery resends.
+    Self-edges (``src == dst``) carry tuple counts with zero bytes — local
+    delivery is free on the wire, but the tuples still matter for skew.
+    """
+
+    __slots__ = ("seq", "kind", "phase", "n_ranks", "data", "retransmit")
+
+    def __init__(self, seq: int, kind: str, phase: str, n_ranks: int):
+        self.seq = seq
+        self.kind = kind
+        self.phase = phase
+        self.n_ranks = n_ranks
+        self.data: Dict[Tuple[int, int], List[int]] = {}
+        self.retransmit: Dict[Tuple[int, int], List[int]] = {}
+
+    def add(
+        self, src: int, dst: int, nbytes: int, tuples: int,
+        *, retransmit: bool = False,
+    ) -> None:
+        chan = self.retransmit if retransmit else self.data
+        cell = chan.get((src, dst))
+        if cell is None:
+            chan[(src, dst)] = [nbytes, tuples]
+        else:
+            cell[0] += nbytes
+            cell[1] += tuples
+
+    # ---------------------------------------------------------------- totals
+
+    def _chan(self, channel: str) -> Dict[Tuple[int, int], List[int]]:
+        if channel == "data":
+            return self.data
+        if channel == "retransmit":
+            return self.retransmit
+        raise ValueError(f"unknown channel {channel!r}; expected {CHANNELS}")
+
+    def bytes_total(self, channel: str = "data") -> int:
+        return sum(cell[0] for cell in self._chan(channel).values())
+
+    def tuples_total(self, channel: str = "data") -> int:
+        return sum(cell[1] for cell in self._chan(channel).values())
+
+    def row_bytes(self, channel: str = "data") -> List[int]:
+        """Bytes sent by each rank (wire only)."""
+        out = [0] * self.n_ranks
+        for (src, _dst), (nbytes, _t) in self._chan(channel).items():
+            out[src] += nbytes
+        return out
+
+    def col_bytes(self, channel: str = "data") -> List[int]:
+        """Bytes received by each rank (wire only)."""
+        out = [0] * self.n_ranks
+        for (_src, dst), (nbytes, _t) in self._chan(channel).items():
+            out[dst] += nbytes
+        return out
+
+    def as_dense(self, channel: str = "data", *, what: str = "bytes"):
+        """Dense ``(n_ranks, n_ranks)`` ndarray of bytes or tuples."""
+        import numpy as np
+
+        idx = 0 if what == "bytes" else 1
+        out = np.zeros((self.n_ranks, self.n_ranks), dtype=np.int64)
+        for (src, dst), cell in self._chan(channel).items():
+            out[src, dst] = cell[idx]
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly form: entries as ``[src, dst, bytes, tuples]``."""
+        return {
+            "seq": self.seq,
+            "kind": self.kind,
+            "phase": self.phase,
+            "n_ranks": self.n_ranks,
+            "data": [
+                [s, d, c[0], c[1]] for (s, d), c in sorted(self.data.items())
+            ],
+            "retransmit": [
+                [s, d, c[0], c[1]]
+                for (s, d), c in sorted(self.retransmit.items())
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, rec: Mapping[str, Any]) -> "CommMatrix":
+        m = cls(
+            int(rec["seq"]), str(rec["kind"]), str(rec["phase"]),
+            int(rec["n_ranks"]),
+        )
+        for s, d, nbytes, tuples in rec.get("data", ()):
+            m.add(int(s), int(d), int(nbytes), int(tuples))
+        for s, d, nbytes, tuples in rec.get("retransmit", ()):
+            m.add(int(s), int(d), int(nbytes), int(tuples), retransmit=True)
+        return m
+
+
+class CommMatrixRecorder:
+    """Collects one :class:`CommMatrix` per exchange for a whole run.
+
+    Attached to a :class:`~repro.comm.simcluster.SimCluster` (or passed to
+    :func:`repro.comm.asyncmpi.run_spmd`) it observes every wire message;
+    it never charges anything, so enabling it cannot perturb modeled time
+    or results.  Exposed on ``FixpointResult.comm_profile``.
+    """
+
+    def __init__(self, n_ranks: int):
+        self.n_ranks = n_ranks
+        self.matrices: List[CommMatrix] = []
+        self._open: Optional[CommMatrix] = None
+
+    # --------------------------------------------------------------- capture
+
+    def begin(self, kind: str, phase: str) -> CommMatrix:
+        """Open the matrix for one exchange; closes any previous one."""
+        m = CommMatrix(len(self.matrices), kind, phase, self.n_ranks)
+        self.matrices.append(m)
+        self._open = m
+        return m
+
+    def record(
+        self, src: int, dst: int, nbytes: int, tuples: int,
+        *, retransmit: bool = False,
+    ) -> None:
+        """Record one wire message into the currently open exchange."""
+        m = self._open
+        if m is None:
+            m = self.begin("p2p", "comm")
+        m.add(src, dst, nbytes, tuples, retransmit=retransmit)
+
+    # --------------------------------------------------------------- queries
+
+    def __len__(self) -> int:
+        return len(self.matrices)
+
+    def bytes_total(self, channel: str = "data") -> int:
+        return sum(m.bytes_total(channel) for m in self.matrices)
+
+    def tuples_total(self, channel: str = "data") -> int:
+        return sum(m.tuples_total(channel) for m in self.matrices)
+
+    def bytes_by_kind(self, channel: str = "data") -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for m in self.matrices:
+            out[m.kind] = out.get(m.kind, 0) + m.bytes_total(channel)
+        return out
+
+    def total_matrix(self, channel: str = "data"):
+        """Dense run-total rank×rank byte matrix."""
+        import numpy as np
+
+        out = np.zeros((self.n_ranks, self.n_ranks), dtype=np.int64)
+        for m in self.matrices:
+            for (src, dst), (nbytes, _t) in m._chan(channel).items():
+                out[src, dst] += nbytes
+        return out
+
+    def rank_superstep_bytes(self, channel: str = "data"):
+        """``(n_exchanges, n_ranks)`` bytes-sent grid (heatmap input)."""
+        import numpy as np
+
+        out = np.zeros((len(self.matrices), self.n_ranks), dtype=np.int64)
+        for i, m in enumerate(self.matrices):
+            out[i, :] = m.row_bytes(channel)
+        return out
+
+    # ----------------------------------------------------- reconciliation
+
+    def reconcile(self, comm_stats: Any, *, strict: bool = True) -> Dict[str, Any]:
+        """Check matrix totals against the ledger's comm counters.
+
+        For every captured kind, the data-channel byte total must equal
+        the ledger's ``by_kind`` byte total, and the retransmit channel
+        must equal the ledger's ``retransmit`` entry.  Returns the
+        comparison; raises ``ValueError`` on mismatch when ``strict``.
+        """
+        by_kind = self.bytes_by_kind("data")
+        ledger_by_kind = dict(comm_stats.by_kind)
+        mismatches = {}
+        for kind, nbytes in sorted(by_kind.items()):
+            expected = ledger_by_kind.get(kind, 0)
+            if nbytes != expected:
+                mismatches[kind] = {"matrix": nbytes, "ledger": expected}
+        retrans = self.bytes_total("retransmit")
+        expected_retrans = ledger_by_kind.get("retransmit", 0)
+        if retrans != expected_retrans:
+            mismatches["retransmit"] = {
+                "matrix": retrans, "ledger": expected_retrans,
+            }
+        report = {
+            "kinds": sorted(by_kind),
+            "bytes_by_kind": by_kind,
+            "retransmit_bytes": retrans,
+            "mismatches": mismatches,
+            "ok": not mismatches,
+        }
+        if strict and mismatches:
+            raise ValueError(f"comm matrices do not reconcile: {mismatches}")
+        return report
+
+    def reconcile_with_metrics(
+        self, metrics: Mapping[str, Any], *, strict: bool = True
+    ) -> Dict[str, Any]:
+        """Offline reconciliation against an exported metrics dict.
+
+        The exporter writes one ``comm_bytes/<kind>`` histogram per
+        collective kind whose ``sum`` is that kind's ledger byte total —
+        enough to replay :meth:`reconcile` from a trace file alone.
+        """
+        hists = metrics.get("histograms", {})
+
+        class _Stats:
+            by_kind = {
+                name.split("/", 1)[1]: int(summary.get("sum", 0))
+                for name, summary in hists.items()
+                if name.startswith("comm_bytes/") and summary
+            }
+
+        return self.reconcile(_Stats(), strict=strict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "n_ranks": self.n_ranks,
+            "n_exchanges": len(self.matrices),
+            "bytes_total": self.bytes_total("data"),
+            "tuples_total": self.tuples_total("data"),
+            "retransmit_bytes": self.bytes_total("retransmit"),
+            "bytes_by_kind": self.bytes_by_kind("data"),
+            "matrices": [m.to_dict() for m in self.matrices],
+        }
+
+
+def comm_profile_from_spans(spans: Sequence[Any]) -> Optional[CommMatrixRecorder]:
+    """Rebuild a recorder from ``comm_matrix`` instant spans (offline path).
+
+    Returns ``None`` when the trace carries no comm-matrix records (the
+    run was traced without ``--diagnostics``).
+    """
+    matrices = [
+        CommMatrix.from_dict(sp.attrs)
+        for sp in spans
+        if sp.name == "comm_matrix" and sp.attrs.get("kind") is not None
+    ]
+    if not matrices:
+        return None
+    rec = CommMatrixRecorder(max(m.n_ranks for m in matrices))
+    rec.matrices = sorted(matrices, key=lambda m: m.seq)
+    return rec
+
+
+# ============================================================ critical path
+
+
+@dataclass
+class StepAttribution:
+    """One BSP charge on the modeled timeline, attributed to its bound."""
+
+    modeled_start: float
+    seconds: float
+    #: ``compute`` or ``comm``.
+    cat: str
+    #: Pipeline phase the charge billed (``local_join``, ``comm``, ...).
+    phase: str
+    #: Span name (phase name for compute, collective kind for comm).
+    name: str
+    #: The rank whose work gates this charge (comm charges synchronize
+    #: everyone, so the bound is nominal: the lowest participating rank).
+    bounding_rank: Optional[int]
+    #: max/mean over participating ranks' seconds; 1.0 when synchronized.
+    imbalance: float
+    #: Fraction of ranks that did no work in this charge.
+    idle_fraction: float
+    stratum: Optional[int] = None
+    iteration: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "modeled_start": self.modeled_start,
+            "seconds": self.seconds,
+            "cat": self.cat,
+            "phase": self.phase,
+            "name": self.name,
+            "bounding_rank": self.bounding_rank,
+            "imbalance": self.imbalance,
+            "idle_fraction": self.idle_fraction,
+            "stratum": self.stratum,
+            "iteration": self.iteration,
+        }
+
+
+@dataclass
+class CriticalPathReport:
+    """Critical-path decomposition of a run's modeled timeline."""
+
+    steps: List[StepAttribution]
+    n_ranks: int
+    #: Modeled seconds per phase, summed over the steps each phase gates.
+    phase_seconds: Dict[str, float]
+    #: Each phase's fraction of total modeled time.
+    phase_shares: Dict[str, float]
+    #: Per phase, rank → number of steps that rank bounded.
+    bounding_counts: Dict[str, Dict[int, int]]
+    total_seconds: float
+
+    def validate(self, expected_total: float, rel_tol: float = 1e-6) -> None:
+        """Assert step attributions tile the modeled timeline exactly.
+
+        ``expected_total`` is the cost-model total (``PhaseLedger.
+        total_seconds()`` online, the max span ``modeled_end`` offline).
+        """
+        if not math.isclose(
+            self.total_seconds, expected_total,
+            rel_tol=rel_tol, abs_tol=rel_tol,
+        ):
+            raise ValueError(
+                f"critical path sums to {self.total_seconds!r}, expected "
+                f"{expected_total!r} (rel_tol={rel_tol})"
+            )
+        share_sum = sum(self.phase_shares.values())
+        if self.phase_shares and not math.isclose(
+            share_sum, 1.0, rel_tol=rel_tol, abs_tol=rel_tol
+        ):
+            raise ValueError(
+                f"phase shares sum to {share_sum!r}, expected 1.0"
+            )
+
+    def dominant_phase(self) -> Optional[str]:
+        if not self.phase_seconds:
+            return None
+        return max(self.phase_seconds, key=lambda p: self.phase_seconds[p])
+
+    def bounding_rank_of(self, phase: str) -> Optional[int]:
+        """The rank that most often gates the given phase."""
+        counts = self.bounding_counts.get(phase)
+        if not counts:
+            return None
+        return max(sorted(counts), key=lambda r: counts[r])
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "total_seconds": self.total_seconds,
+            "n_ranks": self.n_ranks,
+            "phase_seconds": dict(sorted(self.phase_seconds.items())),
+            "phase_shares": dict(sorted(self.phase_shares.items())),
+            "bounding_counts": {
+                p: dict(sorted(c.items()))
+                for p, c in sorted(self.bounding_counts.items())
+            },
+            "n_steps": len(self.steps),
+            "dominant_phase": self.dominant_phase(),
+        }
+
+
+def critical_path(
+    spans: Sequence[Any], *, n_ranks: Optional[int] = None
+) -> CriticalPathReport:
+    """Attribute every modeled charge to the rank and phase that gates it.
+
+    Works on live :class:`~repro.obs.tracer.Span` objects or span records
+    reloaded from a trace file.  Per-rank lane spans sharing one
+    ``modeled_start`` belong to the same ledger charge; within a charge
+    the modeled cost is the max over ranks (BSP), so the longest lane
+    entry *is* the critical path through that charge.
+    """
+    lanes = [
+        sp for sp in spans
+        if sp.rank is not None and sp.cat in ("compute", "comm")
+    ]
+    if n_ranks is None:
+        n_ranks = max((sp.rank for sp in lanes), default=-1) + 1
+    groups: Dict[Tuple[float, str, str], List[Any]] = {}
+    for sp in lanes:
+        # One ledger charge = one (start, cat, name) cohort; comm charges
+        # at a zero-duration boundary cannot collide with compute ones.
+        groups.setdefault((sp.modeled_start, sp.cat, sp.name), []).append(sp)
+    steps: List[StepAttribution] = []
+    for (start, cat, name), cohort in sorted(groups.items()):
+        durations = [
+            (sp.modeled_end - sp.modeled_start, sp.rank) for sp in cohort
+        ]
+        seconds, bounding_rank = max(durations)
+        # min-rank tiebreak keeps attribution deterministic.
+        bounding_rank = min(r for d, r in durations if d == seconds)
+        phase = cat == "comm" and cohort[0].attrs.get("phase") or name
+        active = [d for d, _r in durations if d > 0]
+        mean = sum(active) / n_ranks if n_ranks else 0.0
+        imbalance = (seconds / mean) if mean > 0 else 1.0
+        idle = 1.0 - len(active) / n_ranks if n_ranks else 0.0
+        stratum = cohort[0].stratum
+        iteration = cohort[0].iteration
+        steps.append(
+            StepAttribution(
+                modeled_start=start,
+                seconds=seconds,
+                cat=cat,
+                phase=str(phase),
+                name=name,
+                bounding_rank=bounding_rank if seconds > 0 else None,
+                imbalance=imbalance,
+                idle_fraction=idle,
+                stratum=stratum,
+                iteration=iteration,
+            )
+        )
+    phase_seconds: Dict[str, float] = {}
+    bounding: Dict[str, Dict[int, int]] = {}
+    for step in steps:
+        phase_seconds[step.phase] = (
+            phase_seconds.get(step.phase, 0.0) + step.seconds
+        )
+        if step.bounding_rank is not None:
+            per = bounding.setdefault(step.phase, {})
+            per[step.bounding_rank] = per.get(step.bounding_rank, 0) + 1
+    total = sum(phase_seconds.values())
+    shares = (
+        {p: s / total for p, s in phase_seconds.items()} if total > 0 else {}
+    )
+    return CriticalPathReport(
+        steps=steps,
+        n_ranks=n_ranks,
+        phase_seconds=phase_seconds,
+        phase_shares=shares,
+        bounding_counts=bounding,
+        total_seconds=total,
+    )
+
+
+# ============================================================== skew doctor
+
+
+@dataclass
+class Diagnosis:
+    """One structured finding with an actionable recommendation."""
+
+    code: str
+    severity: str  # "info" | "warn"
+    message: str
+    recommendation: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "recommendation": self.recommendation,
+            "data": self.data,
+        }
+
+    def render(self) -> str:
+        tag = "!" if self.severity == "warn" else "·"
+        return f"{tag} [{self.code}] {self.message}\n    ↳ {self.recommendation}"
+
+
+def gini(values: Iterable[float]) -> float:
+    """Gini coefficient of a non-negative sample (0 = even, →1 = skewed)."""
+    vals = sorted(float(v) for v in values)
+    n = len(vals)
+    total = sum(vals)
+    if n == 0 or total <= 0:
+        return 0.0
+    # Mean absolute difference formulation over the sorted sample.
+    cum = 0.0
+    for i, v in enumerate(vals, start=1):
+        cum += i * v
+    return (2.0 * cum) / (n * total) - (n + 1.0) / n
+
+
+def _vote_flips(spans: Sequence[Any]) -> Tuple[Dict[str, int], int]:
+    """Per-rule outer-side flip counts from ``iteration_summary`` spans."""
+    last: Dict[str, str] = {}
+    flips: Dict[str, int] = {}
+    n_iters = 0
+    for sp in sorted(
+        (s for s in spans if s.name == "iteration_summary"),
+        key=lambda s: (s.stratum or 0, s.iteration or 0),
+    ):
+        n_iters += 1
+        for rule, side in (sp.attrs.get("outer_choices") or {}).items():
+            prev = last.get(rule)
+            if prev is not None and prev != side:
+                flips[rule] = flips.get(rule, 0) + 1
+            last[rule] = side
+    return flips, n_iters
+
+
+@dataclass
+class SkewReport:
+    """The skew doctor's full findings for one run."""
+
+    diagnoses: List[Diagnosis]
+    #: Per-superstep (charge) imbalance factors along the critical path.
+    step_imbalance: List[Dict[str, Any]]
+    #: Per-relation placement stats (only when relations were available).
+    relation_skew: Dict[str, Dict[str, Any]]
+    vote_flips: Dict[str, int]
+
+    @property
+    def warnings(self) -> List[Diagnosis]:
+        return [d for d in self.diagnoses if d.severity == "warn"]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "diagnoses": [d.to_dict() for d in self.diagnoses],
+            "n_warnings": len(self.warnings),
+            "step_imbalance": self.step_imbalance,
+            "relation_skew": self.relation_skew,
+            "vote_flips": dict(sorted(self.vote_flips.items())),
+        }
+
+    def render(self) -> str:
+        if not self.diagnoses:
+            return "skew doctor: no findings — load looks healthy"
+        lines = [f"skew doctor: {len(self.diagnoses)} finding(s), "
+                 f"{len(self.warnings)} warning(s)"]
+        for d in self.diagnoses:
+            lines.append(d.render())
+        return "\n".join(lines)
+
+
+def diagnose_skew(
+    spans: Sequence[Any],
+    *,
+    n_ranks: Optional[int] = None,
+    relations: Optional[Mapping[str, Any]] = None,
+    comm_profile: Optional[CommMatrixRecorder] = None,
+    imbalance_threshold: float = 2.0,
+    starvation_threshold: float = 0.5,
+    top_bucket_threshold: float = 0.25,
+    flip_threshold: int = 4,
+) -> SkewReport:
+    """Run every skew check and emit structured diagnoses.
+
+    ``relations`` (name → ``VersionedRelation``) unlocks bucket-level
+    placement analysis; offline trace-report runs without it.
+    """
+    cp = critical_path(spans, n_ranks=n_ranks)
+    n_ranks = cp.n_ranks
+    diagnoses: List[Diagnosis] = []
+
+    # ---- per-superstep compute imbalance + starvation -------------------
+    step_imbalance: List[Dict[str, Any]] = []
+    worst_by_phase: Dict[str, StepAttribution] = {}
+    starved = 0
+    for step in cp.steps:
+        if step.cat != "compute" or step.seconds <= 0:
+            continue
+        step_imbalance.append({
+            "phase": step.phase,
+            "stratum": step.stratum,
+            "iteration": step.iteration,
+            "seconds": step.seconds,
+            "imbalance": step.imbalance,
+            "idle_fraction": step.idle_fraction,
+            "bounding_rank": step.bounding_rank,
+        })
+        if step.idle_fraction >= starvation_threshold:
+            starved += 1
+        prev = worst_by_phase.get(step.phase)
+        if prev is None or step.imbalance > prev.imbalance:
+            worst_by_phase[step.phase] = step
+    for phase, step in sorted(worst_by_phase.items()):
+        if step.imbalance < imbalance_threshold:
+            continue
+        where = (
+            f"stratum {step.stratum} iteration {step.iteration}"
+            if step.iteration is not None
+            else "seed pass"
+        )
+        diagnoses.append(Diagnosis(
+            code="compute-imbalance",
+            severity="warn",
+            message=(
+                f"phase {phase!r} ({where}) is bounded by rank "
+                f"{step.bounding_rank}: max/mean compute {step.imbalance:.2f}x"
+            ),
+            recommendation=(
+                "increase sub-buckets for the relation feeding this phase "
+                "(EngineConfig.subbuckets) or enable auto_balance"
+            ),
+            data={
+                "phase": phase,
+                "imbalance": step.imbalance,
+                "bounding_rank": step.bounding_rank,
+                "stratum": step.stratum,
+                "iteration": step.iteration,
+            },
+        ))
+    n_compute = len(step_imbalance)
+    if n_compute and starved / n_compute >= 0.25:
+        diagnoses.append(Diagnosis(
+            code="delta-starvation",
+            severity="warn",
+            message=(
+                f"{starved}/{n_compute} compute supersteps left ≥"
+                f"{starvation_threshold:.0%} of ranks idle"
+            ),
+            recommendation=(
+                "Δ is concentrating on few ranks — re-key the recursive "
+                "relation or raise its sub-bucket count so deltas spread"
+            ),
+            data={"starved_steps": starved, "compute_steps": n_compute},
+        ))
+
+    # ---- relation placement skew ----------------------------------------
+    relation_skew: Dict[str, Dict[str, Any]] = {}
+    if relations:
+        for name in sorted(relations):
+            rel = relations[name]
+            by_bucket: Dict[int, int] = {}
+            for (bucket, _sub), shard in rel.shards.items():
+                by_bucket[bucket] = by_bucket.get(bucket, 0) + shard.full_size()
+            total = sum(by_bucket.values())
+            if total <= 0:
+                continue
+            sizes = list(by_bucket.values())
+            top_share = max(sizes) / total
+            by_rank = rel.full_sizes_by_rank()
+            mean_rank = float(by_rank.mean())
+            rank_imb = float(by_rank.max()) / mean_rank if mean_rank > 0 else 1.0
+            stats = {
+                "tuples": total,
+                "buckets": len(sizes),
+                "gini_buckets": gini(sizes),
+                "top_bucket_share": top_share,
+                "rank_imbalance": rank_imb,
+                "subbuckets": rel.schema.n_subbuckets,
+            }
+            relation_skew[name] = stats
+            if top_share >= top_bucket_threshold and len(sizes) > 1:
+                diagnoses.append(Diagnosis(
+                    code="bucket-skew",
+                    severity="warn",
+                    message=(
+                        f"sub-bucket relation {name!r}: top bucket holds "
+                        f"{top_share:.0%} of {total} tuples "
+                        f"(Gini {stats['gini_buckets']:.2f})"
+                    ),
+                    recommendation=(
+                        f"raise subbuckets[{name!r}] above "
+                        f"{rel.schema.n_subbuckets} to split the hot bucket "
+                        "across more ranks (§IV-C)"
+                    ),
+                    data={"relation": name, **stats},
+                ))
+
+    # ---- join-vote oscillation ------------------------------------------
+    flips, n_iters = _vote_flips(spans)
+    for rule, n_flips in sorted(flips.items()):
+        if n_flips < flip_threshold:
+            continue
+        diagnoses.append(Diagnosis(
+            code="vote-oscillation",
+            severity="info",
+            message=(
+                f"join vote flipped {n_flips}× in {n_iters} supersteps "
+                f"for {rule}"
+            ),
+            recommendation=(
+                "the relation sizes straddle the vote boundary; consider "
+                "static_outer or vote hysteresis to avoid re-planning churn"
+            ),
+            data={"rule": rule, "flips": n_flips, "iterations": n_iters},
+        ))
+
+    # ---- comm-matrix hotspots -------------------------------------------
+    if comm_profile is not None and len(comm_profile):
+        total_mat = comm_profile.total_matrix("data")
+        sent = total_mat.sum(axis=1)
+        total_bytes = int(sent.sum())
+        if total_bytes > 0 and comm_profile.n_ranks > 1:
+            hot = int(sent.argmax())
+            share = float(sent[hot]) / total_bytes
+            if share >= max(
+                top_bucket_threshold, 2.0 / comm_profile.n_ranks
+            ):
+                diagnoses.append(Diagnosis(
+                    code="comm-hotspot",
+                    severity="warn",
+                    message=(
+                        f"rank {hot} sends {share:.0%} of all exchanged "
+                        f"bytes ({int(sent[hot])} of {total_bytes})"
+                    ),
+                    recommendation=(
+                        "the sender-side partition is skewed; rebalance the "
+                        "outer relation or sub-bucket its join key"
+                    ),
+                    data={
+                        "rank": hot,
+                        "share": share,
+                        "bytes": int(sent[hot]),
+                    },
+                ))
+        retrans = comm_profile.bytes_total("retransmit")
+        if retrans:
+            diagnoses.append(Diagnosis(
+                code="retransmit-traffic",
+                severity="info",
+                message=(
+                    f"{retrans} bytes retransmitted for fault recovery "
+                    "(tagged channel; excluded from algorithmic traffic)"
+                ),
+                recommendation=(
+                    "expected under fault injection; investigate if seen "
+                    "on a healthy network"
+                ),
+                data={"retransmit_bytes": retrans},
+            ))
+
+    return SkewReport(
+        diagnoses=diagnoses,
+        step_imbalance=step_imbalance,
+        relation_skew=relation_skew,
+        vote_flips=flips,
+    )
+
+
+# ================================================================= exports
+
+
+def collapsed_stacks(spans: Sequence[Any]) -> List[str]:
+    """Critical-path flamegraph in collapsed-stack format.
+
+    One line per charge: ``stratum N;iteration I;PHASE;NAME WEIGHT`` with
+    the weight in integer modeled microseconds — feed to ``flamegraph.pl``
+    or speedscope.  The stacks sum to total modeled time, so the flame's
+    width *is* the modeled critical path.
+    """
+    cp = critical_path(spans)
+    totals: Dict[str, int] = {}
+    for step in cp.steps:
+        stratum = "stratum ?" if step.stratum is None else f"stratum {step.stratum}"
+        iteration = (
+            "seed" if step.iteration is None else f"iteration {step.iteration}"
+        )
+        frames = [stratum, iteration, step.phase]
+        if step.name != step.phase:
+            frames.append(step.name)
+        stack = ";".join(frames)
+        totals[stack] = totals.get(stack, 0) + int(round(step.seconds * 1e6))
+    return [f"{stack} {weight}" for stack, weight in sorted(totals.items())]
+
+
+def write_flamegraph(path: str, spans: Sequence[Any]) -> int:
+    """Write collapsed stacks to ``path``; returns the number of lines."""
+    lines = collapsed_stacks(spans)
+    with open(path, "w") as fh:
+        for line in lines:
+            fh.write(line)
+            fh.write("\n")
+    return len(lines)
+
+
+def render_comm_heatmap(
+    profile: CommMatrixRecorder, *, channel: str = "data", width: int = 64
+) -> str:
+    """Rank×superstep bytes-sent heatmap via the shared ASCII renderer."""
+    from repro.metrics.asciiplot import ascii_heatmap
+
+    grid = profile.rank_superstep_bytes(channel)
+    return ascii_heatmap(
+        grid.T,
+        title=f"bytes sent per rank per exchange [{channel}]",
+        x_label="exchange (superstep order)",
+        y_label="rank",
+        width=width,
+    )
+
+
+def render_compute_heatmap(
+    spans: Sequence[Any], *, width: int = 64
+) -> str:
+    """Rank×superstep compute-seconds heatmap from the span lanes."""
+    import numpy as np
+
+    from repro.metrics.asciiplot import ascii_heatmap
+
+    cp = critical_path(spans)
+    compute_steps = [s for s in cp.steps if s.cat == "compute"]
+    if not compute_steps:
+        return "(no compute supersteps recorded)"
+    starts = {s.modeled_start: i for i, s in enumerate(compute_steps)}
+    grid = np.zeros((cp.n_ranks, len(compute_steps)))
+    for sp in spans:
+        if sp.rank is None or sp.cat != "compute":
+            continue
+        col = starts.get(sp.modeled_start)
+        if col is not None:
+            grid[sp.rank, col] += sp.modeled_end - sp.modeled_start
+    return ascii_heatmap(
+        grid,
+        title="compute seconds per rank per superstep",
+        x_label="compute superstep",
+        y_label="rank",
+        width=width,
+    )
+
+
+# ========================================================== full diagnosis
+
+
+@dataclass
+class DiagnosticsReport:
+    """Everything the diagnostics plane knows about one run."""
+
+    critical_path: CriticalPathReport
+    skew: SkewReport
+    comm_profile: Optional[CommMatrixRecorder] = None
+    reconciliation: Optional[Dict[str, Any]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "critical_path": self.critical_path.to_dict(),
+            "skew": self.skew.to_dict(),
+        }
+        if self.comm_profile is not None:
+            prof = self.comm_profile.to_dict()
+            prof.pop("matrices", None)  # summary only; full grids are huge
+            out["comm_profile"] = prof
+        if self.reconciliation is not None:
+            out["reconciliation"] = self.reconciliation
+        return out
+
+    def render(self) -> str:
+        cp = self.critical_path
+        lines = ["critical path (modeled):"]
+        lines.append(
+            f"  {'phase':14s} {'seconds':>12s} {'share':>7s} "
+            f"{'bounding rank':>14s}"
+        )
+        for phase in sorted(
+            cp.phase_seconds, key=lambda p: -cp.phase_seconds[p]
+        ):
+            rank = cp.bounding_rank_of(phase)
+            rank_s = "-" if rank is None else str(rank)
+            lines.append(
+                f"  {phase:14s} {cp.phase_seconds[phase]:12.6f} "
+                f"{cp.phase_shares.get(phase, 0.0):6.1%} {rank_s:>14s}"
+            )
+        lines.append(f"  {'total':14s} {cp.total_seconds:12.6f} {1:6.1%}")
+        if self.comm_profile is not None:
+            p = self.comm_profile
+            lines.append(
+                f"comm matrices: {len(p)} exchange(s), "
+                f"{p.bytes_total('data')} data bytes / "
+                f"{p.tuples_total('data')} tuples, "
+                f"{p.bytes_total('retransmit')} retransmit bytes"
+            )
+            if self.reconciliation is not None:
+                ok = "reconciled" if self.reconciliation["ok"] else "MISMATCH"
+                lines.append(f"  ledger reconciliation: {ok}")
+        lines.append(self.skew.render())
+        return "\n".join(lines)
+
+
+def diagnose(
+    spans: Sequence[Any],
+    *,
+    n_ranks: Optional[int] = None,
+    relations: Optional[Mapping[str, Any]] = None,
+    comm_profile: Optional[CommMatrixRecorder] = None,
+    comm_stats: Optional[Any] = None,
+    metrics: Optional[Mapping[str, Any]] = None,
+    expected_total: Optional[float] = None,
+    rel_tol: float = 1e-6,
+) -> DiagnosticsReport:
+    """One-call diagnostics: critical path + skew doctor + reconciliation.
+
+    Online callers pass ``relations``/``comm_stats`` from the
+    ``FixpointResult``; offline callers (trace-report) pass only what the
+    trace carries — spans, embedded comm matrices, exported metrics.
+    """
+    if comm_profile is None:
+        comm_profile = comm_profile_from_spans(spans)
+    cp = critical_path(spans, n_ranks=n_ranks)
+    if expected_total is not None:
+        cp.validate(expected_total, rel_tol=rel_tol)
+    skew = diagnose_skew(
+        spans,
+        n_ranks=n_ranks,
+        relations=relations,
+        comm_profile=comm_profile,
+    )
+    reconciliation = None
+    if comm_profile is not None:
+        if comm_stats is not None:
+            reconciliation = comm_profile.reconcile(comm_stats, strict=False)
+        elif metrics:
+            reconciliation = comm_profile.reconcile_with_metrics(
+                metrics, strict=False
+            )
+    return DiagnosticsReport(
+        critical_path=cp,
+        skew=skew,
+        comm_profile=comm_profile,
+        reconciliation=reconciliation,
+    )
+
+
+# ===================================================== bench snapshots
+
+
+def git_sha(default: str = "unknown") -> str:
+    """Best-effort git SHA of the working tree (for snapshot stamping)."""
+    import subprocess
+
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return default
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else default
+
+
+def stamp_bench_snapshot(report: Dict[str, Any]) -> Dict[str, Any]:
+    """Add the provenance/versioning envelope to a bench report (in place).
+
+    Stamps ``schema_version``, git SHA, UTC timestamp, and the python /
+    numpy versions — everything needed to judge whether two snapshots are
+    comparable at all.
+    """
+    import datetime
+    import platform
+
+    import numpy
+
+    report["schema_version"] = BENCH_SCHEMA_VERSION
+    report["git_sha"] = git_sha()
+    report["timestamp"] = datetime.datetime.now(
+        datetime.timezone.utc
+    ).isoformat(timespec="seconds")
+    report["python_version"] = platform.python_version()
+    report["numpy_version"] = numpy.__version__
+    return report
+
+
+def validate_bench_snapshot(snapshot: Mapping[str, Any]) -> Dict[str, Any]:
+    """Check a BENCH_*.json snapshot; returns a summary or raises ValueError.
+
+    Rejects malformed snapshots (missing sections) and stale ones
+    (``schema_version`` absent or older than :data:`BENCH_SCHEMA_VERSION`)
+    with a diagnostic instead of a ``KeyError`` deep in comparison code.
+    """
+    if not isinstance(snapshot, Mapping):
+        raise ValueError(f"bench snapshot must be an object, got "
+                         f"{type(snapshot).__name__}")
+    version = snapshot.get("schema_version")
+    if version is None:
+        raise ValueError(
+            "stale bench snapshot: no 'schema_version' (predates schema v"
+            f"{BENCH_SCHEMA_VERSION}); regenerate with `paralagg bench`"
+        )
+    if version != BENCH_SCHEMA_VERSION:
+        raise ValueError(
+            f"bench snapshot schema v{version} is not the supported v"
+            f"{BENCH_SCHEMA_VERSION}; regenerate with `paralagg bench`"
+        )
+    for key in ("benchmark", "dataset", "ranks", "seed", "scale_shift",
+                "queries", "git_sha", "timestamp"):
+        if key not in snapshot:
+            raise ValueError(f"malformed bench snapshot: missing {key!r}")
+    queries = snapshot["queries"]
+    if not isinstance(queries, Mapping) or not queries:
+        raise ValueError("malformed bench snapshot: 'queries' empty")
+    for query, q in queries.items():
+        for key in ("scalar", "columnar", "speedup"):
+            if key not in q:
+                raise ValueError(
+                    f"malformed bench snapshot: queries[{query!r}] missing "
+                    f"{key!r}"
+                )
+        for executor in ("scalar", "columnar"):
+            e = q[executor]
+            for key in ("modeled_seconds", "wall_seconds", "iterations"):
+                if key not in e:
+                    raise ValueError(
+                        f"malformed bench snapshot: "
+                        f"queries[{query!r}][{executor!r}] missing {key!r}"
+                    )
+    return {
+        "schema_version": version,
+        "git_sha": snapshot["git_sha"],
+        "timestamp": snapshot["timestamp"],
+        "queries": sorted(queries),
+    }
+
+
+def compare_bench_snapshots(
+    baseline: Mapping[str, Any],
+    current: Mapping[str, Any],
+    *,
+    tolerance_pct: float = 5.0,
+    wall_tolerance_pct: float = 50.0,
+) -> Dict[str, Any]:
+    """Compare two bench snapshots; gate on modeled-time regressions.
+
+    Modeled seconds are produced by a deterministic simulation, so any
+    drift beyond ``tolerance_pct`` is a behavioral change in the engine —
+    a hard regression (``ok: False``).  Host wall seconds vary by
+    machine, so wall drift beyond ``wall_tolerance_pct`` is reported as a
+    warning only.  Both snapshots are validated first, and must describe
+    the same workload (dataset/ranks/seed/scale).
+    """
+    validate_bench_snapshot(baseline)
+    validate_bench_snapshot(current)
+    for key in ("dataset", "ranks", "seed", "scale_shift"):
+        if baseline[key] != current[key]:
+            raise ValueError(
+                f"snapshots are not comparable: {key} differs "
+                f"({baseline[key]!r} vs {current[key]!r})"
+            )
+    regressions: List[Dict[str, Any]] = []
+    warnings: List[Dict[str, Any]] = []
+    checks: List[Dict[str, Any]] = []
+    shared = sorted(set(baseline["queries"]) & set(current["queries"]))
+    if not shared:
+        raise ValueError("snapshots share no queries; nothing to compare")
+    for query in shared:
+        for executor in ("scalar", "columnar"):
+            b = baseline["queries"][query][executor]
+            c = current["queries"][query][executor]
+            b_mod, c_mod = b["modeled_seconds"], c["modeled_seconds"]
+            drift_pct = (
+                100.0 * (c_mod - b_mod) / b_mod if b_mod > 0 else 0.0
+            )
+            entry = {
+                "query": query,
+                "executor": executor,
+                "metric": "modeled_seconds",
+                "baseline": b_mod,
+                "current": c_mod,
+                "drift_pct": drift_pct,
+            }
+            checks.append(entry)
+            if drift_pct > tolerance_pct:
+                regressions.append(entry)
+            if b["iterations"] != c["iterations"]:
+                regressions.append({
+                    "query": query,
+                    "executor": executor,
+                    "metric": "iterations",
+                    "baseline": b["iterations"],
+                    "current": c["iterations"],
+                    "drift_pct": float("inf"),
+                })
+            b_wall, c_wall = b["wall_seconds"], c["wall_seconds"]
+            wall_drift = (
+                100.0 * (c_wall - b_wall) / b_wall if b_wall > 0 else 0.0
+            )
+            if wall_drift > wall_tolerance_pct:
+                warnings.append({
+                    "query": query,
+                    "executor": executor,
+                    "metric": "wall_seconds",
+                    "baseline": b_wall,
+                    "current": c_wall,
+                    "drift_pct": wall_drift,
+                })
+    return {
+        "ok": not regressions,
+        "tolerance_pct": tolerance_pct,
+        "wall_tolerance_pct": wall_tolerance_pct,
+        "queries": shared,
+        "checks": checks,
+        "regressions": regressions,
+        "warnings": warnings,
+        "baseline_sha": baseline.get("git_sha"),
+        "current_sha": current.get("git_sha"),
+    }
+
+
+def render_bench_comparison(comparison: Mapping[str, Any]) -> str:
+    """Human-readable table of a snapshot comparison."""
+    lines = [
+        f"bench compare vs baseline {comparison.get('baseline_sha', '?')} "
+        f"(modeled tolerance {comparison['tolerance_pct']:.1f}%)",
+        f"  {'query':8s} {'executor':9s} {'baseline s':>12s} "
+        f"{'current s':>12s} {'drift':>8s}",
+    ]
+    for check in comparison["checks"]:
+        flag = (
+            "  REGRESSION"
+            if check["drift_pct"] > comparison["tolerance_pct"]
+            else ""
+        )
+        lines.append(
+            f"  {check['query']:8s} {check['executor']:9s} "
+            f"{check['baseline']:12.6f} {check['current']:12.6f} "
+            f"{check['drift_pct']:+7.2f}%{flag}"
+        )
+    for warn in comparison["warnings"]:
+        lines.append(
+            f"  warning: {warn['query']}/{warn['executor']} wall time "
+            f"drifted {warn['drift_pct']:+.1f}% (advisory; machines differ)"
+        )
+    for reg in comparison["regressions"]:
+        if reg["metric"] == "iterations":
+            lines.append(
+                f"  REGRESSION: {reg['query']}/{reg['executor']} iteration "
+                f"count changed {reg['baseline']} -> {reg['current']}"
+            )
+    verdict = "PASS" if comparison["ok"] else "FAIL"
+    lines.append(
+        f"  verdict: {verdict} "
+        f"({len(comparison['regressions'])} regression(s), "
+        f"{len(comparison['warnings'])} warning(s))"
+    )
+    return "\n".join(lines)

@@ -193,6 +193,111 @@ def write_trace(
     raise ValueError(f"unknown trace format {fmt!r}; expected one of {TRACE_FORMATS}")
 
 
+# ------------------------------------------------------------------- loaders
+
+#: Args keys the Chrome exporter synthesizes; everything else in ``args``
+#: round-trips back into ``Span.attrs``.
+_CHROME_SYNTH_ARGS = (
+    "wall_seconds", "modeled_seconds", "modeled_start", "iteration", "stratum",
+)
+
+
+def spans_from_jsonl(records: Sequence[Mapping[str, Any]]) -> List[Span]:
+    """Rebuild :class:`Span` objects from a JSONL record stream."""
+    spans: List[Span] = []
+    for rec in records:
+        if rec.get("type") != "span":
+            continue
+        spans.append(Span(
+            name=str(rec["name"]),
+            cat=str(rec["cat"]),
+            rank=rec.get("rank"),
+            iteration=rec.get("iteration"),
+            stratum=rec.get("stratum"),
+            wall_start=float(rec["wall_start"]),
+            wall_end=float(rec["wall_end"]),
+            modeled_start=float(rec["modeled_start"]),
+            modeled_end=float(rec["modeled_end"]),
+            attrs=dict(rec.get("attrs", {})),
+            span_id=int(rec.get("id", 0)),
+            parent_id=rec.get("parent"),
+        ))
+    return spans
+
+
+def spans_from_chrome(obj: Mapping[str, Any]) -> List[Span]:
+    """Rebuild :class:`Span` objects from a Chrome trace object.
+
+    The Chrome format is lossy about the off-lane clock's *start* (a rank
+    span's wall interval is exported as a duration only), so reconstructed
+    spans are exact on their own lane's clock and duration-exact on the
+    other — which is all the offline diagnostics consume.
+    """
+    spans: List[Span] = []
+    for ev in obj.get("traceEvents", ()):
+        ph = ev.get("ph")
+        if ph not in ("X", "i"):
+            continue
+        args = dict(ev.get("args", {}))
+        pid = int(ev.get("pid", 0))
+        rank = None if pid == 0 else pid - 1
+        modeled_start = float(args.get("modeled_start", 0.0))
+        modeled_seconds = float(args.get("modeled_seconds", 0.0))
+        wall_seconds = float(args.get("wall_seconds", 0.0))
+        if rank is None:
+            wall_start = float(ev.get("ts", 0.0)) / _US
+        else:
+            wall_start = 0.0
+        attrs = {k: v for k, v in args.items() if k not in _CHROME_SYNTH_ARGS}
+        spans.append(Span(
+            name=str(ev.get("name", "")),
+            cat=str(ev.get("cat", "phase")),
+            rank=rank,
+            iteration=args.get("iteration"),
+            stratum=args.get("stratum"),
+            wall_start=wall_start,
+            wall_end=wall_start + wall_seconds,
+            modeled_start=modeled_start,
+            modeled_end=modeled_start + modeled_seconds,
+            attrs=attrs,
+        ))
+    return spans
+
+
+def load_trace(
+    path: str, fmt: Optional[str] = None
+) -> Tuple[List[Span], Dict[str, Any], Dict[str, Any]]:
+    """Load a saved trace: ``(spans, metrics_dict, meta)``.
+
+    Accepts both formats (sniffed like :func:`validate_trace_file` when
+    ``fmt`` is None).  ``metrics_dict`` is the exported registry view (or
+    empty when the trace carried none); ``meta`` is the trace's own
+    metadata record.
+    """
+    fmt = fmt or _sniff_format(path)
+    if fmt == "chrome":
+        with open(path) as fh:
+            obj = json.load(fh)
+        other = obj.get("otherData", {}) if isinstance(obj, dict) else {}
+        metrics = other.get("metrics", {}) or {}
+        meta = {k: v for k, v in other.items() if k != "metrics"}
+        return spans_from_chrome(obj), metrics, meta
+    if fmt == "jsonl":
+        records = read_jsonl(path)
+        metrics = {}
+        meta = {}
+        for rec in records:
+            if rec.get("type") == "metrics":
+                metrics = rec.get("data", {}) or {}
+            elif rec.get("type") == "meta":
+                meta = {
+                    k: v for k, v in rec.items()
+                    if k not in ("type", "format", "version", "n_spans")
+                }
+        return spans_from_jsonl(records), metrics, meta
+    raise ValueError(f"unknown trace format {fmt!r}")
+
+
 # ----------------------------------------------------------------- validation
 
 
@@ -289,19 +394,25 @@ def validate_jsonl_trace(records: Sequence[Mapping[str, Any]]) -> Dict[str, Any]
     return {"spans": n_spans, "ranks": sorted(ranks), "names": names}
 
 
+def _sniff_format(path: str) -> str:
+    """Guess a trace file's format from its extension and first bytes."""
+    fmt = "jsonl" if path.endswith(".jsonl") else "chrome"
+    with open(path) as fh:
+        first = fh.read(1)
+    if first == "{":
+        with open(path) as fh:
+            try:
+                json.load(fh)
+                fmt = "chrome"
+            except json.JSONDecodeError:
+                fmt = "jsonl"
+    return fmt
+
+
 def validate_trace_file(path: str, fmt: Optional[str] = None) -> Dict[str, Any]:
     """Validate a trace file on disk, sniffing the format if not given."""
     if fmt is None:
-        fmt = "jsonl" if path.endswith(".jsonl") else "chrome"
-        with open(path) as fh:
-            first = fh.read(1)
-        if first == "{":
-            with open(path) as fh:
-                try:
-                    json.load(fh)
-                    fmt = "chrome"
-                except json.JSONDecodeError:
-                    fmt = "jsonl"
+        fmt = _sniff_format(path)
     if fmt == "chrome":
         with open(path) as fh:
             return validate_chrome_trace(json.load(fh))

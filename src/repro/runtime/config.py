@@ -92,6 +92,13 @@ class EngineConfig:
     #: must be unchanged).  None = deterministic delivery.
     reorder_messages_seed: Optional[int] = None
     tracer: Optional[Tracer] = None
+    #: Performance diagnostics (:mod:`repro.obs.analysis`): capture one
+    #: rank×rank communication matrix per exchange and surface it on
+    #: ``FixpointResult.comm_profile``.  Observation only — results and
+    #: ledger totals are bit-identical with the flag on or off; when a
+    #: tracer is also active, the matrices ride along in the trace as
+    #: ``comm_matrix`` instant spans for offline ``trace-report``.
+    diagnostics: bool = False
     #: Fault schedule (:class:`repro.faults.FaultConfig`): rank crash,
     #: message drop/dup/corrupt, stragglers.  None = perfect network with
     #: zero fault-plane overhead (modeled ledger totals unchanged).

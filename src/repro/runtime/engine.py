@@ -76,12 +76,20 @@ class Engine:
             if self.config.faults is not None
             else None
         )
+        #: Diagnostics plane: rank×rank traffic capture (observation only;
+        #: results and ledger charges are bit-identical either way).
+        self.comm_recorder = None
+        if self.config.diagnostics:
+            from repro.obs.analysis import CommMatrixRecorder
+
+            self.comm_recorder = CommMatrixRecorder(self.config.n_ranks)
         self.cluster = SimCluster(
             self.config.n_ranks,
             self.config.cost_model,
             reorder_seed=self.config.reorder_messages_seed,
             tracer=self.tracer,
             fault_plane=self.fault_plane,
+            comm_recorder=self.comm_recorder,
         )
         #: Fault/checkpoint/recovery accounting, exposed on the result.
         self.recovery: Optional[RecoveryStats] = (
@@ -228,6 +236,13 @@ class Engine:
         if self.recovery is not None and self.fault_plane is not None:
             self.recovery.injected = self.fault_plane.stats
         self._finalize_metrics()
+        if self.comm_recorder is not None and self.tracer.enabled:
+            # Embed the matrices in the span stream so trace-report can
+            # rebuild the comm profile offline from the trace file alone.
+            for matrix in self.comm_recorder.matrices:
+                self.tracer.instant(
+                    "comm_matrix", cat="diagnostics", attrs=matrix.to_dict()
+                )
         return FixpointResult(
             relations=dict(self.store.relations),
             iterations=self._iterations,
@@ -238,6 +253,7 @@ class Engine:
             spans=self.tracer.spans,
             metrics=self.tracer.metrics,
             recovery=self.recovery,
+            comm_profile=self.comm_recorder,
         )
 
     def _finalize_metrics(self) -> None:

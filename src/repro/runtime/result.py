@@ -54,6 +54,10 @@ class FixpointResult:
     #: Fault-injection / checkpoint / recovery accounting; None when the
     #: run had neither a fault plane nor checkpoints.
     recovery: Optional[RecoveryStats] = None
+    #: Per-exchange rank×rank communication matrices
+    #: (:class:`repro.obs.analysis.CommMatrixRecorder`); None unless the
+    #: run had ``EngineConfig.diagnostics`` enabled.
+    comm_profile: Optional[object] = None
 
     def query(self, name: str) -> Set[TupleT]:
         """Materialize a relation's final contents as a set of tuples."""
@@ -111,6 +115,26 @@ class FixpointResult:
     def metrics_dict(self) -> Dict[str, object]:
         """Plain-data view of the metrics registry (JSON-serializable)."""
         return self.metrics.as_dict()
+
+    def diagnose(self, rel_tol: float = 1e-6):
+        """Run the diagnostics plane on this result.
+
+        Returns a :class:`repro.obs.analysis.DiagnosticsReport` — critical
+        path, skew doctor, and (when ``EngineConfig.diagnostics`` captured
+        comm matrices) ledger reconciliation.  Requires a traced run; the
+        critical path is attributed over the per-rank span lanes.
+        """
+        from repro.obs.analysis import diagnose
+
+        return diagnose(
+            self.spans,
+            n_ranks=self.ledger.n_ranks,
+            relations=self.relations,
+            comm_profile=self.comm_profile,
+            comm_stats=self.ledger.comm,
+            expected_total=self.ledger.total_seconds(),
+            rel_tol=rel_tol,
+        )
 
     def write_trace(
         self, path: str, fmt: str = "chrome", meta: Optional[Dict[str, object]] = None

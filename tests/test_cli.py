@@ -86,3 +86,164 @@ class TestQuerySpmd:
         spmd_tuples = [l for l in spmd_out.splitlines() if l.startswith("  spath")]
         assert bsp_tuples == spmd_tuples
         assert "SPMD engine" in spmd_out
+
+class TestDiagnosticsFlags:
+    def test_run_diagnostics_text_report(self, capsys):
+        rc = main([
+            "run", "cc", "--dataset", "flickr", "--ranks", "4",
+            "--scale-shift", "5", "--diagnostics",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert "bytes sent" in out  # comm heatmap
+        assert "compute seconds" in out  # rank x superstep heatmap
+
+    def test_run_flamegraph_implies_diagnostics(self, capsys, tmp_path):
+        fg = tmp_path / "fg.collapsed"
+        rc = main([
+            "run", "cc", "--dataset", "flickr", "--ranks", "4",
+            "--scale-shift", "5", "--flamegraph", str(fg),
+        ])
+        assert rc == 0
+        lines = fg.read_text().splitlines()
+        assert lines and all(";" in line for line in lines)
+
+    def test_query_json_carries_diagnostics(self, capsys, tmp_path):
+        import json
+
+        src = tmp_path / "prog.dl"
+        src.write_text(
+            ".decl e(x, y) keys(x)\n"
+            "e(0, 1). e(1, 2). e(2, 0).\n"
+            "tc(x, y) :- e(x, y).\n"
+            "tc(x, z) :- tc(x, y), e(y, z).\n"
+            ".output tc\n"
+        )
+        rc = main([
+            "query", str(src), "--ranks", "3", "--diagnostics", "--json",
+        ])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        diag = report["diagnostics"]
+        assert diag["critical_path"]["total_seconds"] > 0
+        assert diag["reconciliation"]["ok"]
+
+    def test_diagnostics_rejected_under_spmd(self, tmp_path):
+        src = tmp_path / "prog.dl"
+        src.write_text(
+            ".decl e(x, y) keys(x)\ne(0, 1).\n"
+            "tc(x, y) :- e(x, y).\n.output tc\n"
+        )
+        with pytest.raises(SystemExit):
+            main(["query", str(src), "--spmd", "--diagnostics"])
+
+
+class TestTraceReport:
+    def _trace(self, tmp_path, fmt="chrome", diagnostics=True):
+        path = tmp_path / f"trace.{fmt}"
+        argv = [
+            "run", "cc", "--dataset", "flickr", "--ranks", "4",
+            "--scale-shift", "5", "--trace", str(path),
+            "--trace-format", fmt,
+        ]
+        if diagnostics:
+            argv.append("--diagnostics")
+        assert main(argv) == 0
+        return path
+
+    def test_offline_report(self, capsys, tmp_path):
+        path = self._trace(tmp_path)
+        capsys.readouterr()
+        assert main(["trace-report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "valid trace" in out
+        assert "critical path" in out
+        assert "bytes sent" in out  # matrices travelled inside the trace
+
+    def test_jsonl_format_and_json_output(self, capsys, tmp_path):
+        import json
+
+        path = self._trace(tmp_path, fmt="jsonl")
+        capsys.readouterr()
+        assert main(["trace-report", str(path), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["diagnostics"]["critical_path"]["phase_shares"]
+        assert report["diagnostics"]["reconciliation"]["ok"]
+
+    def test_trace_without_matrices_still_reports(self, capsys, tmp_path):
+        path = self._trace(tmp_path, diagnostics=False)
+        capsys.readouterr()
+        assert main(["trace-report", str(path)]) == 0
+        assert "no comm matrices" in capsys.readouterr().out
+
+    def test_flamegraph_export(self, capsys, tmp_path):
+        path = self._trace(tmp_path)
+        fg = tmp_path / "fg.collapsed"
+        capsys.readouterr()
+        assert main(["trace-report", str(path), "--flamegraph", str(fg)]) == 0
+        assert fg.read_text().splitlines()
+
+    def test_invalid_trace_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(SystemExit, match="invalid trace"):
+            main(["trace-report", str(bad)])
+
+
+class TestBenchCompare:
+    _ARGS = [
+        "bench", "--ranks", "4", "--scale-shift", "6",
+        "--queries", "sssp", "--sources", "0",
+    ]
+
+    def test_self_compare_passes(self, capsys, tmp_path):
+        snap = tmp_path / "base.json"
+        assert main(self._ARGS + ["--output", str(snap)]) == 0
+        capsys.readouterr()
+        rc = main(self._ARGS + ["--compare", str(snap)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "PASS" in out
+
+    def test_synthetic_slowdown_fails(self, capsys, tmp_path):
+        import json
+
+        snap = tmp_path / "base.json"
+        assert main(self._ARGS + ["--output", str(snap)]) == 0
+        base = json.loads(snap.read_text())
+        for q in base["queries"].values():
+            for executor in ("scalar", "columnar"):
+                q[executor]["modeled_seconds"] /= 1.10  # baseline 10% faster
+        snap.write_text(json.dumps(base))
+        capsys.readouterr()
+        rc = main(self._ARGS + ["--compare", str(snap), "--tolerance", "5"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "FAIL" in out and "REGRESSION" in out
+
+    def test_generous_tolerance_passes(self, capsys, tmp_path):
+        import json
+
+        snap = tmp_path / "base.json"
+        assert main(self._ARGS + ["--output", str(snap)]) == 0
+        base = json.loads(snap.read_text())
+        for q in base["queries"].values():
+            q["scalar"]["modeled_seconds"] /= 1.08
+        snap.write_text(json.dumps(base))
+        capsys.readouterr()
+        assert main(self._ARGS + ["--compare", str(snap), "--tolerance", "20"]) == 0
+
+    def test_bad_baseline_rejected(self, tmp_path):
+        snap = tmp_path / "stale.json"
+        snap.write_text('{"benchmark": "hotpath_executor"}')
+        with pytest.raises(SystemExit, match="bad baseline"):
+            main(self._ARGS + ["--compare", str(snap)])
+
+    def test_compare_does_not_clobber_baseline(self, capsys, tmp_path):
+        snap = tmp_path / "base.json"
+        assert main(self._ARGS + ["--output", str(snap)]) == 0
+        before = snap.read_text()
+        capsys.readouterr()
+        assert main(self._ARGS + ["--compare", str(snap)]) == 0
+        assert snap.read_text() == before
