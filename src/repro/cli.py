@@ -20,6 +20,7 @@ import sys
 import time
 from typing import List, Optional
 
+from repro.comm.wire import WIRE_CODECS, WIRE_COLLECTIVES, WireConfig
 from repro.experiments import ablations, fig2, fig3, fig4, fig5, fig6, fig7, table1, table2
 from repro.experiments.common import ExperimentDefaults, defaults_from_env
 from repro.graphs.datasets import DATASETS, load_dataset
@@ -27,6 +28,43 @@ from repro.obs.tracer import Tracer
 from repro.queries.cc import run_cc
 from repro.queries.sssp import run_sssp
 from repro.runtime.config import EngineConfig
+
+
+def _add_wire_flags(parser: argparse.ArgumentParser) -> None:
+    """Wire-layer flags shared by ``run``, ``query`` and ``bench``."""
+    parser.add_argument(
+        "--no-wire", action="store_true",
+        help="disable the wire-optimization layer entirely (legacy route "
+             "framing; results are identical, only modeled bytes/seconds "
+             "change)",
+    )
+    parser.add_argument(
+        "--no-sender-combine", action="store_true",
+        help="keep the wire layer but skip sender-side duplicate folding "
+             "before the route exchange",
+    )
+    parser.add_argument(
+        "--wire-codec", choices=list(WIRE_CODECS), default="delta",
+        help="route payload encoding: raw 8-byte words, sorted-key "
+             "delta+varint, or dictionary (default: delta)",
+    )
+    parser.add_argument(
+        "--alltoallv", choices=list(WIRE_COLLECTIVES), default="auto",
+        help="modeled alltoallv algorithm: pairwise 'direct', log-round "
+             "'bruck', or per-superstep 'auto' from the α–β model "
+             "(default: auto)",
+    )
+
+
+def _wire_config(args: argparse.Namespace) -> WireConfig:
+    if args.no_wire:
+        return WireConfig.off()
+    return WireConfig(
+        enabled=True,
+        sender_combine=not args.no_sender_combine,
+        codec=args.wire_codec,
+        alltoallv=args.alltoallv,
+    )
 
 
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
@@ -170,6 +208,7 @@ def _build_parser() -> argparse.ArgumentParser:
              "(required to survive an injected rank crash)",
     )
     _add_obs_flags(run)
+    _add_wire_flags(run)
 
     query = sub.add_parser(
         "query", help="run a Datalog source file (surface syntax)"
@@ -187,6 +226,7 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--limit", type=int, default=20,
                        help="max tuples to print per output relation")
     _add_obs_flags(query)
+    _add_wire_flags(query)
 
     bench = sub.add_parser(
         "bench",
@@ -203,9 +243,14 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="comma-separated SSSP source vertices")
     bench.add_argument("--queries", default="sssp,cc",
                        help="comma-separated subset of sssp,cc")
+    bench.add_argument("--wire", action="store_true",
+                       help="benchmark the wire-optimization layer instead "
+                            "(modeled bytes and time, wire on vs off; "
+                            "default output BENCH_PR7.json)")
     bench.add_argument("--output", default=None, metavar="PATH",
                        help="write the JSON report here ('-' to skip; "
-                            "default BENCH_PR2.json, or '-' with --compare)")
+                            "default BENCH_PR2.json, BENCH_PR7.json with "
+                            "--wire, or '-' with --compare)")
     bench.add_argument("--json", action="store_true",
                        help="print the JSON report instead of the table")
     bench.add_argument(
@@ -219,6 +264,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="allowed modeled-seconds drift vs the baseline, in percent "
              "(default: 5.0); host wall-time drift is advisory only",
     )
+    _add_wire_flags(bench)
 
     tr = sub.add_parser(
         "trace-report",
@@ -282,6 +328,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         faults=faults,
         checkpoint_every=args.checkpoint_every,
         diagnostics=_want_diagnostics(args),
+        wire=_wire_config(args),
     )
     quiet = args.json
     if not quiet:
@@ -351,13 +398,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.experiments import hotpath
+    from repro.experiments import hotpath, wirebench
 
     # With --compare the default is read-only: don't clobber the baseline
     # file we are comparing against unless --output says so explicitly.
     output = args.output
     if output is None:
-        output = "-" if args.compare else "BENCH_PR2.json"
+        if args.compare:
+            output = "-"
+        else:
+            output = "BENCH_PR7.json" if args.wire else "BENCH_PR2.json"
     baseline = None
     if args.compare:
         from repro.obs.analysis import validate_bench_snapshot
@@ -368,7 +418,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             validate_bench_snapshot(baseline)
         except (OSError, json.JSONDecodeError, ValueError) as exc:
             raise SystemExit(f"bad baseline {args.compare}: {exc}")
-    report = hotpath.run_hotpath_bench(
+    bench_mod = wirebench if args.wire else hotpath
+    runner = (
+        wirebench.run_wire_bench if args.wire else hotpath.run_hotpath_bench
+    )
+    report = runner(
         dataset=args.dataset,
         ranks=args.ranks,
         seed=args.seed,
@@ -376,6 +430,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         sources=[int(s) for s in args.sources.split(",") if s],
         edge_subbuckets=args.subbuckets,
         queries=[q for q in args.queries.split(",") if q],
+        wire=_wire_config(args),
     )
     if output != "-":
         with open(output, "w") as fh:
@@ -384,7 +439,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.json:
         print(json.dumps(report, indent=2, sort_keys=True))
     else:
-        print(hotpath.render(report))
+        print(bench_mod.render(report))
         if output != "-":
             print(f"[report written to {output}]")
     if not report["all_identical"]:
@@ -527,6 +582,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
             n_ranks=args.ranks,
             tracer=tracer,
             diagnostics=_want_diagnostics(args),
+            wire=_wire_config(args),
         ),
     )
     if args.explain:
@@ -550,7 +606,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
         from repro.runtime.spmd import run_spmd_engine
 
         relations = run_spmd_engine(
-            parsed.program, all_facts, EngineConfig(n_ranks=args.ranks)
+            parsed.program, all_facts,
+            EngineConfig(n_ranks=args.ranks, wire=_wire_config(args)),
         )
         lookup = relations.__getitem__
         footer = f"[SPMD engine, wall {time.time() - t0:.2f}s]"

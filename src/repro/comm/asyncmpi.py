@@ -476,8 +476,17 @@ class AsyncComm:
         result = await self.allreduce(value, op)
         return result if self._rank == root else None
 
-    async def alltoall(self, objs: List[Any]) -> List[Any]:
-        """Each rank supplies one object per destination; receives one per source."""
+    async def alltoall(
+        self, objs: List[Any], collective: str = "direct"
+    ) -> List[Any]:
+        """Each rank supplies one object per destination; receives one per source.
+
+        ``collective`` selects the modeled algorithm: ``"direct"`` (the
+        pairwise default), ``"bruck"`` (log-round store-and-forward), or
+        ``"auto"`` (whichever the α–β model prices cheaper for the
+        observed busiest-rank traffic).  Payload routing is identical in
+        all cases — only the charged seconds differ.
+        """
         world = self._world
         if len(objs) != world.size:
             raise ValueError(f"alltoall needs {world.size} entries, got {len(objs)}")
@@ -493,8 +502,13 @@ class AsyncComm:
                 (sum(_obj_nbytes(v) for v in row) for row in per_rank.values()),
                 default=0,
             )
+            seconds = world.cost.alltoallv(world.size, busiest, world.size - 1)
+            if collective != "direct" and world.size > 1:
+                bruck = world.cost.alltoallv_bruck(world.size, busiest)
+                if collective == "bruck" or bruck < seconds:
+                    seconds = bruck
             world.charge("alltoallv", nbytes, world.size * (world.size - 1),
-                         world.cost.alltoallv(world.size, busiest, world.size - 1))
+                         seconds)
             return per_rank
 
         result = await coll.arrive(self._rank, objs, finish)

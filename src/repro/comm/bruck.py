@@ -61,15 +61,19 @@ async def bruck_alltoall(comm: AsyncComm, objs: List[Any]) -> List[Any]:
         round_tag += 1
 
     # Phase 3: collect — every tagged message has now reached the rank
-    # whose offset path sums to its destination; gather by source.
+    # whose offset path sums to its destination; gather by source.  Track
+    # arrival with explicit flags: ``None`` is a legitimate payload, so it
+    # cannot double as the "missing" sentinel.
     received: List[Any] = [None] * size
+    got = [False] * size
     for slot in buffer:
         for dst, src, obj in slot:
             if dst == rank:
                 received[src] = obj
+                got[src] = True
     # Messages still in flight conceptually landed here only if dst==rank;
     # Bruck guarantees all do after ceil(log2 P) rounds.
-    missing = [s for s in range(size) if received[s] is None]
+    missing = [s for s in range(size) if not got[s]]
     if missing:
         raise RuntimeError(f"bruck_alltoall lost messages from ranks {missing}")
     return received

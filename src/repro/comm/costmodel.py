@@ -146,6 +146,24 @@ class CostModel:
             + max_rank_bytes / self.beta
         )
 
+    def alltoallv_bruck(self, n_ranks: int, max_rank_bytes: int) -> float:
+        """Bruck-algorithm alltoallv cost.
+
+        ``ceil(log2 P)`` store-and-forward rounds replace both the
+        count-exchange prologue and the per-peer injection latencies of
+        the direct algorithm — the busiest rank pays one latency per
+        round regardless of how many peers it addresses.  The price is
+        forwarding: each datum travels ~``rounds/2`` hops on average, so
+        the busiest rank's bandwidth term is inflated by that factor.
+        Cheaper than direct for small, scattered messages (route
+        exchanges late in a fixpoint); worse once per-rank traffic is
+        bandwidth-bound — the autotuner picks per superstep.
+        """
+        if n_ranks <= 1:
+            return 0.0
+        rounds = max(1, math.ceil(math.log2(n_ranks)))
+        return rounds * self.alpha + (rounds / 2.0) * max_rank_bytes / self.beta
+
     # ------------------------------------------------------------- recovery
 
     def checkpoint_write(self, n_ranks: int, max_rank_bytes: int) -> float:

@@ -84,6 +84,17 @@ class SimCluster:
             self.ledger.rank_scale = fault_plane.straggler_scale()
         #: Optional per-exchange rank×rank traffic capture (diagnostics).
         self.comm_recorder = comm_recorder
+        #: Wire-layer accounting for route exchanges (PR 7): bytes the
+        #: exchange *would* have shipped un-combined and un-encoded
+        #: (``pre_count_of`` × raw tuple size) vs bytes it actually put
+        #: on the wire, plus collective-autotune outcomes.  Monotone for
+        #: the cluster's lifetime — unlike engine counters these survive
+        #: checkpoint rollback, so an A/B of the wire layer reads them
+        #: directly.
+        self.route_precombine_bytes = 0
+        self.route_wire_bytes = 0
+        self.collective_counts: Dict[str, int] = {"direct": 0, "bruck": 0}
+        self.collective_saved_seconds = 0.0
 
     # --------------------------------------------------------------- faults
 
@@ -208,6 +219,9 @@ class SimCluster:
         arity: int,
         phase: str = "comm",
         count_of: Optional[Callable[[Any], int]] = None,
+        nbytes_of: Optional[Callable[[Any], int]] = None,
+        pre_count_of: Optional[Callable[[Any], int]] = None,
+        collective: str = "direct",
     ) -> Dict[int, List[Any]]:
         """Sparse all-to-all of tuple payloads.
 
@@ -221,6 +235,26 @@ class SimCluster:
         count_of:
             When payload items are *batches* rather than single tuples,
             maps an item to its tuple count (size accounting stays exact).
+        nbytes_of:
+            Per-item wire size override.  Default charges the raw tuple
+            size (``count × arity × 8``); the wire layer passes the
+            *encoded* size of each box instead, so codecs are charged for
+            the bytes they actually ship.
+        pre_count_of:
+            Per-item *pre-combine* tuple count.  When given, the exchange
+            also accounts the counterfactual un-optimized traffic — into
+            the recorder's ``precombine`` channel and the cluster's
+            ``route_precombine_bytes`` — so combining/codec savings stay
+            measurable per edge and in total.
+        collective:
+            ``"direct"`` (the production pairwise algorithm, the
+            historical behavior), ``"bruck"``, or ``"auto"`` — pick the
+            cheaper of the two under the α–β model from this exchange's
+            observed message sizes.  The payload routing is identical
+            either way (the simulation moves data once); only the charged
+            seconds change, and each autotuned decision is recorded in
+            ``collective_counts`` / ``collective_saved_seconds`` and as a
+            ``collective_choice`` instant span.
 
         Returns
         -------
@@ -276,19 +310,40 @@ class SimCluster:
                     if count_of is None
                     else sum(count_of(item) for item in payload)
                 )
+                pre_tuples = (
+                    n_tuples
+                    if pre_count_of is None
+                    else sum(pre_count_of(item) for item in payload)
+                )
                 n_sent += n_tuples
                 seq += 1
                 if src == dst:
                     # Self-sends shortcut the wire; faults cannot hit them.
                     if matrix is not None:
                         matrix.add(src, dst, 0, n_tuples)
+                        if pre_count_of is not None:
+                            matrix.add(
+                                src, dst, 0, pre_tuples, channel="precombine"
+                            )
                     if faulty:
                         slots.setdefault(dst, []).append((seq, payload))
                     else:
                         recv.setdefault(dst, []).extend(payload)
                     n_delivered += n_tuples
                     continue
-                nbytes = self.cost.tuple_bytes(n_tuples, arity)
+                nbytes = (
+                    self.cost.tuple_bytes(n_tuples, arity)
+                    if nbytes_of is None
+                    else sum(nbytes_of(item) for item in payload)
+                )
+                if pre_count_of is not None:
+                    pre_nbytes = self.cost.tuple_bytes(pre_tuples, arity)
+                    self.route_precombine_bytes += pre_nbytes
+                    self.route_wire_bytes += nbytes
+                    if matrix is not None:
+                        matrix.add(
+                            src, dst, pre_nbytes, pre_tuples, channel="precombine"
+                        )
                 if matrix is not None:
                     matrix.add(src, dst, nbytes, n_tuples)
                 sent_bytes[src] = sent_bytes.get(src, 0) + nbytes
@@ -316,13 +371,44 @@ class SimCluster:
         for r in set(sent_bytes) | set(recv_bytes):
             busiest = max(busiest, sent_bytes.get(r, 0) + recv_bytes.get(r, 0))
         max_peers = max(peers.values(), default=0)
+        seconds = self.cost.alltoallv(self.n_ranks, busiest, max_peers)
+        if collective != "direct" and self.n_ranks > 1:
+            # Collective autotune: same observed message sizes, two
+            # algorithm costs; "auto" takes the cheaper, "bruck" is
+            # forced.  Data movement is identical either way.
+            bruck_seconds = self.cost.alltoallv_bruck(self.n_ranks, busiest)
+            chosen = "bruck" if (
+                collective == "bruck" or bruck_seconds < seconds
+            ) else "direct"
+            saved = max(0.0, seconds - bruck_seconds) if chosen == "bruck" else 0.0
+            if chosen == "bruck":
+                seconds = bruck_seconds
+            self.collective_counts[chosen] += 1
+            self.collective_saved_seconds += saved
+            self.tracer.instant(
+                "collective_choice",
+                cat="wire",
+                attrs={
+                    "phase": phase,
+                    "requested": collective,
+                    "chosen": chosen,
+                    "direct_seconds": self.cost.alltoallv(
+                        self.n_ranks, busiest, max_peers
+                    ),
+                    "bruck_seconds": bruck_seconds,
+                    "saved_seconds": saved,
+                    "max_rank_bytes": busiest,
+                    "max_rank_peers": max_peers,
+                    "messages": wire_messages,
+                },
+            )
         self.ledger.add_comm(
             CommEvent(
                 kind="alltoallv",
                 phase=phase,
                 nbytes=wire_bytes,
                 messages=wire_messages,
-                seconds=self.cost.alltoallv(self.n_ranks, busiest, max_peers),
+                seconds=seconds,
             )
         )
         if pending:

@@ -16,6 +16,7 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.comm.wire import WireConfig
 from repro.graphs.datasets import load_dataset
 from repro.obs.analysis import stamp_bench_snapshot
 from repro.runtime.config import EngineConfig
@@ -61,6 +62,7 @@ def run_hotpath_bench(
     sources: Sequence[int] = (0, 1, 2),
     edge_subbuckets: int = 8,
     queries: Sequence[str] = ("sssp", "cc"),
+    wire: Optional[WireConfig] = None,
 ) -> Dict[str, object]:
     """Benchmark both executors; return the comparison report.
 
@@ -69,6 +71,8 @@ def run_hotpath_bench(
     be a correctness bug, not a win.
     """
     graph = load_dataset(dataset, seed=seed, scale_shift=scale_shift)
+    if wire is None:
+        wire = WireConfig()
     report: Dict[str, object] = {
         "benchmark": "hotpath_executor",
         "dataset": dataset,
@@ -91,6 +95,7 @@ def run_hotpath_bench(
                 subbuckets={"edge": edge_subbuckets},
                 seed=seed,
                 executor=executor,
+                wire=wire,
             )
             res, wall = _run_one(query, graph, config, sources)
             fp = res.fixpoint

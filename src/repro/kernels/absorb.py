@@ -83,9 +83,19 @@ class VectorCombiner:
     joined value), used to right-pad shorter sequences so the padding
     can never register as an improvement.  Combiners without both fall
     back to the per-group sequential fold.
+
+    ``combinable`` marks lattices where *sender-side* pre-folding of a
+    send box commutes with receiver absorption: replacing a group's
+    occurrence sequence with its single ``join``-fold must leave the
+    receiver's stored value — and therefore Δ membership — unchanged.
+    True for idempotent joins (MIN/MAX/UNION) and for ANY/MCOUNT (their
+    raw-init quirks are absorbed because a pre-folded group arrives as
+    the group's only occurrence); it must stay False for SUM/COUNT,
+    where folding duplicates changes the accumulated value's trajectory
+    and hence which arrivals register as improvements.
     """
 
-    __slots__ = ("join", "accumulate", "fold_rows", "pad")
+    __slots__ = ("join", "accumulate", "fold_rows", "pad", "combinable")
 
     def __init__(
         self,
@@ -93,11 +103,13 @@ class VectorCombiner:
         accumulate: Callable[[np.ndarray], np.ndarray],
         fold_rows: Optional[Callable[[np.ndarray], np.ndarray]] = None,
         pad: Optional[int] = None,
+        combinable: bool = False,
     ):
         self.join = join
         self.accumulate = accumulate
         self.fold_rows = fold_rows
         self.pad = pad
+        self.combinable = combinable
 
 
 _I64_MAX = np.iinfo(np.int64).max
@@ -130,6 +142,7 @@ def _mcount_combiner(agg: MCountAggregator) -> VectorCombiner:
         accumulate=lambda s: np.minimum(np.maximum.accumulate(s, axis=0), bound),
         fold_rows=lambda s: np.minimum(np.maximum.accumulate(s, axis=1), bound),
         pad=_I64_MIN,
+        combinable=True,
     )
 
 
@@ -137,10 +150,12 @@ _COMBINERS: Dict[Type[RecursiveAggregator], Callable[[RecursiveAggregator], Vect
     MinAggregator: lambda agg: VectorCombiner(
         np.minimum, lambda s: np.minimum.accumulate(s, axis=0),
         lambda s: np.minimum.accumulate(s, axis=1), _I64_MAX,
+        combinable=True,
     ),
     MaxAggregator: lambda agg: VectorCombiner(
         np.maximum, lambda s: np.maximum.accumulate(s, axis=0),
         lambda s: np.maximum.accumulate(s, axis=1), _I64_MIN,
+        combinable=True,
     ),
     SumAggregator: lambda agg: VectorCombiner(
         np.add, lambda s: np.add.accumulate(s, axis=0),
@@ -151,11 +166,12 @@ _COMBINERS: Dict[Type[RecursiveAggregator], Callable[[RecursiveAggregator], Vect
         lambda s: np.add.accumulate(s, axis=1), 0,
     ),
     AnyAggregator: lambda agg: VectorCombiner(
-        _any_join, _any_accumulate, _any_fold_rows, 0
+        _any_join, _any_accumulate, _any_fold_rows, 0, combinable=True
     ),
     UnionAggregator: lambda agg: VectorCombiner(
         np.bitwise_or, lambda s: np.bitwise_or.accumulate(s, axis=0),
         lambda s: np.bitwise_or.accumulate(s, axis=1), 0,
+        combinable=True,
     ),
     MCountAggregator: _mcount_combiner,
 }
@@ -652,3 +668,47 @@ def columnar_shard_for(schema: Schema):
     if combiner is None:
         return None
     return ColumnarAggregateShard(schema, combiner)
+
+
+def combine_block(
+    rows: np.ndarray, n_indep: int, combiner: Optional[VectorCombiner]
+) -> np.ndarray:
+    """Sender-side fold of one route box: one row per independent key.
+
+    ``combiner is None`` means a plain (set-semantics) relation —
+    duplicates are dropped outright.  For aggregates the combiner's
+    ``join`` must be ``combinable`` (the caller gates on that); each
+    key's occurrence sequence collapses to its lattice fold via a
+    logarithmic halving pass, so duplicate-heavy boxes cost
+    O(n log max_dups) vector work instead of a Python-level group loop.
+
+    Output rows are sorted by independent key with distinct keys — the
+    canonical form the delta codec exploits.  Receiver absorption of the
+    folded box leaves shard state and Δ membership exactly as the
+    unfolded box would (see ``VectorCombiner.combinable``).
+    """
+    n = rows.shape[0]
+    if n <= 1:
+        return rows
+    if combiner is None:
+        return np.unique(rows, axis=0)
+    indep = rows[:, :n_indep]
+    order, starts, counts = lex_group(indep)
+    n_groups = starts.shape[0]
+    vals = rows[:, n_indep:][order]
+    if n_groups != n:
+        join = combiner.join
+        # Within-group positions; halving joins odd positions into their
+        # even predecessors until one row per group remains.
+        pos = np.arange(n, dtype=np.int64) - np.repeat(starts, counts)
+        while vals.shape[0] > n_groups:
+            odd = (pos & 1) == 1
+            idx = np.nonzero(odd)[0]
+            vals[idx - 1] = join(vals[idx - 1], vals[idx])
+            keep = ~odd
+            vals = vals[keep]
+            pos = pos[keep] >> 1
+    out = np.empty((n_groups, rows.shape[1]), dtype=np.int64)
+    out[:, :n_indep] = indep[order[starts]]
+    out[:, n_indep:] = vals
+    return out

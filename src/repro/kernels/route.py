@@ -18,12 +18,18 @@ the ordering the receiving shards' absorb semantics depend on.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.comm.wire import decode_rows, encode_rows
+
 IntraBox = Tuple[np.ndarray, np.ndarray]  # (per-row buckets, rows)
 RouteBox = Tuple[int, int, np.ndarray]  # (bucket, sub, rows)
+#: A route box in wire form: payload encoded, pre-combine row count kept
+#: so the per-edge savings stay observable (CommMatrix "precombine"
+#: channel, trace-report bytes-saved column).
+WireBox = Tuple[int, int, int, int, bytes]  # (bucket, sub, n_rows, pre_rows, payload)
 
 
 def _segment_bounds(sorted_vals: np.ndarray) -> np.ndarray:
@@ -140,3 +146,49 @@ def build_route_sends(
         sends[src] = row
         n_comm += n
     return sends, n_comm
+
+
+def encode_wire_sends(
+    sends: Dict[int, Dict[int, List[RouteBox]]],
+    *,
+    n_indep: int,
+    combiner,
+    combine: bool,
+    codec: str,
+) -> Tuple[Dict[int, Dict[int, List[WireBox]]], Dict[int, int]]:
+    """Turn route boxes into wire boxes: optional sender-side fold, then
+    codec encoding.
+
+    Returns the encoded sends plus, per source rank, the number of rows
+    that went through a fold (the engine charges those at serialization
+    cost).  Shared by both executors — the scalar path converts its
+    tuple batches to row blocks and reuses this, which is what keeps the
+    two ledgers bit-identical with the wire layer on.
+    """
+    from repro.kernels.absorb import combine_block
+
+    out: Dict[int, Dict[int, List[WireBox]]] = {}
+    folded: Dict[int, int] = {}
+    for src, per_dst in sends.items():
+        row: Dict[int, List[WireBox]] = {}
+        n_folded = 0
+        for dst, boxes in per_dst.items():
+            wboxes: List[WireBox] = []
+            for b, s, rows in boxes:
+                pre = int(rows.shape[0])
+                if combine and pre > 1:
+                    rows = combine_block(rows, n_indep, combiner)
+                    n_folded += pre
+                wboxes.append(
+                    (b, s, int(rows.shape[0]), pre, encode_rows(rows, codec))
+                )
+            row[dst] = wboxes
+        out[src] = row
+        folded[src] = n_folded
+    return out, folded
+
+
+def decode_wire_box(box: WireBox, arity: int, codec: str) -> RouteBox:
+    """Inverse of the per-box encoding in :func:`encode_wire_sends`."""
+    b, s, n_rows, _pre, payload = box
+    return b, s, decode_rows(payload, n_rows, arity, codec)

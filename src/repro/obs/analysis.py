@@ -53,8 +53,12 @@ BENCH_SCHEMA_VERSION = 2
 
 #: Channel names inside a comm matrix.  ``data`` is first-transmission
 #: traffic; ``retransmit`` is fault-recovery traffic (tagged separately so
-#: chaos runs can prove injected faults never leak into the data channel).
-CHANNELS = ("data", "retransmit")
+#: chaos runs can prove injected faults never leak into the data channel);
+#: ``precombine`` is the *counterfactual* traffic a route exchange would
+#: have carried without the PR 7 wire layer (sender-side combining +
+#: codec) — it is never charged to the ledger, so bytes saved on any edge
+#: is simply ``precombine − data``.
+CHANNELS = ("data", "retransmit", "precombine")
 
 
 # ===================================================================== comm
@@ -69,7 +73,9 @@ class CommMatrix:
     delivery is free on the wire, but the tuples still matter for skew.
     """
 
-    __slots__ = ("seq", "kind", "phase", "n_ranks", "data", "retransmit")
+    __slots__ = (
+        "seq", "kind", "phase", "n_ranks", "data", "retransmit", "precombine",
+    )
 
     def __init__(self, seq: int, kind: str, phase: str, n_ranks: int):
         self.seq = seq
@@ -78,12 +84,15 @@ class CommMatrix:
         self.n_ranks = n_ranks
         self.data: Dict[Tuple[int, int], List[int]] = {}
         self.retransmit: Dict[Tuple[int, int], List[int]] = {}
+        self.precombine: Dict[Tuple[int, int], List[int]] = {}
 
     def add(
         self, src: int, dst: int, nbytes: int, tuples: int,
-        *, retransmit: bool = False,
+        *, retransmit: bool = False, channel: Optional[str] = None,
     ) -> None:
-        chan = self.retransmit if retransmit else self.data
+        if channel is None:
+            channel = "retransmit" if retransmit else "data"
+        chan = self._chan(channel)
         cell = chan.get((src, dst))
         if cell is None:
             chan[(src, dst)] = [nbytes, tuples]
@@ -98,6 +107,8 @@ class CommMatrix:
             return self.data
         if channel == "retransmit":
             return self.retransmit
+        if channel == "precombine":
+            return self.precombine
         raise ValueError(f"unknown channel {channel!r}; expected {CHANNELS}")
 
     def bytes_total(self, channel: str = "data") -> int:
@@ -144,6 +155,10 @@ class CommMatrix:
                 [s, d, c[0], c[1]]
                 for (s, d), c in sorted(self.retransmit.items())
             ],
+            "precombine": [
+                [s, d, c[0], c[1]]
+                for (s, d), c in sorted(self.precombine.items())
+            ],
         }
 
     @classmethod
@@ -156,6 +171,10 @@ class CommMatrix:
             m.add(int(s), int(d), int(nbytes), int(tuples))
         for s, d, nbytes, tuples in rec.get("retransmit", ()):
             m.add(int(s), int(d), int(nbytes), int(tuples), retransmit=True)
+        for s, d, nbytes, tuples in rec.get("precombine", ()):
+            m.add(
+                int(s), int(d), int(nbytes), int(tuples), channel="precombine"
+            )
         return m
 
 
@@ -208,6 +227,17 @@ class CommMatrixRecorder:
         for m in self.matrices:
             out[m.kind] = out.get(m.kind, 0) + m.bytes_total(channel)
         return out
+
+    def bytes_saved(self) -> int:
+        """Wire bytes avoided by the PR 7 layer, over exchanges that
+        carried pre-combine accounting (pre-combine − on-wire; negative
+        if a codec's framing overhead outgrew its compression)."""
+        saved = 0
+        for m in self.matrices:
+            pre = m.bytes_total("precombine")
+            if pre or m.precombine:
+                saved += pre - m.bytes_total("data")
+        return saved
 
     def total_matrix(self, channel: str = "data"):
         """Dense run-total rank×rank byte matrix."""
@@ -289,6 +319,8 @@ class CommMatrixRecorder:
             "bytes_total": self.bytes_total("data"),
             "tuples_total": self.tuples_total("data"),
             "retransmit_bytes": self.bytes_total("retransmit"),
+            "precombine_bytes": self.bytes_total("precombine"),
+            "bytes_saved": self.bytes_saved(),
             "bytes_by_kind": self.bytes_by_kind("data"),
             "matrices": [m.to_dict() for m in self.matrices],
         }
@@ -910,6 +942,14 @@ class DiagnosticsReport:
                 f"{p.tuples_total('data')} tuples, "
                 f"{p.bytes_total('retransmit')} retransmit bytes"
             )
+            pre = p.bytes_total("precombine")
+            if pre:
+                saved = p.bytes_saved()
+                pct = 100.0 * saved / pre if pre else 0.0
+                lines.append(
+                    f"  wire layer: {pre} pre-combine bytes -> "
+                    f"{pre - saved} on-wire, {saved} saved ({pct:.1f}%)"
+                )
             if self.reconciliation is not None:
                 ok = "reconciled" if self.reconciliation["ok"] else "MISMATCH"
                 lines.append(f"  ledger reconciliation: {ok}")

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Literal, Optional
 
 from repro.comm.costmodel import CostModel
+from repro.comm.wire import WireConfig
 from repro.faults.config import FaultConfig
 from repro.obs.tracer import Tracer
 
@@ -107,6 +108,13 @@ class EngineConfig:
     #: every K iterations (plus one before the seed pass); required to
     #: survive an injected rank crash.  None = no checkpoints.
     checkpoint_every: Optional[int] = None
+    #: Wire-optimization layer under the route exchange (PR 7):
+    #: sender-side combining, payload codec, collective autotuning.  On
+    #: by default; ``WireConfig.off()`` reproduces the pre-wire engine
+    #: bit-for-bit (results AND ledger).  With the layer on, fixpoint
+    #: results, Δ contents and iteration counts are unchanged — only
+    #: modeled bytes/seconds move (that is the optimization).
+    wire: WireConfig = field(default_factory=WireConfig)
 
     def __post_init__(self) -> None:
         if self.n_ranks < 1:
@@ -137,4 +145,8 @@ class EngineConfig:
         if self.checkpoint_every is not None and self.checkpoint_every < 1:
             raise ValueError(
                 f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
+            )
+        if not isinstance(self.wire, WireConfig):
+            raise ValueError(
+                f"wire must be a WireConfig, got {type(self.wire).__name__}"
             )

@@ -33,9 +33,16 @@ from repro.faults import checkpoint as ckpt_mod
 from repro.faults.checkpoint import RecoveryStats, StratumCheckpoint
 from repro.faults.invariants import accumulator_map, monotonicity_audit
 from repro.faults.plane import FaultPlane, RankFailure
+from repro.comm.wire import encoded_nbytes
+from repro.kernels.absorb import vector_combiner
 from repro.kernels.block import concat_ranges
 from repro.kernels.join import RankJoinIndex
-from repro.kernels.route import build_intra_sends, build_route_sends
+from repro.kernels.route import (
+    build_intra_sends,
+    build_route_sends,
+    decode_wire_box,
+    encode_wire_sends,
+)
 from repro.obs.tracer import NULL_TRACER
 from repro.planner.ast import Program
 from repro.planner.compile_rules import CompiledProgram, CompiledRule, compile_program
@@ -124,6 +131,33 @@ class Engine:
         self.counters: Dict[str, int] = defaultdict(int)
         self.trace: List[IterationTrace] = []
         self._iterations = 0
+        #: Wire layer (PR 7): per-head-relation (combiner, can_combine)
+        #: plan for sender-side folding; resolved lazily per relation.
+        self.wire = self.config.wire
+        self._wire_plans: Dict[str, Tuple[object, bool]] = {}
+
+    def _wire_plan(self, head_name: str) -> Tuple[object, bool]:
+        """Sender-combining plan for one head relation.
+
+        Plain relations fold by deduplication (no combiner needed);
+        aggregates fold only when their vector combiner exists and is
+        marked ``combinable`` (sender folding provably commutes with
+        receiver absorption).  Everything else ships verbatim — the
+        codec still applies.
+        """
+        plan = self._wire_plans.get(head_name)
+        if plan is None:
+            schema = self.compiled.schemas[head_name]
+            if not schema.is_aggregate:
+                plan = (None, True)
+            else:
+                comb = vector_combiner(schema.aggregator)
+                if comb is not None and comb.combinable:
+                    plan = (comb, True)
+                else:
+                    plan = (None, False)
+            self._wire_plans[head_name] = plan
+        return plan
 
     def _resolve_executor(self) -> str:
         if self.config.executor == "scalar" or self.config.use_btree:
@@ -262,8 +296,20 @@ class Engine:
             return
         metrics = self.tracer.metrics
         for name, value in self.counters.items():
-            metrics.counter(f"tuples/{name}").inc(value)
+            if name.startswith("wire_"):
+                metrics.gauge(name).set(value)
+            else:
+                metrics.counter(f"tuples/{name}").inc(value)
         metrics.gauge("iterations").set(self._iterations)
+        if self.wire.enabled:
+            saved = (
+                self.counters["wire_precombine_bytes"]
+                - self.counters["wire_on_wire_bytes"]
+            )
+            metrics.gauge("wire_bytes_saved").set(saved)
+            metrics.gauge("wire_collective_saved_seconds").set(
+                self.cluster.collective_saved_seconds
+            )
         ledger = self.cluster.ledger
         metrics.gauge("imbalance_ratio").set(ledger.imbalance_ratio())
         metrics.gauge("modeled_seconds").set(ledger.total_seconds())
@@ -958,6 +1004,66 @@ class Engine:
 
     # ------------------------------------------------ routing and absorption
 
+    def _wire_exchange(
+        self,
+        head,
+        head_name: str,
+        sends: Dict[int, Dict[int, List[Tuple[int, int, np.ndarray]]]],
+    ) -> Dict[int, List[Tuple[int, int, np.ndarray]]]:
+        """Route exchange through the wire layer (PR 7), enabled path.
+
+        Folds each box per independent key where the lattice allows,
+        encodes payloads with the configured codec, charges the fold at
+        serialization cost and the exchange at *encoded* bytes, lets the
+        collective autotuner pick direct vs Bruck, and decodes on the
+        receive side.  Shared by both executors so their ledgers stay
+        bit-identical.
+        """
+        wire = self.wire
+        arity = head.schema.arity
+        combiner, can_combine = self._wire_plan(head_name)
+        wire_sends, folded = encode_wire_sends(
+            sends,
+            n_indep=head.schema.n_indep,
+            combiner=combiner,
+            combine=wire.sender_combine and can_combine,
+            codec=wire.codec,
+        )
+        if any(folded.values()):
+            cost = self.cluster.cost
+            per_tuple = cost.tuple_serialize * cost.compute_scale
+            charge = np.zeros(self.config.n_ranks)
+            for src, n_folded in folded.items():
+                charge[src] = n_folded * per_tuple
+            self.cluster.ledger.add_compute_step(P_COMM, charge)
+        cluster = self.cluster
+        pre0 = cluster.route_precombine_bytes
+        wire0 = cluster.route_wire_bytes
+        coll0 = dict(cluster.collective_counts)
+        recv = cluster.alltoallv(
+            wire_sends,
+            arity=arity,
+            phase=P_COMM,
+            count_of=lambda box: box[2],
+            nbytes_of=lambda box: encoded_nbytes(box[4]),
+            pre_count_of=lambda box: box[3],
+            collective=wire.alltoallv,
+        )
+        # Tally per exchange into the engine counters (not read off the
+        # cluster at the end) so checkpoint rollback rewinds them and a
+        # recovered run's books match a fault-free run's.
+        self.counters["wire_precombine_bytes"] += (
+            cluster.route_precombine_bytes - pre0
+        )
+        self.counters["wire_on_wire_bytes"] += cluster.route_wire_bytes - wire0
+        for choice, n in cluster.collective_counts.items():
+            self.counters[f"wire_collective_{choice}"] += n - coll0.get(choice, 0)
+        codec = wire.codec
+        return {
+            r: [decode_wire_box(box, arity, codec) for box in boxes]
+            for r, boxes in recv.items()
+        }
+
     def _route_and_absorb(
         self,
         head_name: str,
@@ -1003,12 +1109,33 @@ class Engine:
                     row.setdefault(dst, []).append((key[0], key[1], batch))
                 sends[src] = row
                 n_comm += len(tuples)
-            recv = self.cluster.alltoallv(
-                sends,
-                arity=head.schema.arity,
-                phase=P_COMM,
-                count_of=lambda box: len(box[2]),
-            )
+            if self.wire.enabled:
+                wire_in = {
+                    src: {
+                        dst: [
+                            (b, s, np.asarray(batch, dtype=np.int64))
+                            for b, s, batch in boxes
+                        ]
+                        for dst, boxes in row.items()
+                    }
+                    for src, row in sends.items()
+                }
+                recv = {
+                    r: [
+                        (b, s, [tuple(t) for t in rows.tolist()])
+                        for b, s, rows in boxes
+                    ]
+                    for r, boxes in self._wire_exchange(
+                        head, head_name, wire_in
+                    ).items()
+                }
+            else:
+                recv = self.cluster.alltoallv(
+                    sends,
+                    arity=head.schema.arity,
+                    phase=P_COMM,
+                    count_of=lambda box: len(box[2]),
+                )
         stats.comm_tuples += n_comm
         self.counters["alltoall_tuples"] += n_comm
 
@@ -1058,12 +1185,15 @@ class Engine:
 
         with self.timer.phase(P_COMM):
             sends, n_comm = build_route_sends(emitted, head.dist)
-            recv = self.cluster.alltoallv(
-                sends,
-                arity=head.schema.arity,
-                phase=P_COMM,
-                count_of=lambda box: box[2].shape[0],
-            )
+            if self.wire.enabled:
+                recv = self._wire_exchange(head, head_name, sends)
+            else:
+                recv = self.cluster.alltoallv(
+                    sends,
+                    arity=head.schema.arity,
+                    phase=P_COMM,
+                    count_of=lambda box: box[2].shape[0],
+                )
         stats.comm_tuples += n_comm
         self.counters["alltoall_tuples"] += n_comm
 

@@ -29,7 +29,10 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
+import numpy as np
+
 from repro.comm.asyncmpi import AsyncComm, run_spmd
+from repro.comm.wire import decode_rows, encode_rows
 from repro.core.local_agg import make_shard, _ShardBase
 from repro.planner.ast import Program
 from repro.planner.compile_rules import CompiledProgram, CompiledRule, compile_program
@@ -197,9 +200,39 @@ async def _route_and_absorb(
     sends: List[List[TupleT]] = [[] for _ in range(size)]
     for t in emitted:
         sends[dist.rank_of(t)].append(t)
-    received = await comm.alltoall(sends)
-    for batch in received:
-        state.absorb(head_name, batch)
+    wire = state.config.wire
+    if not wire.enabled:
+        received = await comm.alltoall(sends)
+        for batch in received:
+            state.absorb(head_name, batch)
+        return
+
+    # Wire layer (mirrors the BSP engine): fold duplicates per
+    # independent key where the aggregate lattice allows, ship compact
+    # encoded payloads, and let the modeled collective autotune.
+    from repro.kernels.absorb import combine_block, vector_combiner
+
+    schema = state.compiled.schemas[head_name]
+    if schema.is_aggregate:
+        comb = vector_combiner(schema.aggregator)
+        can_combine = comb is not None and comb.combinable
+    else:
+        comb, can_combine = None, True
+    combine = wire.sender_combine and can_combine
+    packed: List[Tuple[int, bytes]] = []
+    for batch in sends:
+        if not batch:
+            packed.append((0, b""))
+            continue
+        rows = np.asarray(batch, dtype=np.int64)
+        if combine and rows.shape[0] > 1:
+            rows = combine_block(rows, schema.n_indep, comb)
+        packed.append((int(rows.shape[0]), encode_rows(rows, wire.codec)))
+    received_packed = await comm.alltoall(packed, collective=wire.alltoallv)
+    for n_rows, payload in received_packed:
+        if n_rows:
+            rows = decode_rows(payload, n_rows, schema.arity, wire.codec)
+            state.absorb(head_name, [tuple(t) for t in rows.tolist()])
 
 
 async def _rank_program(

@@ -87,6 +87,70 @@ class TestChaosMatrix:
         assert faulty.counters["admitted"] == base.counters["admitted"]
 
 
+class TestChaosWireMatrix:
+    """PR 7 extension of the chaos matrix: the combined/encoded wire path
+    under injected faults must still produce results bit-identical to a
+    fault-free run with the wire layer *off* — faults, retransmission and
+    the wire optimizations compose without touching semantics."""
+
+    @pytest.mark.parametrize("codec", ("raw", "delta", "dict"))
+    @pytest.mark.parametrize("fault", ["drop", "dup", "corrupt", "mixed"])
+    def test_sssp_wire_on_faulty_vs_wire_off_clean(
+        self, medium_weighted_graph, fault, codec
+    ):
+        from repro.comm.wire import WireConfig
+
+        sources = list(range(10))
+        clean_off = run_sssp(
+            medium_weighted_graph, sources,
+            EngineConfig(n_ranks=4, executor="columnar",
+                         wire=WireConfig.off()),
+        ).fixpoint
+        faulty_on = run_sssp(
+            medium_weighted_graph, sources,
+            EngineConfig(n_ranks=4, executor="columnar",
+                         faults=CHAOS[fault],
+                         wire=WireConfig(codec=codec)),
+        ).fixpoint
+        assert faulty_on.query("spath") == clean_off.query("spath")
+        assert faulty_on.iterations == clean_off.iterations
+        assert {
+            name: r.full_sizes_by_rank().tolist()
+            for name, r in sorted(faulty_on.relations.items())
+        } == {
+            name: r.full_sizes_by_rank().tolist()
+            for name, r in sorted(clean_off.relations.items())
+        }
+        inj = faulty_on.recovery.injected
+        assert inj.drops or inj.dups or inj.corruptions
+        assert inj.detected_corruptions == inj.corruptions
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_crash_replay_over_combined_wire(
+        self, medium_weighted_graph, executor
+    ):
+        """Checkpoint/rollback/replay must be oblivious to the wire layer:
+        a crash recovery over combined+encoded exchanges ends bit-identical
+        to the fault-free wire-on run, including the wire byte tallies."""
+        sources = list(range(10))
+        base = run_sssp(
+            medium_weighted_graph, sources, _cfg(executor)
+        ).fixpoint
+        faulty = run_sssp(
+            medium_weighted_graph, sources,
+            _cfg(executor, CRASH, checkpoint_every=2),
+        ).fixpoint
+        assert _fingerprint(faulty, "spath") == _fingerprint(base, "spath")
+        assert (
+            faulty.counters["wire_on_wire_bytes"]
+            == base.counters["wire_on_wire_bytes"]
+        )
+        assert (
+            faulty.counters["wire_precombine_bytes"]
+            == base.counters["wire_precombine_bytes"]
+        )
+
+
 class TestCrashRecovery:
     @pytest.mark.parametrize("executor", EXECUTORS)
     def test_sssp_recovers_bit_for_bit(self, medium_weighted_graph, executor):

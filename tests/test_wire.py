@@ -1,0 +1,394 @@
+"""Tests for the wire-optimization layer (PR 7): codecs, sender-side
+combining, collective autotuning, and the end-to-end invariant that the
+layer changes modeled bytes/seconds but never results, Δ trajectories,
+iteration counts, or executor agreement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.wire import (
+    WIRE_CODECS,
+    WireConfig,
+    decode_rows,
+    encode_rows,
+    encoded_nbytes,
+)
+from repro.core.aggregators import make_aggregator
+from repro.kernels.absorb import combine_block, vector_combiner
+from repro.queries.cc import run_cc
+from repro.queries.sssp import run_sssp
+from repro.runtime.config import EngineConfig
+
+EXECUTORS = ("scalar", "columnar")
+
+I64 = np.iinfo(np.int64)
+
+
+def _cfg(executor="columnar", wire=None, n_ranks=4, **kw):
+    return EngineConfig(
+        n_ranks=n_ranks,
+        executor=executor,
+        wire=wire if wire is not None else WireConfig(),
+        **kw,
+    )
+
+
+rows_strategy = st.lists(
+    st.lists(st.integers(I64.min, I64.max), min_size=3, max_size=3),
+    min_size=0,
+    max_size=40,
+)
+
+
+class TestWireConfig:
+    def test_defaults_on(self):
+        w = WireConfig()
+        assert w.enabled and w.sender_combine
+        assert w.codec == "delta" and w.alltoallv == "auto"
+
+    def test_off_is_legacy(self):
+        w = WireConfig.off()
+        assert not w.enabled and not w.sender_combine
+        assert w.codec == "raw" and w.alltoallv == "direct"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WireConfig(codec="zstd")
+        with pytest.raises(ValueError):
+            WireConfig(alltoallv="ring")
+        with pytest.raises(ValueError):
+            EngineConfig(wire="delta")
+
+
+class TestCodecs:
+    @pytest.mark.parametrize("codec", WIRE_CODECS)
+    @given(data=rows_strategy)
+    @settings(max_examples=30)
+    def test_round_trip_exact(self, codec, data):
+        rows = np.asarray(data, dtype=np.int64).reshape(len(data), 3)
+        payload = encode_rows(rows, codec)
+        assert isinstance(payload, bytes)
+        out = decode_rows(payload, rows.shape[0], 3, codec)
+        assert out.dtype == np.int64
+        assert np.array_equal(out, rows)
+        out[:] = 0  # decoded blocks must be writable (frombuffer is not)
+
+    @pytest.mark.parametrize("codec", WIRE_CODECS)
+    def test_empty_and_single(self, codec):
+        empty = np.empty((0, 2), dtype=np.int64)
+        assert encode_rows(empty, codec) == b""
+        assert np.array_equal(decode_rows(b"", 0, 2, codec), empty)
+        one = np.array([[I64.min, I64.max]], dtype=np.int64)
+        assert np.array_equal(
+            decode_rows(encode_rows(one, codec), 1, 2, codec), one
+        )
+
+    def test_delta_compresses_sorted_keys(self):
+        keys = np.arange(10_000, dtype=np.int64).reshape(-1, 1)
+        rows = np.hstack([keys, keys + 7])
+        delta = encode_rows(rows, "delta")
+        raw = encode_rows(rows, "raw")
+        assert len(delta) < len(raw) / 4
+
+    def test_dict_compresses_low_cardinality(self):
+        rng = np.random.default_rng(0)
+        rows = rng.integers(0, 16, size=(5_000, 2)).astype(np.int64)
+        assert len(encode_rows(rows, "dict")) < len(encode_rows(rows, "raw")) / 2
+
+    def test_unknown_codec_rejected(self):
+        rows = np.zeros((1, 1), dtype=np.int64)
+        with pytest.raises(ValueError):
+            encode_rows(rows, "gzip")
+        with pytest.raises(ValueError):
+            decode_rows(b"\x00" * 8, 1, 1, "gzip")
+
+    def test_encoded_nbytes_includes_header(self):
+        rows = np.zeros((4, 2), dtype=np.int64)
+        payload = encode_rows(rows, "raw")
+        assert encoded_nbytes(payload) == len(payload) + 32
+
+
+class TestCombineBlock:
+    def test_plain_relation_dedups(self):
+        rows = np.array(
+            [[3, 1], [1, 2], [3, 1], [1, 2], [0, 9]], dtype=np.int64
+        )
+        out = combine_block(rows, 2, None)
+        assert np.array_equal(out, np.unique(rows, axis=0))
+
+    @given(
+        keys=st.lists(st.integers(0, 5), min_size=1, max_size=60),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=30)
+    def test_min_fold_matches_sequential(self, keys, seed):
+        """Folding each group with the lattice join must agree with the
+        one-at-a-time fold over the same occurrence sequence."""
+        rng = np.random.default_rng(seed)
+        vals = rng.integers(-1000, 1000, size=len(keys))
+        rows = np.column_stack([np.asarray(keys), vals]).astype(np.int64)
+        comb = vector_combiner(make_aggregator("min"))
+        out = combine_block(rows, 1, comb)
+        expect = {}
+        for k, v in zip(keys, vals):
+            expect[k] = min(expect.get(k, v), v)
+        got = {int(r[0]): int(r[1]) for r in out}
+        assert got == expect
+        assert np.array_equal(out[:, 0], np.sort(out[:, 0]))
+
+    def test_combinable_registry(self):
+        """SUM/COUNT folding is unsound (it changes Δ trajectories:
+        a (+3, -3) box admits under wire-off but a folded 0 suppresses);
+        the idempotent/clamped lattices are safe."""
+        for name in ("min", "max", "any", "union", "mcount"):
+            comb = vector_combiner(make_aggregator(name))
+            assert comb is not None and comb.combinable, name
+        for name in ("sum", "count"):
+            comb = vector_combiner(make_aggregator(name))
+            assert comb is not None and not comb.combinable, name
+
+
+class TestWireInvariance:
+    """The tentpole acceptance: wire on vs off and every codec/collective
+    must agree on all results and iteration counts, under both executors;
+    only modeled bytes/seconds move."""
+
+    def _sssp(self, graph, **kw):
+        return run_sssp(graph, [0, 5], _cfg(**kw))
+
+    def test_on_off_identical_results(self, medium_weighted_graph):
+        g = medium_weighted_graph
+        off = self._sssp(g, wire=WireConfig.off())
+        for executor in EXECUTORS:
+            on = self._sssp(g, executor=executor)
+            assert on.distances == off.distances
+            assert on.iterations == off.iterations
+
+    def test_wire_off_has_no_wire_tallies(self, medium_weighted_graph):
+        off = self._sssp(medium_weighted_graph, wire=WireConfig.off()).fixpoint
+        assert "wire_precombine_bytes" not in off.counters
+        assert "wire_on_wire_bytes" not in off.counters
+
+    def test_executors_share_a_ledger_wire_on(self, medium_weighted_graph):
+        g = medium_weighted_graph
+        summaries = [
+            self._sssp(g, executor=e).fixpoint.summary() for e in EXECUTORS
+        ]
+        assert summaries[0] == summaries[1]
+
+    @pytest.mark.parametrize("codec", WIRE_CODECS)
+    def test_codec_choice_invisible_to_semantics(
+        self, medium_weighted_graph, codec
+    ):
+        g = medium_weighted_graph
+        base = self._sssp(g)
+        run = self._sssp(g, wire=WireConfig(codec=codec))
+        assert run.distances == base.distances
+        fp = run.fixpoint
+        # Identical tuples travel whatever the codec; only bytes differ.
+        assert (
+            fp.counters["wire_precombine_bytes"]
+            == base.fixpoint.counters["wire_precombine_bytes"]
+        )
+
+    def test_delta_ships_fewer_bytes_than_raw(self, medium_weighted_graph):
+        g = medium_weighted_graph
+        raw = self._sssp(g, wire=WireConfig(codec="raw")).fixpoint
+        delta = self._sssp(g, wire=WireConfig(codec="delta")).fixpoint
+        assert (
+            delta.counters["wire_on_wire_bytes"]
+            < raw.counters["wire_on_wire_bytes"]
+        )
+
+    def test_sender_combine_saves_bytes(self, medium_weighted_graph):
+        g = medium_weighted_graph
+        combined = self._sssp(g).fixpoint
+        uncombined = self._sssp(
+            g, wire=WireConfig(sender_combine=False)
+        ).fixpoint
+        assert (
+            combined.counters["wire_on_wire_bytes"]
+            < uncombined.counters["wire_on_wire_bytes"]
+        )
+        # The counterfactual (pre-combine raw traffic) is workload-
+        # determined, so it is identical across wire settings.
+        assert (
+            combined.counters["wire_precombine_bytes"]
+            == uncombined.counters["wire_precombine_bytes"]
+        )
+        assert (
+            combined.counters["wire_on_wire_bytes"]
+            < combined.counters["wire_precombine_bytes"]
+        )
+
+    def test_pre_combine_tuple_counts_unchanged(self, medium_weighted_graph):
+        """``alltoall_tuples`` counts what the query *routed*, before the
+        wire layer folds — identical wire on or off."""
+        g = medium_weighted_graph
+        on = self._sssp(g).fixpoint
+        off = self._sssp(g, wire=WireConfig.off()).fixpoint
+        assert (
+            on.counters["alltoall_tuples"] == off.counters["alltoall_tuples"]
+        )
+
+    def test_cc_union_labels_identical(self, medium_graph):
+        off = run_cc(medium_graph, _cfg(wire=WireConfig.off()))
+        for executor in EXECUTORS:
+            on = run_cc(medium_graph, _cfg(executor=executor))
+            assert on.labels == off.labels
+
+
+class TestCollectiveAutotune:
+    def _run(self, graph, **kw):
+        return run_sssp(graph, [0, 5], _cfg(n_ranks=8, **kw)).fixpoint
+
+    def test_choices_recorded(self, medium_weighted_graph):
+        fp = self._run(medium_weighted_graph)
+        total = (
+            fp.counters["wire_collective_direct"]
+            + fp.counters["wire_collective_bruck"]
+        )
+        assert total > 0
+
+    def test_auto_never_slower_than_either(self, medium_weighted_graph):
+        g = medium_weighted_graph
+        auto = self._run(g, wire=WireConfig(alltoallv="auto"))
+        direct = self._run(g, wire=WireConfig(alltoallv="direct"))
+        bruck = self._run(g, wire=WireConfig(alltoallv="bruck"))
+        assert auto.query("spath") == direct.query("spath") == bruck.query(
+            "spath"
+        )
+        eps = 1e-12
+        assert auto.modeled_seconds() <= direct.modeled_seconds() + eps
+        assert auto.modeled_seconds() <= bruck.modeled_seconds() + eps
+
+    def test_forced_direct_records_no_bruck(self, medium_weighted_graph):
+        fp = self._run(medium_weighted_graph, wire=WireConfig(alltoallv="direct"))
+        assert fp.counters["wire_collective_bruck"] == 0
+
+    def test_choice_spans_emitted(self, medium_weighted_graph):
+        from repro.obs.tracer import Tracer
+
+        fp = run_sssp(
+            medium_weighted_graph, [0, 5], _cfg(n_ranks=8, tracer=Tracer())
+        ).fixpoint
+        choices = [sp for sp in fp.spans if sp.name == "collective_choice"]
+        assert choices
+        for sp in choices:
+            attrs = sp.attrs
+            assert attrs["chosen"] in ("direct", "bruck")
+            assert attrs["bruck_seconds"] >= 0.0
+            if attrs["chosen"] == "bruck":
+                assert attrs["bruck_seconds"] <= attrs["direct_seconds"]
+
+
+class TestDiagnosticsBytesSaved:
+    def test_comm_matrix_precombine_channel(self, medium_weighted_graph):
+        fp = run_sssp(
+            medium_weighted_graph, [0, 5], _cfg(diagnostics=True)
+        ).fixpoint
+        rec = fp.comm_profile
+        assert rec is not None
+        saved = rec.bytes_saved()
+        assert saved > 0
+        assert saved == rec.bytes_total("precombine") - sum(
+            m.bytes_total("data")
+            for m in rec.matrices
+            if m.precombine or m.bytes_total("precombine")
+        )
+        # Reconciliation against the ledger ignores the counterfactual
+        # channel: the recorder must still tie out exactly.
+        comparison = rec.reconcile(fp.ledger.comm)
+        assert comparison["ok"]
+
+    def test_bytes_saved_visible_in_render(self, medium_weighted_graph):
+        from repro.obs.tracer import Tracer
+
+        fp = run_sssp(
+            medium_weighted_graph, [0, 5],
+            _cfg(diagnostics=True, tracer=Tracer()),
+        ).fixpoint
+        text = fp.diagnose().render()
+        assert "wire layer:" in text
+
+    def test_round_trips_through_trace(self, tmp_path, medium_weighted_graph):
+        """Bytes-saved must be recoverable offline from a trace alone."""
+        from repro.obs.analysis import comm_profile_from_spans
+        from repro.obs.export import load_trace
+        from repro.obs.tracer import Tracer
+
+        fp = run_sssp(
+            medium_weighted_graph, [0, 5],
+            _cfg(diagnostics=True, tracer=Tracer()),
+        ).fixpoint
+        path = tmp_path / "trace.jsonl"
+        fp.write_trace(str(path), "jsonl")
+        spans, _metrics, _meta = load_trace(str(path))
+        rec = comm_profile_from_spans(spans)
+        assert rec is not None
+        assert rec.bytes_saved() == fp.comm_profile.bytes_saved()
+        assert "wire layer:" in fp.diagnose().render()
+
+
+class TestSpmdWire:
+    def test_spmd_agrees_with_bsp_wire_on(self):
+        from repro.planner.parser import parse_program
+        from repro.runtime.engine import Engine
+        from repro.runtime.spmd import run_spmd_engine
+
+        src = """
+        .decl edge(a, b)
+        .decl path(a, b)
+        path(x, y) :- edge(x, y).
+        path(x, z) :- path(x, y), edge(y, z).
+        .output path
+        """
+        parsed = parse_program(src)
+        facts = {
+            "edge": [(0, 1), (1, 2), (2, 3), (3, 0), (4, 5)],
+        }
+        engine = Engine(parsed.program, _cfg(n_ranks=3))
+        for name, rows in facts.items():
+            engine.load(name, rows)
+        bsp = engine.run()
+        for wire in (WireConfig(), WireConfig.off(),
+                     WireConfig(codec="dict", alltoallv="bruck")):
+            spmd = run_spmd_engine(
+                parsed.program, facts,
+                EngineConfig(n_ranks=3, wire=wire),
+            )
+            assert spmd["path"] == set(bsp.query("path"))
+
+    def test_spmd_aggregate_wire_on_off(self):
+        from repro.planner.parser import parse_program
+        from repro.runtime.spmd import run_spmd_engine
+
+        src = """
+        .decl edge(x, y, w) keys(x)
+        .decl start(n) keys(n)
+        dist(n, n, 0) :- start(n).
+        dist(f, t, $min(l + w)) :- dist(f, m, l), edge(m, t, w).
+        .output dist
+        """
+        parsed = parse_program(src)
+        facts = {
+            "edge": [
+                (0, 1, 4), (0, 2, 9), (1, 2, 1), (2, 3, 2),
+                (3, 1, 1), (1, 4, 7), (3, 4, 3),
+            ],
+            "start": [(0,), (3,)],
+        }
+        results = {
+            label: run_spmd_engine(
+                parsed.program, facts, EngineConfig(n_ranks=3, wire=wire)
+            )
+            for label, wire in (
+                ("on", WireConfig()),
+                ("off", WireConfig.off()),
+                ("raw", WireConfig(codec="raw")),
+            )
+        }
+        assert results["on"]["dist"] == results["off"]["dist"]
+        assert results["on"]["dist"] == results["raw"]["dist"]
