@@ -67,6 +67,42 @@ def _wire_config(args: argparse.Namespace) -> WireConfig:
     )
 
 
+def _add_rebalance_flags(parser: argparse.ArgumentParser) -> None:
+    """Online-rebalancing flags shared by ``run`` and ``query``."""
+    parser.add_argument(
+        "--rebalance", action="store_true",
+        help="enable online adaptive spatial rebalancing: grow a skewed "
+             "relation's sub-bucket count mid-fixpoint via an intra-bucket "
+             "redistribution exchange (results are bit-identical to the "
+             "static run; only placement and modeled time change)",
+    )
+    parser.add_argument(
+        "--rebalance-every", type=int, default=4, metavar="K",
+        help="check the skew trigger every K iterations of a recursive "
+             "stratum (default: 4)",
+    )
+    parser.add_argument(
+        "--rebalance-threshold", type=float, default=0.25, metavar="SHARE",
+        help="top-bucket share of a relation's tuples that arms the "
+             "trigger, in [0, 1] (default: 0.25)",
+    )
+    parser.add_argument(
+        "--rebalance-factor", type=float, default=2.0, metavar="F",
+        help="modeled-overload gate: rebalance only while top_share x "
+             "n_ranks / n_subbuckets >= F, so growth self-extinguishes "
+             "once the fan-out catches up with the skew (default: 2.0)",
+    )
+
+
+def _rebalance_kwargs(args: argparse.Namespace) -> dict:
+    return {
+        "rebalance": args.rebalance,
+        "rebalance_every": args.rebalance_every,
+        "rebalance_threshold": args.rebalance_threshold,
+        "rebalance_factor": args.rebalance_factor,
+    }
+
+
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     """Observability flags shared by the ``run`` and ``query`` commands."""
     parser.add_argument(
@@ -168,6 +204,8 @@ def _base_report(fp, *, ranks: int) -> dict:
     }
     if fp.metrics:
         report["metrics"] = fp.metrics_dict()
+    if fp.rebalance is not None:
+        report["rebalance"] = fp.rebalance
     return report
 
 
@@ -209,6 +247,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_flags(run)
     _add_wire_flags(run)
+    _add_rebalance_flags(run)
 
     query = sub.add_parser(
         "query", help="run a Datalog source file (surface syntax)"
@@ -227,6 +266,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="max tuples to print per output relation")
     _add_obs_flags(query)
     _add_wire_flags(query)
+    _add_rebalance_flags(query)
 
     bench = sub.add_parser(
         "bench",
@@ -247,10 +287,16 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="benchmark the wire-optimization layer instead "
                             "(modeled bytes and time, wire on vs off; "
                             "default output BENCH_PR7.json)")
+    bench.add_argument("--rebalance", action="store_true",
+                       help="benchmark online adaptive rebalancing instead: "
+                            "a deliberately under-bucketed skewed run, "
+                            "static vs statically-tuned vs adaptive "
+                            "(default output BENCH_PR8.json)")
     bench.add_argument("--output", default=None, metavar="PATH",
                        help="write the JSON report here ('-' to skip; "
                             "default BENCH_PR2.json, BENCH_PR7.json with "
-                            "--wire, or '-' with --compare)")
+                            "--wire, BENCH_PR8.json with --rebalance, or "
+                            "'-' with --compare)")
     bench.add_argument("--json", action="store_true",
                        help="print the JSON report instead of the table")
     bench.add_argument(
@@ -329,6 +375,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         checkpoint_every=args.checkpoint_every,
         diagnostics=_want_diagnostics(args),
         wire=_wire_config(args),
+        **_rebalance_kwargs(args),
     )
     quiet = args.json
     if not quiet:
@@ -390,6 +437,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 f"{rec.recoveries} recovery(ies), "
                 f"{rec.rolled_back_iterations} iteration(s) replayed"
             )
+    if not quiet and fp.rebalance:
+        for e in fp.rebalance:
+            print(
+                f"rebalance: {e['relation']} {e['old_subbuckets']}->"
+                f"{e['new_subbuckets']} sub-buckets at iteration "
+                f"{e['iteration']} ({e['policy']}; top bucket "
+                f"{e['top_share']:.0%}, {e['moved_tuples']} tuple(s) moved)"
+            )
     report = _base_report(fp, ranks=args.ranks)
     if fp.recovery is not None:
         report["recovery"] = fp.recovery.as_dict()
@@ -402,10 +457,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     # With --compare the default is read-only: don't clobber the baseline
     # file we are comparing against unless --output says so explicitly.
+    if args.wire and args.rebalance:
+        raise SystemExit("--wire and --rebalance are mutually exclusive")
     output = args.output
     if output is None:
         if args.compare:
             output = "-"
+        elif args.rebalance:
+            output = "BENCH_PR8.json"
         else:
             output = "BENCH_PR7.json" if args.wire else "BENCH_PR2.json"
     baseline = None
@@ -418,10 +477,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             validate_bench_snapshot(baseline)
         except (OSError, json.JSONDecodeError, ValueError) as exc:
             raise SystemExit(f"bad baseline {args.compare}: {exc}")
-    bench_mod = wirebench if args.wire else hotpath
-    runner = (
-        wirebench.run_wire_bench if args.wire else hotpath.run_hotpath_bench
-    )
+    if args.rebalance:
+        from repro.experiments import rebalance as rebalance_bench
+
+        bench_mod = rebalance_bench
+        runner = rebalance_bench.run_rebalance_bench
+    else:
+        bench_mod = wirebench if args.wire else hotpath
+        runner = (
+            wirebench.run_wire_bench if args.wire else hotpath.run_hotpath_bench
+        )
     report = runner(
         dataset=args.dataset,
         ranks=args.ranks,
@@ -583,6 +648,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
             tracer=tracer,
             diagnostics=_want_diagnostics(args),
             wire=_wire_config(args),
+            **_rebalance_kwargs(args),
         ),
     )
     if args.explain:

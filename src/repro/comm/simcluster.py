@@ -222,6 +222,8 @@ class SimCluster:
         nbytes_of: Optional[Callable[[Any], int]] = None,
         pre_count_of: Optional[Callable[[Any], int]] = None,
         collective: str = "direct",
+        kind: str = "alltoallv",
+        channel: str = "data",
     ) -> Dict[int, List[Any]]:
         """Sparse all-to-all of tuple payloads.
 
@@ -255,6 +257,15 @@ class SimCluster:
             seconds change, and each autotuned decision is recorded in
             ``collective_counts`` / ``collective_saved_seconds`` and as a
             ``collective_choice`` instant span.
+        kind:
+            Ledger/recorder tag for this exchange (the CommEvent kind and
+            the CommMatrix kind).  The rebalancer's redistribution passes
+            ``"rebalance"`` so migration traffic stays separable from the
+            fixpoint's own all-to-alls.
+        channel:
+            CommMatrix channel the charged traffic is recorded into
+            (default ``"data"``; the rebalance exchange uses its own
+            ``"rebalance"`` channel).
 
         Returns
         -------
@@ -278,7 +289,7 @@ class SimCluster:
         plane = self.faults
         step = self._superstep("alltoallv")
         matrix = (
-            self.comm_recorder.begin("alltoallv", phase)
+            self.comm_recorder.begin(kind, phase)
             if self.comm_recorder is not None
             else None
         )
@@ -320,7 +331,7 @@ class SimCluster:
                 if src == dst:
                     # Self-sends shortcut the wire; faults cannot hit them.
                     if matrix is not None:
-                        matrix.add(src, dst, 0, n_tuples)
+                        matrix.add(src, dst, 0, n_tuples, channel=channel)
                         if pre_count_of is not None:
                             matrix.add(
                                 src, dst, 0, pre_tuples, channel="precombine"
@@ -345,7 +356,7 @@ class SimCluster:
                             src, dst, pre_nbytes, pre_tuples, channel="precombine"
                         )
                 if matrix is not None:
-                    matrix.add(src, dst, nbytes, n_tuples)
+                    matrix.add(src, dst, nbytes, n_tuples, channel=channel)
                 sent_bytes[src] = sent_bytes.get(src, 0) + nbytes
                 recv_bytes[dst] = recv_bytes.get(dst, 0) + nbytes
                 peers[src] = peers.get(src, 0) + 1
@@ -404,7 +415,7 @@ class SimCluster:
             )
         self.ledger.add_comm(
             CommEvent(
-                kind="alltoallv",
+                kind=kind,
                 phase=phase,
                 nbytes=wire_bytes,
                 messages=wire_messages,

@@ -167,6 +167,37 @@ class _ShardBase:
             return np.empty((0, self.schema.arity), dtype=np.int64)
         return np.asarray(rows, dtype=np.int64)
 
+    def install_state(
+        self, full_rows: "np.ndarray", delta_rows: "np.ndarray"
+    ) -> None:
+        """Install a redistributed fragment wholesale (rebalance exchange).
+
+        Only legal on a freshly created shard at an iteration boundary
+        (``_next_delta`` empty): the rows arrive pre-deduplicated — every
+        (jk, other) group lived in exactly one source shard — so this is
+        pure insertion, never aggregation.  Insertion in delivery order
+        reproduces the nested ``jk → other`` iteration order.
+        """
+        key_of = _tuple_getter(self.schema.join_cols)
+        other_of = _tuple_getter(self.schema.other_cols)
+        full = self.full
+        for t in map(tuple, full_rows.tolist()):
+            jk = key_of(t)
+            group = full.get(jk)
+            if group is None:
+                group = {}
+                full[jk] = group
+            group[other_of(t)] = t
+            self.n_full += 1
+        delta = self.delta
+        for t in map(tuple, delta_rows.tolist()):
+            jk = key_of(t)
+            dgroup = delta.get(jk)
+            if dgroup is None:
+                dgroup = delta[jk] = {}
+            dgroup[other_of(t)] = t
+            self.n_delta += 1
+
 
 class PlainShard(_ShardBase):
     """Set-semantics shard: fused dedup is plain membership-insert."""

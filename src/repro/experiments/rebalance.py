@@ -1,0 +1,282 @@
+"""Online-rebalancing benchmark: adaptive vs static placement (PR 8).
+
+Builds a deliberately bucket-skewed workload — the stand-in graph plus a
+set of hub vertices whose join keys all collide in one bucket (the
+paper's celebrity-vertex pathology, concentrated so one rank owns ~30%
+of the edge relation) — then runs SSSP/CC four ways on a deliberately
+under-bucketed edge relation:
+
+* ``static_1``   — 1 sub-bucket, rebalancing off: the skewed baseline;
+* ``tuned``      — :func:`repro.core.balancer.recommend_subbuckets`'s
+  offline pick, rebalancing off: the statically-optimal placement an
+  oracle would have configured up front;
+* ``adaptive``   — start at 1 sub-bucket with online rebalancing on,
+  under both executors: the engine must discover and fix the skew
+  mid-fixpoint, paying for the redistribution exchange out of its own
+  modeled time.
+
+The headline number is adaptive overhead vs the statically-tuned run —
+the acceptance bar is within 10%, and CI's perf gate hard-fails past 5%
+over the static optimum.  Results must be bit-identical across all four
+runs (placement never changes semantics), asserted per query.
+
+``paralagg bench --rebalance`` drives this module and writes
+``BENCH_PR8.json``; the snapshot carries the standard provenance
+envelope and per-query scalar/columnar sections, so ``--compare`` works
+against it unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.comm.wire import WireConfig
+from repro.core.balancer import recommend_subbuckets
+from repro.experiments.hotpath import _executor_report, _run_one
+from repro.graphs.datasets import load_dataset
+from repro.graphs.types import Graph
+from repro.obs.analysis import stamp_bench_snapshot
+from repro.runtime.config import EngineConfig
+from repro.util.hashing import HashSeed, hash_columns
+
+#: Fraction of all edges concentrated on the hot bucket's hub vertices.
+HUB_FRAC = 0.3
+
+#: Trigger threshold used by the bench's adaptive runs: comfortably below
+#: the constructed ~30% top-bucket share, comfortably above background.
+BENCH_THRESHOLD = 0.10
+
+
+def skewed_hub_graph(
+    dataset: str,
+    *,
+    ranks: int,
+    seed: int,
+    scale_shift: int = 0,
+    hub_frac: float = HUB_FRAC,
+    max_weight: int = 4,
+) -> Graph:
+    """The bench workload: ``dataset`` plus a one-bucket hub cluster.
+
+    A single vertex cannot concentrate more than ``n_nodes`` distinct
+    out-edges, so the hot bucket is built from *every* vertex whose join
+    key hashes to one bucket under the engine's actual placement (the
+    store derives its :class:`HashSeed` from ``seed``, replicated here).
+    Each hub gets a run of distinct targets until the hub edges make up
+    ``hub_frac`` of the total — one bucket owning ~30% of the relation,
+    which a 1-sub-bucket placement pins to a single rank.
+    """
+    g = load_dataset(
+        dataset, seed=seed, scale_shift=scale_shift, max_weight=max_weight
+    )
+    hseed = HashSeed().derive(seed)
+    verts = np.arange(g.n_nodes, dtype=np.int64)[:, None]
+    buckets = hash_columns(verts, (0,), seed=hseed.bucket) % np.uint64(ranks)
+    hot = int(buckets[0])
+    hubs = np.flatnonzero(buckets == hot)
+    k_total = int(g.n_edges * hub_frac / (1.0 - hub_frac))
+    per_hub = min(g.n_nodes - 1, -(-k_total // max(len(hubs), 1)))
+    blocks: List[np.ndarray] = []
+    made = 0
+    for h in hubs:
+        if made >= k_total:
+            break
+        d = min(per_hub, k_total - made)
+        targets = (h + 1 + np.arange(d)) % g.n_nodes
+        weights = 1 + (h + targets) % max_weight
+        blocks.append(
+            np.stack([np.full(d, h), targets, weights], axis=1)
+        )
+        made += d
+    edges = np.vstack([g.edges] + [b.astype(np.int64) for b in blocks])
+    return Graph(
+        edges, g.n_nodes, name=f"{g.name}_hub", category="synthetic"
+    )
+
+
+def _config(
+    *,
+    ranks: int,
+    seed: int,
+    subbuckets: int,
+    executor: str = "columnar",
+    rebalance: bool = False,
+    wire: WireConfig,
+) -> EngineConfig:
+    return EngineConfig(
+        n_ranks=ranks,
+        subbuckets={"edge": subbuckets},
+        seed=seed,
+        executor=executor,
+        wire=wire,
+        rebalance=rebalance,
+        rebalance_every=1,
+        rebalance_threshold=BENCH_THRESHOLD,
+    )
+
+
+def _answers(query: str, res) -> object:
+    return res.distances if query == "sssp" else res.labels
+
+
+def run_rebalance_bench(
+    *,
+    dataset: str = "twitter_like",
+    ranks: int = 64,
+    seed: int = 42,
+    scale_shift: int = 0,
+    sources: Sequence[int] = (0, 1, 2),
+    edge_subbuckets: int = 8,  # unused: the bench starts under-bucketed
+    queries: Sequence[str] = ("sssp", "cc"),
+    wire: Optional[WireConfig] = None,
+) -> Dict[str, object]:
+    """Benchmark online rebalancing; return the comparison report.
+
+    Rebalancing must be invisible to semantics: results and iteration
+    counts are asserted identical across static/tuned/adaptive and across
+    executors — only placement (and hence modeled seconds) may differ.
+    """
+    del edge_subbuckets  # the whole point is starting at 1 sub-bucket
+    graph = skewed_hub_graph(
+        dataset, ranks=ranks, seed=seed, scale_shift=scale_shift
+    )
+    if wire is None:
+        wire = WireConfig()
+    report: Dict[str, object] = {
+        "benchmark": "rebalance",
+        "dataset": dataset,
+        "edges": int(graph.edges.shape[0]),
+        "ranks": ranks,
+        "seed": seed,
+        "scale_shift": scale_shift,
+        "edge_subbuckets": 1,
+        "hub_frac": HUB_FRAC,
+        "queries": {},
+        "rebalance": {"threshold": BENCH_THRESHOLD, "queries": {}},
+    }
+    identical: List[bool] = []
+    for query in queries:
+        # The skewed baseline nobody tuned.
+        static_1, _ = _run_one(
+            query, graph,
+            _config(ranks=ranks, seed=seed, subbuckets=1, wire=wire),
+            sources,
+        )
+        # The oracle: offline recommendation from the loaded relation.
+        edge = static_1.fixpoint.relations["edge"]
+        tuned_subbuckets, _imb = recommend_subbuckets(
+            list(edge.iter_full()), edge.schema, ranks, seed=edge.dist.seed
+        )
+        tuned, _ = _run_one(
+            query, graph,
+            _config(
+                ranks=ranks, seed=seed, subbuckets=tuned_subbuckets,
+                wire=wire,
+            ),
+            sources,
+        )
+        # The contender: start cold at 1 sub-bucket, adapt online.
+        runs = {}
+        for executor in ("scalar", "columnar"):
+            res, wall = _run_one(
+                query, graph,
+                _config(
+                    ranks=ranks, seed=seed, subbuckets=1,
+                    executor=executor, rebalance=True, wire=wire,
+                ),
+                sources,
+            )
+            runs[executor] = (res, wall)
+        adaptive, wall_col = runs["columnar"]
+        adaptive_s, wall_sca = runs["scalar"]
+        fp = adaptive.fixpoint
+        identical_results = (
+            _answers(query, static_1)
+            == _answers(query, tuned)
+            == _answers(query, adaptive)
+            == _answers(query, adaptive_s)
+        )
+        identical_ledger = (
+            adaptive_s.fixpoint.summary() == fp.summary()
+        )
+        identical_iterations = (
+            static_1.iterations == tuned.iterations == adaptive.iterations
+        )
+        identical.append(
+            identical_results and identical_ledger and identical_iterations
+        )
+        report["queries"][query] = {
+            "scalar": _executor_report(adaptive_s.fixpoint, wall_sca),
+            "columnar": _executor_report(fp, wall_col),
+            "speedup": wall_sca / wall_col if wall_col > 0 else float("inf"),
+            "identical_results": identical_results,
+            "identical_ledger": identical_ledger,
+        }
+        s1 = static_1.fixpoint.modeled_seconds()
+        st = tuned.fixpoint.modeled_seconds()
+        sa = fp.modeled_seconds()
+        optimal = min(s1, st)
+        report["rebalance"]["queries"][query] = {
+            "static_1_modeled_seconds": s1,
+            "tuned_modeled_seconds": st,
+            "tuned_subbuckets": tuned_subbuckets,
+            "adaptive_modeled_seconds": sa,
+            "adaptive_final_subbuckets": (
+                fp.relations["edge"].schema.n_subbuckets
+            ),
+            "events": fp.rebalance,
+            "shipped_tuples": int(fp.counters.get("rebalance_shipped_tuples", 0)),
+            "moved_tuples": int(fp.counters.get("rebalance_moved_tuples", 0)),
+            "rebalance_wire_bytes": int(
+                fp.counters.get("rebalance_wire_bytes", 0)
+            ),
+            "static_speedup_pct": 100.0 * (s1 - sa) / s1 if s1 > 0 else 0.0,
+            "overhead_vs_tuned_pct": (
+                100.0 * (sa - st) / st if st > 0 else 0.0
+            ),
+            "overhead_vs_optimal_pct": (
+                100.0 * (sa - optimal) / optimal if optimal > 0 else 0.0
+            ),
+            "within_10pct": sa <= 1.10 * optimal,
+            "identical_iterations": identical_iterations,
+        }
+    report["all_identical"] = all(identical)
+    stamp_bench_snapshot(report)
+    return report
+
+
+def render(report: Dict[str, object]) -> str:
+    """Human-readable table of the rebalancing benchmark report."""
+    r = report["rebalance"]
+    lines = [
+        f"online-rebalancing benchmark — {report['dataset']}+hub "
+        f"({report['edges']} edges, hot bucket ~"
+        f"{report['hub_frac']:.0%}), {report['ranks']} ranks, "
+        f"start at 1 sub-bucket",
+        f"{'query':8s} {'static1 s':>11s} {'tuned s':>11s} "
+        f"{'adaptive s':>11s} {'sub':>5s} {'vs static':>10s} "
+        f"{'vs tuned':>9s} {'<=10%':>6s}",
+    ]
+    for query, q in r["queries"].items():
+        lines.append(
+            f"{query:8s} {q['static_1_modeled_seconds']:11.6f} "
+            f"{q['tuned_modeled_seconds']:11.6f} "
+            f"{q['adaptive_modeled_seconds']:11.6f} "
+            f"{q['adaptive_final_subbuckets']:5d} "
+            f"{q['static_speedup_pct']:9.1f}% "
+            f"{q['overhead_vs_tuned_pct']:8.2f}% "
+            f"{'yes' if q['within_10pct'] else 'NO':>6s}"
+        )
+        for e in q["events"]:
+            lines.append(
+                f"{'':8s} rebalance: {e['relation']} "
+                f"{e['old_subbuckets']}->{e['new_subbuckets']} at iteration "
+                f"{e['iteration']} ({e['policy']}; top bucket "
+                f"{e['top_share']:.0%}, {e['moved_tuples']} moved, "
+                f"{e['wire_bytes']} wire bytes)"
+            )
+    ok = "yes" if report["all_identical"] else "NO"
+    lines.append(f"identical results/ledgers/iterations: {ok}")
+    return "\n".join(lines)

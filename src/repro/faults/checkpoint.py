@@ -28,13 +28,21 @@ TupleT = Tuple[int, ...]
 
 @dataclass
 class RelationSnapshot:
-    """Frozen shard state of one relation (plus version generations)."""
+    """Frozen shard state of one relation (plus version generations).
+
+    ``schema`` pins the relation's sub-bucket map at capture time: with
+    the online rebalancer active, ``n_subbuckets`` is mutable engine
+    state, and a rollback must revert the placement together with the
+    shards or replayed iterations would route tuples under a map the
+    restored shards were never hashed by.
+    """
 
     shards: dict
     full_gen: int
     delta_gen: int
     tuples: int
     nbytes: int
+    schema: Optional[object] = None
 
 
 @dataclass
@@ -55,6 +63,10 @@ class StratumCheckpoint:
     counters: Dict[str, int]
     trace_len: int
     relations: Dict[str, RelationSnapshot] = field(default_factory=dict)
+    #: Opaque online-rebalancer bookkeeping (event-log length, seeded
+    #: relations) captured alongside the shards; ``None`` when the
+    #: rebalancer is off.
+    rebalance: Optional[Dict[str, object]] = None
 
     @property
     def tuples(self) -> int:
@@ -102,6 +114,7 @@ def capture(
             delta_gen=rel.delta_gen,
             tuples=tuples,
             nbytes=tuples * rel.schema.arity * BYTES_PER_WORD,
+            schema=rel.schema,
         )
     return ckpt
 
@@ -115,6 +128,11 @@ def restore(store, ckpt: StratumCheckpoint) -> None:
     """
     for name, snap in ckpt.relations.items():
         rel = store[name]
+        if snap.schema is not None and snap.schema is not rel.schema:
+            # Rebalance happened after this checkpoint: revert the
+            # placement to the captured sub-bucket map (rebuilds the
+            # Distribution and clears the probe caches).
+            rel.set_schema(snap.schema)
         rel.shards = copy.deepcopy(snap.shards)
         rel.full_gen = snap.full_gen
         rel.delta_gen = snap.delta_gen

@@ -282,6 +282,27 @@ class _ColumnarShardBase:
     def seed_delta_from_full(self) -> None:
         self._delta_block = self.version_block("full").copy()
 
+    def install_state(self, full_rows: np.ndarray, delta_rows: np.ndarray) -> None:
+        """Install a redistributed fragment wholesale (rebalance exchange).
+
+        Only legal on a freshly created shard at an iteration boundary
+        (no pending rows).  Appending ``full_rows`` in delivery order makes
+        :meth:`_nested_order` reproduce the scalar shard's nested iteration
+        exactly; the Δ block is normalized into the same nested order a
+        dict shard gets for free from insertion order.
+        """
+        if full_rows.shape[0]:
+            self._append_rows(np.ascontiguousarray(full_rows))
+            self.full_gen += 1
+        k = delta_rows.shape[0]
+        if k:
+            rows = np.ascontiguousarray(delta_rows)
+            jkv = rows[:, self._jk_cols]
+            order, starts, counts = lex_group(jkv)
+            key = np.empty(k, dtype=np.int64)
+            key[order] = np.repeat(order[starts], counts)
+            self._delta_block = rows[np.argsort(key, kind="stable")]
+
     # -------------------------------------------------------------- ordering
 
     def _nested_order(self) -> np.ndarray:

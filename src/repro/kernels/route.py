@@ -192,3 +192,73 @@ def decode_wire_box(box: WireBox, arity: int, codec: str) -> RouteBox:
     """Inverse of the per-box encoding in :func:`encode_wire_sends`."""
     b, s, n_rows, _pre, payload = box
     return b, s, decode_rows(payload, n_rows, arity, codec)
+
+
+#: A rebalance-exchange box: one (bucket, new sub-bucket) fragment of one
+#: version, codec-encoded.  ``kind`` is 0 for the full version, 1 for Δ.
+#: ``seq`` is a transport sequence number, unique per box across the
+#: exchange: the install step is not idempotent (unlike absorb, which
+#: deduplicates by set semantics), so the receiver drops at-least-once
+#: duplicate deliveries by sequence number.
+ReshardBox = Tuple[int, int, int, int, bytes, int]  # (bucket, sub, kind, n_rows, payload, seq)
+
+
+def build_reshard_sends(
+    blocks: Sequence[Tuple[int, int, np.ndarray]],
+    new_dist,
+    codec: str,
+) -> Tuple[Dict[int, Dict[int, List[ReshardBox]]], int, int]:
+    """Re-hash version blocks under a resized placement (rebalance exchange).
+
+    ``blocks`` are ``(src_rank, kind, rows)`` triples in deterministic
+    (sorted old shard key, version) order; every row is re-placed under
+    ``new_dist`` and grouped into per-(bucket, sub) boxes.  Buckets never
+    change on a sub-bucket resize (join columns and seed are fixed), so
+    this is purely intra-bucket traffic.
+
+    Returns the send plan plus total rows shipped and rows whose owner
+    actually changed (the migration volume).
+    """
+    sends: Dict[int, Dict[int, List[ReshardBox]]] = {}
+    n_shipped = 0
+    n_moved = 0
+    seq = 0
+    for src, kind, rows in blocks:
+        n = rows.shape[0]
+        if n == 0:
+            continue
+        b_arr, s_arr = new_dist.bucket_sub_of_rows(rows)
+        dst_arr = new_dist.ranks_of_bucket_subs(b_arr, s_arr)
+        order = np.lexsort((s_arr, b_arr))
+        b_sorted = b_arr[order]
+        s_sorted = s_arr[order]
+        boundary = np.ones(n, dtype=bool)
+        boundary[1:] = (b_sorted[1:] != b_sorted[:-1]) | (
+            s_sorted[1:] != s_sorted[:-1]
+        )
+        starts = np.nonzero(boundary)[0].astype(np.int64)
+        ends = np.concatenate([starts[1:], np.asarray([n], dtype=np.int64)])
+        row_map = sends.setdefault(src, {})
+        for s0, s1 in zip(starts.tolist(), ends.tolist()):
+            idx = order[s0:s1]
+            dst = int(dst_arr[idx[0]])
+            row_map.setdefault(dst, []).append(
+                (
+                    int(b_sorted[s0]),
+                    int(s_sorted[s0]),
+                    kind,
+                    int(idx.shape[0]),
+                    encode_rows(rows[idx], codec),
+                    seq,
+                )
+            )
+            seq += 1
+        n_shipped += n
+        n_moved += int((dst_arr != src).sum())
+    return sends, n_shipped, n_moved
+
+
+def decode_reshard_box(box: ReshardBox, arity: int, codec: str):
+    """Inverse of the per-box encoding in :func:`build_reshard_sends`."""
+    b, s, kind, n_rows, payload, _seq = box
+    return b, s, kind, decode_rows(payload, n_rows, arity, codec)

@@ -58,7 +58,11 @@ BENCH_SCHEMA_VERSION = 2
 #: have carried without the PR 7 wire layer (sender-side combining +
 #: codec) — it is never charged to the ledger, so bytes saved on any edge
 #: is simply ``precombine − data``.
-CHANNELS = ("data", "retransmit", "precombine")
+#: ``rebalance`` carries the online rebalancer's intra-bucket
+#: redistribution exchanges (PR 8) — real charged traffic like ``data``,
+#: but tagged separately so migration volume is visible per edge and the
+#: fixpoint's own traffic stays comparable across rebalance on/off runs.
+CHANNELS = ("data", "retransmit", "precombine", "rebalance")
 
 
 # ===================================================================== comm
@@ -75,6 +79,7 @@ class CommMatrix:
 
     __slots__ = (
         "seq", "kind", "phase", "n_ranks", "data", "retransmit", "precombine",
+        "rebalance",
     )
 
     def __init__(self, seq: int, kind: str, phase: str, n_ranks: int):
@@ -85,6 +90,7 @@ class CommMatrix:
         self.data: Dict[Tuple[int, int], List[int]] = {}
         self.retransmit: Dict[Tuple[int, int], List[int]] = {}
         self.precombine: Dict[Tuple[int, int], List[int]] = {}
+        self.rebalance: Dict[Tuple[int, int], List[int]] = {}
 
     def add(
         self, src: int, dst: int, nbytes: int, tuples: int,
@@ -109,6 +115,8 @@ class CommMatrix:
             return self.retransmit
         if channel == "precombine":
             return self.precombine
+        if channel == "rebalance":
+            return self.rebalance
         raise ValueError(f"unknown channel {channel!r}; expected {CHANNELS}")
 
     def bytes_total(self, channel: str = "data") -> int:
@@ -159,6 +167,10 @@ class CommMatrix:
                 [s, d, c[0], c[1]]
                 for (s, d), c in sorted(self.precombine.items())
             ],
+            "rebalance": [
+                [s, d, c[0], c[1]]
+                for (s, d), c in sorted(self.rebalance.items())
+            ],
         }
 
     @classmethod
@@ -174,6 +186,10 @@ class CommMatrix:
         for s, d, nbytes, tuples in rec.get("precombine", ()):
             m.add(
                 int(s), int(d), int(nbytes), int(tuples), channel="precombine"
+            )
+        for s, d, nbytes, tuples in rec.get("rebalance", ()):
+            m.add(
+                int(s), int(d), int(nbytes), int(tuples), channel="rebalance"
             )
         return m
 
@@ -263,12 +279,18 @@ class CommMatrixRecorder:
     def reconcile(self, comm_stats: Any, *, strict: bool = True) -> Dict[str, Any]:
         """Check matrix totals against the ledger's comm counters.
 
-        For every captured kind, the data-channel byte total must equal
-        the ledger's ``by_kind`` byte total, and the retransmit channel
-        must equal the ledger's ``retransmit`` entry.  Returns the
-        comparison; raises ``ValueError`` on mismatch when ``strict``.
+        For every captured kind, the primary-channel byte total must
+        equal the ledger's ``by_kind`` byte total, and the retransmit
+        channel must equal the ledger's ``retransmit`` entry.  Returns
+        the comparison; raises ``ValueError`` on mismatch when ``strict``.
         """
-        by_kind = self.bytes_by_kind("data")
+        # A rebalance exchange records its charged traffic in the
+        # "rebalance" channel, every other exchange in "data"; the ledger
+        # keys both by the exchange's kind.
+        by_kind: Dict[str, int] = {}
+        for m in self.matrices:
+            chan = "rebalance" if m.kind == "rebalance" else "data"
+            by_kind[m.kind] = by_kind.get(m.kind, 0) + m.bytes_total(chan)
         ledger_by_kind = dict(comm_stats.by_kind)
         mismatches = {}
         for kind, nbytes in sorted(by_kind.items()):
@@ -320,6 +342,7 @@ class CommMatrixRecorder:
             "tuples_total": self.tuples_total("data"),
             "retransmit_bytes": self.bytes_total("retransmit"),
             "precombine_bytes": self.bytes_total("precombine"),
+            "rebalance_bytes": self.bytes_total("rebalance"),
             "bytes_saved": self.bytes_saved(),
             "bytes_by_kind": self.bytes_by_kind("data"),
             "matrices": [m.to_dict() for m in self.matrices],

@@ -16,7 +16,7 @@ what makes fused local aggregation communication-free (§III-A).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 import numpy as np
 
@@ -38,6 +38,18 @@ class Distribution:
         # placement; offset 0 for s=0 keeps the unbalanced path identical to
         # plain BPRA.
         self._sub_salt = splitmix64(self.seed.subbucket ^ 0x5B5B_5B5B)
+
+    def with_subbuckets(self, n_subbuckets: int) -> "Distribution":
+        """A new placement for the same relation at a different fan-out.
+
+        Buckets are untouched (join columns and seed are unchanged), so a
+        resize only moves tuples *within* their bucket's rank set — the
+        invariant behind the intra-bucket redistribution exchange.
+        """
+        import dataclasses
+
+        schema = dataclasses.replace(self.schema, n_subbuckets=n_subbuckets)
+        return Distribution(schema, self.n_ranks, self.seed)
 
     # ------------------------------------------------------------ scalar path
 

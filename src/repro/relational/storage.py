@@ -241,6 +241,55 @@ class VersionedRelation:
             if block.shape[0]:
                 yield self.owner_of(key), block
 
+    # ------------------------------------------------------------- rebalance
+
+    def set_schema(self, new_schema: Schema) -> None:
+        """Point the relation at a (possibly resized) schema + placement.
+
+        Used by the online rebalancer and by checkpoint restore: the
+        placement is a pure function of (schema, n_ranks, seed), so
+        swapping the schema re-derives it exactly.  Probe caches are
+        invalidated — sub-bucket fan-out just changed under them.
+        """
+        self.schema = new_schema
+        self.dist = Distribution(new_schema, self.n_ranks, self.dist.seed)
+        self._probe_cache.clear()
+        self._probe_cache_token = -1
+
+    def install_reshard(
+        self,
+        new_schema: Schema,
+        shard_states: Dict[ShardKey, Tuple[np.ndarray, np.ndarray]],
+    ) -> None:
+        """Atomically swap in a resized sub-bucket map and its shards.
+
+        ``shard_states`` maps each new (bucket, sub-bucket) to its
+        (full, Δ) row-blocks in the redistribution exchange's
+        deterministic delivery order.  The old shard map is discarded
+        wholesale; both generations bump so every cached join index is
+        rebuilt against the new placement.
+        """
+        if (
+            new_schema.name != self.schema.name
+            or new_schema.arity != self.schema.arity
+        ):
+            raise ValueError(
+                f"install_reshard: incompatible schema {new_schema.name!r} "
+                f"for relation {self.schema.name!r}"
+            )
+        new_shards: Dict[ShardKey, _ShardBase] = {}
+        for key in sorted(shard_states):
+            full_rows, delta_rows = shard_states[key]
+            shard = make_shard(
+                new_schema, self.use_btree, columnar=self.layout == "columnar"
+            )
+            shard.install_state(full_rows, delta_rows)
+            new_shards[key] = shard
+        self.set_schema(new_schema)
+        self.shards = new_shards
+        self.full_gen += 1
+        self.delta_gen += 1
+
     def as_set(self) -> set:
         """Materialize the full version as a Python set (tests/inspection)."""
         return set(self.iter_full())

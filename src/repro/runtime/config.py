@@ -115,6 +115,34 @@ class EngineConfig:
     #: results, Δ contents and iteration counts are unchanged — only
     #: modeled bytes/seconds move (that is the optimization).
     wire: WireConfig = field(default_factory=WireConfig)
+    #: Online adaptive spatial rebalancing (PR 8): every
+    #: ``rebalance_every`` iterations of a recursive stratum, consult the
+    #: skew doctor's bucket-skew measurement per relation and, past the
+    #: trigger, grow the offending relation's sub-bucket count
+    #: mid-fixpoint via an intra-bucket redistribution exchange.  Results,
+    #: Δ trajectories and iteration counts are bit-identical to a static
+    #: run; only placement (and hence modeled time) moves.
+    rebalance: bool = False
+    #: Check the trigger every K iterations (per recursive stratum).
+    rebalance_every: int = 4
+    #: Top-bucket share of a relation's tuples that arms the trigger
+    #: (matches the skew doctor's ``top_bucket_threshold``).
+    rebalance_threshold: float = 0.25
+    #: Projected per-rank overload (top_share × n_ranks / n_subbuckets)
+    #: below which the current fan-out is considered sufficient — this is
+    #: what makes repeated doubling self-extinguishing.
+    rebalance_factor: float = 2.0
+    #: Hard cap on any relation's online sub-bucket count.
+    rebalance_max_subbuckets: int = 64
+    #: Relations smaller than this never rebalance (migration would cost
+    #: more than the imbalance).
+    rebalance_min_tuples: int = 64
+    #: Record an order-independent per-relation Δ fingerprint in every
+    #: IterationTrace (xor of row hashes) — the test plane's evidence
+    #: that Δ *trajectories*, not just final results, are identical
+    #: across executors and rebalance on/off.  Off by default: it costs
+    #: one hash pass over Δ per iteration.
+    delta_fingerprints: bool = False
 
     def __post_init__(self) -> None:
         if self.n_ranks < 1:
@@ -149,4 +177,27 @@ class EngineConfig:
         if not isinstance(self.wire, WireConfig):
             raise ValueError(
                 f"wire must be a WireConfig, got {type(self.wire).__name__}"
+            )
+        if self.rebalance_every < 1:
+            raise ValueError(
+                f"rebalance_every must be >= 1, got {self.rebalance_every}"
+            )
+        if not 0.0 <= self.rebalance_threshold <= 1.0:
+            raise ValueError(
+                f"rebalance_threshold must be in [0, 1], "
+                f"got {self.rebalance_threshold}"
+            )
+        if self.rebalance_factor < 0.0:
+            raise ValueError(
+                f"rebalance_factor must be >= 0, got {self.rebalance_factor}"
+            )
+        if self.rebalance_max_subbuckets < 1:
+            raise ValueError(
+                f"rebalance_max_subbuckets must be >= 1, "
+                f"got {self.rebalance_max_subbuckets}"
+            )
+        if self.rebalance_min_tuples < 0:
+            raise ValueError(
+                f"rebalance_min_tuples must be >= 0, "
+                f"got {self.rebalance_min_tuples}"
             )

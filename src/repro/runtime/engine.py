@@ -50,7 +50,7 @@ from repro.planner.stratify import Stratum
 from repro.relational.storage import RelationStore, VersionedRelation
 from repro.runtime.config import EngineConfig
 from repro.runtime.result import FixpointResult, IterationTrace
-from repro.util.hashing import HashSeed
+from repro.util.hashing import HashSeed, hash_columns
 from repro.util.timing import PhaseTimer
 
 TupleT = Tuple[int, ...]
@@ -135,6 +135,14 @@ class Engine:
         #: plan for sender-side folding; resolved lazily per relation.
         self.wire = self.config.wire
         self._wire_plans: Dict[str, Tuple[object, bool]] = {}
+        #: Online adaptive spatial rebalancing (PR 8): periodically grows
+        #: skewed relations' sub-bucket counts mid-fixpoint.  None when
+        #: ``EngineConfig.rebalance`` is off.
+        self.rebalancer = None
+        if self.config.rebalance:
+            from repro.runtime.rebalance import RebalanceManager
+
+            self.rebalancer = RebalanceManager(self.config)
 
     def _wire_plan(self, head_name: str) -> Tuple[object, bool]:
         """Sender-combining plan for one head relation.
@@ -288,6 +296,11 @@ class Engine:
             metrics=self.tracer.metrics,
             recovery=self.recovery,
             comm_profile=self.comm_recorder,
+            rebalance=(
+                [e.to_dict() for e in self.rebalancer.events]
+                if self.rebalancer is not None
+                else None
+            ),
         )
 
     def _finalize_metrics(self) -> None:
@@ -407,6 +420,15 @@ class Engine:
         while True:
             try:
                 if iteration < 0:
+                    if self.rebalancer is not None:
+                        # First skew check before the seed pass: the EDBs
+                        # are fully loaded and a hot bucket is already
+                        # visible, so resizing here spares the seed
+                        # pass's own joins the skew (CC-style programs
+                        # scan the whole edge relation there).  Inside
+                        # the try: a crash mid-exchange rolls back to the
+                        # pre-loop checkpoint and replays the decision.
+                        self.rebalancer.maybe_rebalance(self, stratum, -1)
                     # Seed pass: evaluate every rule naively (all body
                     # atoms read the full version).  For non-recursive
                     # strata this is the whole job.
@@ -424,6 +446,10 @@ class Engine:
                     iteration = 0
                     if not stratum.recursive:
                         return
+                    if self.rebalancer is not None and changed:
+                        # Seed boundary: IDB relations the seed pass just
+                        # populated get their first skew check here.
+                        self.rebalancer.maybe_rebalance(self, stratum, 0)
                     if every is not None and changed:
                         ckpt = self._take_checkpoint(stratum, 0, changed)
                     continue
@@ -446,6 +472,16 @@ class Engine:
                                 )
                     changed = self._advance_and_count(stratum)
                     self._record_iteration(stratum, iteration, it_stats)
+                if (
+                    self.rebalancer is not None
+                    and changed
+                    and iteration % self.config.rebalance_every == 0
+                ):
+                    # Iteration boundary: Δs advanced, nothing in flight.
+                    # Inside the try, so a crash mid-rebalance rolls back
+                    # like any other iteration failure.  Runs before the
+                    # checkpoint below so snapshots capture the new map.
+                    self.rebalancer.maybe_rebalance(self, stratum, iteration)
                 if every is not None and changed and iteration % every == 0:
                     ckpt = self._take_checkpoint(stratum, iteration, changed)
             except RankFailure as failure:
@@ -483,8 +519,17 @@ class Engine:
         they are all that needs saving.  The modeled cost of every rank
         writing its partition to stable storage in parallel is charged to
         the ``checkpoint`` phase.
+
+        With the online rebalancer active, every rebalance-eligible
+        relation is captured too (the rebalancer may resize EDBs the
+        stratum only reads), and each snapshot pins the relation's schema
+        so rollback reverts the sub-bucket map together with the shards.
         """
         names = sorted(stratum.relations)
+        if self.rebalancer is not None:
+            names = sorted(
+                set(names) | set(self.rebalancer.eligible_names(self.store))
+            )
         with self.tracer.span(
             "checkpoint", cat="phase", stratum=stratum.index,
             attrs={"iteration": iteration},
@@ -500,6 +545,8 @@ class Engine:
                     counters=dict(self.counters),
                     trace_len=len(self.trace),
                 )
+                if self.rebalancer is not None:
+                    ckpt.rebalance = self.rebalancer.state()
             total_bytes, per_rank = self._stratum_state_bytes(names)
             seconds = self.cluster.cost.checkpoint_write(
                 self.config.n_ranks, int(per_rank.max())
@@ -558,6 +605,14 @@ class Engine:
                 self.counters.update(ckpt.counters)
                 self._iterations = ckpt.iterations_total
                 del self.trace[ckpt.trace_len:]
+                if self.rebalancer is not None:
+                    # Restore may have reverted sub-bucket maps; re-sync
+                    # the compiled program's schema view and rewind the
+                    # rebalancer's bookkeeping so replay re-decides the
+                    # rolled-back resizes identically.
+                    for name in ckpt.relations:
+                        self.compiled.schemas[name] = self.store[name].schema
+                    self.rebalancer.restore_state(ckpt.rebalance)
             _total, per_rank = self._stratum_state_bytes(ckpt.relations)
             seconds = self.cluster.cost.recovery_restore(
                 self.config.n_ranks, int(per_rank.max()), failed_bytes
@@ -598,6 +653,34 @@ class Engine:
             )
         return total > 0
 
+    # Seed for the Δ-trajectory fingerprints; any fixed constant works,
+    # it just decorrelates them from placement hashing.
+    _FP_SEED = 0x5EED_D157
+
+    def _delta_fingerprints(self, stratum: Stratum) -> Dict[str, int]:
+        """Order-independent multiset digest of each stratum relation's Δ.
+
+        XOR-reduces a whole-row hash over the Δ blocks, then mixes in the
+        row count (xor alone cannot see duplicate pairs).  Invariant to
+        shard layout, delivery order and executor — the test plane's
+        witness that rebalancing never bends the Δ *trajectory*.
+        """
+        out: Dict[str, int] = {}
+        for name in sorted(stratum.relations):
+            rel = self.store[name]
+            cols = tuple(range(rel.schema.arity))
+            acc = np.uint64(0)
+            count = 0
+            for _owner, block in rel.version_blocks("delta"):
+                acc ^= np.bitwise_xor.reduce(
+                    hash_columns(block, cols, seed=self._FP_SEED)
+                )
+                count += block.shape[0]
+            out[name] = int(
+                (int(acc) + count * 0x9E37_79B1) & 0xFFFF_FFFF_FFFF_FFFF
+            )
+        return out
+
     def _record_iteration(self, stratum: Stratum, iteration: int, st: "_IterStats") -> None:
         if not self.config.track_trace:
             return
@@ -606,6 +689,11 @@ class Engine:
         # report different per-iteration deltas.
         phase_delta = self.cluster.ledger.snapshot()
         wall_delta = self.timer.snapshot()
+        fingerprints = (
+            self._delta_fingerprints(stratum)
+            if self.config.delta_fingerprints
+            else {}
+        )
         if self.tracer.enabled:
             self.tracer.instant(
                 "iteration_summary",
@@ -639,6 +727,7 @@ class Engine:
                 intra_bucket_tuples=st.intra_tuples,
                 alltoall_tuples=st.comm_tuples,
                 wall_phase_seconds=wall_delta,
+                delta_fingerprints=fingerprints,
             )
         )
 

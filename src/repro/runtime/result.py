@@ -35,6 +35,12 @@ class IterationTrace:
     alltoall_tuples: int = 0
     #: Host wall seconds by phase for this iteration (simulation cost).
     wall_phase_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Order-independent multiset digest of each stratum relation's Δ at
+    #: the end of this iteration (``EngineConfig.delta_fingerprints``);
+    #: empty when fingerprinting is off.  Placement- and executor-
+    #: invariant, so trajectories can be compared across rebalance
+    #: on/off and scalar/columnar runs.
+    delta_fingerprints: Dict[str, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -58,6 +64,11 @@ class FixpointResult:
     #: (:class:`repro.obs.analysis.CommMatrixRecorder`); None unless the
     #: run had ``EngineConfig.diagnostics`` enabled.
     comm_profile: Optional[object] = None
+    #: Executed online-rebalance events, as plain dicts
+    #: (:class:`repro.runtime.rebalance.RebalanceEvent`); None unless the
+    #: run had ``EngineConfig.rebalance`` enabled.  Deliberately not part
+    #: of :meth:`summary` — it describes placement, not semantics.
+    rebalance: Optional[List[Dict[str, object]]] = None
 
     def query(self, name: str) -> Set[TupleT]:
         """Materialize a relation's final contents as a set of tuples."""

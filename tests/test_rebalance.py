@@ -1,0 +1,824 @@
+"""Tests for online adaptive spatial rebalancing (PR 8).
+
+The contract under test: a mid-fixpoint sub-bucket resize is invisible to
+semantics.  The redistribution exchange preserves exact tuple multisets
+(property-tested), every resized shard agrees with the versioned hash
+map, results / Δ trajectories / iteration counts are bit-identical to a
+static run under both executors, and chaos (message faults, crash
+mid-rebalance) cannot make a rebalancing run diverge from the fault-free
+one.
+"""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.simcluster import SimCluster
+from repro.comm.wire import WireConfig
+from repro.core.aggregators import make_aggregator
+from repro.core.balancer import recommend_subbuckets, subbucket_growth
+from repro.faults import checkpoint as ckpt_mod
+from repro.faults.config import FaultConfig
+from repro.graphs.generators import rmat
+from repro.obs.analysis import CommMatrix, CommMatrixRecorder
+from repro.queries.cc import run_cc
+from repro.queries.pagerank import run_pagerank
+from repro.queries.sssp import run_sssp
+from repro.relational.schema import Schema
+from repro.relational.storage import VersionedRelation
+from repro.runtime.config import EngineConfig
+from repro.runtime.rebalance import (
+    RebalanceManager,
+    SkewMeasure,
+    measure_bucket_skew,
+    reshard_relation,
+)
+from repro.util.hashing import HashSeed
+
+EXECUTORS = ("scalar", "columnar")
+
+
+def _plain_schema(n_sub=1):
+    return Schema(name="r", arity=3, join_cols=(0,), n_subbuckets=n_sub)
+
+
+def _agg_schema(n_sub=1):
+    return Schema(
+        name="a", arity=3, join_cols=(0,), n_dep=1,
+        aggregator=make_aggregator("min"), n_subbuckets=n_sub,
+    )
+
+
+def _relation(schema, n_ranks, layout="scalar", full=(), delta=()):
+    """A standalone relation with the given full and Δ contents."""
+    rel = VersionedRelation(
+        schema, n_ranks, seed=HashSeed().derive(7), layout=layout
+    )
+    if full:
+        rel.load(list(full))
+        rel.advance()
+        rel.advance()  # clear Δ so only `delta` rows populate it
+    if delta:
+        rel.load(list(delta))
+        rel.advance()
+    return rel
+
+
+def _rows_of(rel, version):
+    blocks = [b for _o, b in rel.version_blocks(version)]
+    if not blocks:
+        return []
+    return sorted(map(tuple, np.vstack(blocks).tolist()))
+
+
+def _forced(**kw):
+    """Config whose trigger always fires: every boundary, any skew."""
+    kw.setdefault("n_ranks", 8)
+    kw.setdefault("rebalance_max_subbuckets", 8)
+    kw.setdefault("rebalance_every", 1)
+    kw.setdefault("rebalance_threshold", 0.0)
+    kw.setdefault("rebalance_factor", 0.0)
+    kw.setdefault("rebalance_min_tuples", 0)
+    return EngineConfig(rebalance=True, **kw)
+
+
+# --------------------------------------------------------------------------
+# Distribution.with_subbuckets
+
+
+class TestWithSubbuckets:
+    def test_buckets_preserved_across_resize(self):
+        dist = _relation(_plain_schema(), 16).dist
+        grown = dist.with_subbuckets(8)
+        rows = np.arange(60, dtype=np.int64).reshape(20, 3)
+        assert np.array_equal(
+            dist.bucket_sub_of_rows(rows)[0],
+            grown.bucket_sub_of_rows(rows)[0],
+        )
+
+    def test_new_fanout_used(self):
+        dist = _relation(_plain_schema(), 16).dist
+        grown = dist.with_subbuckets(8)
+        assert grown.schema.n_subbuckets == 8
+        assert grown.seed is dist.seed
+        rows = np.arange(300, dtype=np.int64).reshape(100, 3)
+        _b, subs = grown.bucket_sub_of_rows(rows)
+        assert subs.max() > 0  # fan-out actually engaged
+
+    def test_sub_zero_stays_home(self):
+        grown = _relation(_plain_schema(), 16).dist.with_subbuckets(4)
+        for b in range(16):
+            assert grown.owner(b, 0) == b
+
+
+# --------------------------------------------------------------------------
+# balancer satellites: growth ladder + recommendation cap
+
+
+class TestSubbucketGrowth:
+    def test_growth_sequence_pinned(self):
+        assert subbucket_growth(10_000, 64) == [2, 4, 8, 16, 32, 64]
+
+    def test_growth_respects_non_power_of_two_cap(self):
+        assert subbucket_growth(10_000, 64, max_subbuckets=48) == [
+            2, 4, 8, 16, 32, 48,
+        ]
+
+    def test_growth_stops_at_rank_count(self):
+        assert subbucket_growth(10_000, 4) == [2, 4]
+
+    def test_growth_from_midpoint(self):
+        assert subbucket_growth(10_000, 64, start=8) == [16, 32, 64]
+
+    def test_growth_empty_relation(self):
+        assert subbucket_growth(0, 64) == []
+
+    def test_growth_validates(self):
+        with pytest.raises(ValueError):
+            subbucket_growth(10, 4, start=0)
+        with pytest.raises(ValueError):
+            subbucket_growth(10, 4, max_subbuckets=0)
+
+    def test_recommend_respects_non_power_of_two_cap(self):
+        # Regression: the trial count used to jump straight past a
+        # non-power-of-two cap instead of clamping to it.
+        rows = [(0, i, i) for i in range(256)]
+        n, _report = recommend_subbuckets(
+            rows, _plain_schema(), 16, max_subbuckets=3
+        )
+        assert n <= 3
+
+
+# --------------------------------------------------------------------------
+# the redistribution exchange (property tests)
+
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 12), st.integers(0, 12), st.integers(0, 12)
+    ),
+    min_size=0,
+    max_size=60,
+)
+
+
+class TestReshardProperty:
+    @pytest.mark.parametrize("layout", EXECUTORS)
+    @given(
+        data=rows_strategy,
+        n_ranks=st.sampled_from([1, 3, 8]),
+        target=st.sampled_from([2, 3, 4, 8]),
+        split=st.integers(0, 60),
+    )
+    @settings(max_examples=25)
+    def test_multiset_and_owner_map(
+        self, layout, data, n_ranks, target, split
+    ):
+        """Any shard contents + any rebalance point: the exchange keeps
+        the exact full and Δ multisets, and every row sits in the shard
+        the versioned hash map assigns it."""
+        full, delta = data[:split], data[split:]
+        # a relation is a set per version; keep Δ rows out of full
+        delta = [t for t in delta if t not in set(full)]
+        rel = _relation(
+            _plain_schema(), n_ranks, layout=layout, full=full, delta=delta
+        )
+        before_full = _rows_of(rel, "full")
+        before_delta = _rows_of(rel, "delta")
+        reshard_relation(rel, target, SimCluster(n_ranks))
+        assert rel.schema.n_subbuckets == target
+        assert _rows_of(rel, "full") == before_full
+        assert _rows_of(rel, "delta") == before_delta
+        for (bucket, sub), shard in rel.shards.items():
+            assert 0 <= sub < target
+            rows = shard.version_block("full")
+            if rows.shape[0]:
+                b_arr, s_arr = rel.dist.bucket_sub_of_rows(rows)
+                assert (b_arr == bucket).all() and (s_arr == sub).all()
+
+    @pytest.mark.parametrize("layout", EXECUTORS)
+    @given(data=rows_strategy, split=st.integers(0, 60))
+    @settings(max_examples=15)
+    def test_shrink_back_round_trips(self, layout, data, split):
+        full = sorted(set(data[:split]))
+        delta = [t for t in data[split:] if t not in set(full)]
+        rel = _relation(
+            _plain_schema(), 4, layout=layout, full=full, delta=delta
+        )
+        before = (_rows_of(rel, "full"), _rows_of(rel, "delta"))
+        cluster = SimCluster(4)
+        reshard_relation(rel, 4, cluster)
+        reshard_relation(rel, 1, cluster)
+        assert (_rows_of(rel, "full"), _rows_of(rel, "delta")) == before
+
+    def test_layouts_produce_identical_block_streams(self):
+        full = [(i % 5, i, 2 * i) for i in range(40)]
+        delta = [(i % 5, i + 100, i) for i in range(17)]
+        rels = {
+            layout: _relation(
+                _plain_schema(), 6, layout=layout, full=full, delta=delta
+            )
+            for layout in EXECUTORS
+        }
+        for rel in rels.values():
+            reshard_relation(rel, 4, SimCluster(6))
+        for version in ("full", "delta"):
+            scalar_blocks = [
+                (o, b.tolist())
+                for o, b in rels["scalar"].version_blocks(version)
+            ]
+            columnar_blocks = [
+                (o, b.tolist())
+                for o, b in rels["columnar"].version_blocks(version)
+            ]
+            assert scalar_blocks == columnar_blocks
+
+    def test_noop_resize_is_free(self):
+        rel = _relation(_plain_schema(2), 4, full=[(1, 2, 3)])
+        shards = dict(rel.shards)
+        info = reshard_relation(rel, 2, SimCluster(4))
+        assert info == {"shipped": 0, "moved": 0, "wire_bytes": 0}
+        assert rel.shards == shards
+
+    def test_aggregate_relation_keeps_values(self):
+        full = [(k, k + 1, v) for k, v in ((0, 5), (1, 9), (2, 3))]
+        rel = _relation(_agg_schema(), 4, full=full)
+        reshard_relation(rel, 4, SimCluster(4))
+        assert _rows_of(rel, "full") == sorted(full)
+
+    def test_empty_relation(self):
+        rel = _relation(_plain_schema(), 4)
+        info = reshard_relation(rel, 4, SimCluster(4))
+        assert info["shipped"] == 0
+        assert rel.schema.n_subbuckets == 4
+
+    def test_exchange_lands_in_rebalance_channel(self):
+        recorder = CommMatrixRecorder(4)
+        cluster = SimCluster(4, comm_recorder=recorder)
+        rel = _relation(
+            _plain_schema(), 4, full=[(i, i, i) for i in range(64)]
+        )
+        info = reshard_relation(rel, 4, cluster)
+        matrices = [m for m in recorder.matrices if m.kind == "rebalance"]
+        assert matrices, "no rebalance comm matrix captured"
+        total = sum(m.bytes_total("rebalance") for m in matrices)
+        assert total == info["wire_bytes"] > 0
+        assert all(m.bytes_total("data") == 0 for m in matrices)
+        recorder.reconcile(cluster.ledger.comm)  # raises on mismatch
+
+    def test_wire_codec_shrinks_exchange_bytes(self):
+        full = [(i % 4, i, 7) for i in range(400)]
+        raw = _relation(_plain_schema(), 4, full=full)
+        enc = _relation(_plain_schema(), 4, full=full)
+        raw_info = reshard_relation(
+            raw, 4, SimCluster(4), wire=WireConfig.off()
+        )
+        enc_info = reshard_relation(
+            enc, 4, SimCluster(4), wire=WireConfig()
+        )
+        assert enc_info["wire_bytes"] < raw_info["wire_bytes"]
+        assert _rows_of(enc, "full") == _rows_of(raw, "full")
+
+
+# --------------------------------------------------------------------------
+# trigger policy
+
+
+def _measure(total=1000, top_share=0.5, gini=0.4, n_buckets=4):
+    return SkewMeasure(
+        total=total, top_share=top_share, gini=gini, n_buckets=n_buckets
+    )
+
+
+class TestTriggerPolicy:
+    def _manager_and_rel(self, n_sub=1, n_ranks=8, **cfg):
+        config = _forced(n_ranks=n_ranks, **cfg)
+        rel = _relation(
+            _plain_schema(n_sub), n_ranks,
+            full=[(i % 3, i, i) for i in range(200)],
+        )
+        return RebalanceManager(config), rel
+
+    def test_small_relation_never_rebalances(self):
+        mgr, rel = self._manager_and_rel(rebalance_min_tuples=10_000)
+        assert mgr._target_subbuckets(rel, _measure()) is None
+
+    def test_capped_relation_never_rebalances(self):
+        mgr, rel = self._manager_and_rel(
+            n_sub=8, rebalance_max_subbuckets=8
+        )
+        assert mgr._target_subbuckets(rel, _measure()) is None
+
+    def test_below_threshold_skips(self):
+        mgr, rel = self._manager_and_rel(rebalance_threshold=0.8)
+        assert mgr._target_subbuckets(rel, _measure(top_share=0.5)) is None
+
+    def test_overload_factor_self_extinguishes(self):
+        # top_share 0.5 on 8 ranks: overload is 4.0 at 1 sub-bucket
+        # (trigger), 1.0 at 4 sub-buckets (below the factor: stop).
+        mgr, rel = self._manager_and_rel(rebalance_factor=2.0)
+        assert mgr._target_subbuckets(rel, _measure(top_share=0.5)) is not None
+        mgr2, rel4 = self._manager_and_rel(n_sub=4, rebalance_factor=2.0)
+        assert mgr2._target_subbuckets(rel4, _measure(top_share=0.5)) is None
+
+    def test_first_trigger_recommends_then_doubles(self):
+        mgr, rel = self._manager_and_rel()
+        target, policy = mgr._target_subbuckets(rel, _measure())
+        assert policy == "recommend" and target >= 2
+        target2, policy2 = mgr._target_subbuckets(rel, _measure())
+        assert policy2 == "double" and target2 == 2
+
+    def test_eligible_needs_other_columns(self):
+        config = _forced()
+        store_like = type(
+            "S", (), {
+                "relations": {
+                    "with": _relation(_plain_schema(), 4),
+                    "without": _relation(
+                        Schema(name="k", arity=1, join_cols=(0,)), 4
+                    ),
+                }
+            },
+        )()
+        assert RebalanceManager(config).eligible_names(store_like) == ["with"]
+
+    def test_measure_bucket_skew(self):
+        rel = _relation(
+            _plain_schema(), 4, full=[(0, i, i) for i in range(30)]
+        )
+        m = measure_bucket_skew(rel)
+        assert m.total == 30 and m.top_share == 1.0 and m.n_buckets == 1
+        assert measure_bucket_skew(_relation(_plain_schema(), 4)) is None
+
+    def test_manager_state_round_trips(self):
+        mgr = RebalanceManager(_forced())
+        mgr.events.extend(["a", "b", "c"])
+        mgr._seeded = {"edge"}
+        state = mgr.state()
+        mgr.events.append("d")
+        mgr._seeded.add("spath")
+        mgr.restore_state(state)
+        assert mgr.events == ["a", "b", "c"] and mgr._seeded == {"edge"}
+        mgr.restore_state(None)  # no-op when the checkpoint predates PR 8
+        assert mgr.events == ["a", "b", "c"]
+
+
+# --------------------------------------------------------------------------
+# engine integration: forced rebalance vs static run
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rmat(7, 4, seed=3).with_weights(np.random.default_rng(5), 8)
+
+
+class TestEngineForcedRebalance:
+    def test_rebalance_matches_static_run(self, graph):
+        off = run_sssp(graph, [0, 1], EngineConfig(n_ranks=8))
+        on = run_sssp(graph, [0, 1], _forced())
+        fp = on.fixpoint
+        assert fp.counters["rebalance_events"] > 0
+        assert fp.relations["edge"].schema.n_subbuckets > 1
+        assert on.distances == off.distances
+        assert on.iterations == off.iterations
+        for key in ("loaded", "emitted", "alltoall_tuples"):
+            assert fp.counters[key] == off.fixpoint.counters[key]
+
+    def test_events_surface_on_result(self, graph):
+        on = run_sssp(graph, [0], _forced())
+        off = run_sssp(graph, [0], EngineConfig(n_ranks=8))
+        assert off.fixpoint.rebalance is None
+        events = on.fixpoint.rebalance
+        assert events and events == sorted(
+            events, key=lambda e: (e["iteration"], e["relation"])
+        )
+        first = events[0]
+        assert first["policy"] == "recommend"
+        assert first["new_subbuckets"] > first["old_subbuckets"]
+        later = [
+            e for e in events
+            if e["relation"] == first["relation"] and e is not first
+        ]
+        assert all(e["policy"] == "double" for e in later)
+        assert on.fixpoint.counters["rebalance_moved_tuples"] == sum(
+            e["moved_tuples"] for e in events
+        )
+
+    def test_compiled_schema_view_stays_synced(self, graph):
+        from repro.queries.sssp import sssp_program
+        from repro.runtime.engine import Engine
+
+        engine = Engine(sssp_program(1), _forced())
+        engine.load("edge", graph.edges)
+        engine.load("start", [(0,)])
+        engine.run()
+        for name, rel in engine.store.relations.items():
+            assert engine.compiled.schemas[name] is rel.schema
+
+    def test_trace_records_rebalance_instants(self, graph):
+        from repro.obs.tracer import Tracer
+
+        on = run_sssp(graph, [0], _forced(tracer=Tracer()))
+        instants = [
+            sp
+            for sp in on.fixpoint.spans
+            if sp.name == "rebalance" and "new_subbuckets" in sp.attrs
+        ]
+        assert len(instants) == on.fixpoint.counters["rebalance_events"]
+        assert all(
+            sp.attrs["new_subbuckets"] > sp.attrs["old_subbuckets"]
+            for sp in instants
+        )
+
+    def test_rebalance_phase_charged(self, graph):
+        on = run_sssp(graph, [0], _forced())
+        assert on.fixpoint.phase_breakdown().get("rebalance", 0.0) > 0.0
+
+    def test_diagnostics_reconcile_with_rebalance_traffic(self, graph):
+        from repro.obs.tracer import Tracer
+
+        on = run_sssp(
+            graph, [0], _forced(diagnostics=True, tracer=Tracer())
+        )
+        profile = on.fixpoint.comm_profile
+        assert any(m.kind == "rebalance" for m in profile.matrices)
+        report = profile.reconcile(on.fixpoint.ledger.comm)
+        assert report["ok"]
+
+    def test_quiescent_trigger_never_fires(self, graph):
+        # Default thresholds on a balanced graph: no events, and the run
+        # is indistinguishable from rebalance-off beyond the flag itself.
+        on = run_sssp(
+            graph, [0],
+            EngineConfig(n_ranks=8, rebalance=True),
+        )
+        assert on.fixpoint.rebalance == []
+        assert on.fixpoint.counters.get("rebalance_events", 0) == 0
+
+
+# --------------------------------------------------------------------------
+# the equivalence matrix: queries × ranks × on/off × executors
+
+
+def _matrix_config(ranks, executor="columnar", rebalance=False):
+    if not rebalance:
+        return EngineConfig(
+            n_ranks=ranks, executor=executor, delta_fingerprints=True
+        )
+    return _forced(
+        n_ranks=ranks, executor=executor, delta_fingerprints=True,
+        rebalance_max_subbuckets=min(8, max(2, ranks)),
+    )
+
+
+@pytest.mark.parametrize("ranks", (1, 2, 7, 64))
+class TestEquivalenceMatrix:
+    def test_sssp(self, graph, ranks):
+        runs = {
+            (reb, ex): run_sssp(
+                graph, [0, 3], _matrix_config(ranks, ex, reb)
+            )
+            for reb in (False, True)
+            for ex in EXECUTORS
+        }
+        base = runs[(False, "columnar")]
+        for key, res in runs.items():
+            assert res.distances == base.distances, key
+            assert res.iterations == base.iterations, key
+            for counter in ("loaded", "emitted", "alltoall_tuples"):
+                assert (
+                    res.fixpoint.counters[counter]
+                    == base.fixpoint.counters[counter]
+                ), key
+            assert [
+                t.delta_fingerprints for t in res.fixpoint.trace
+            ] == [t.delta_fingerprints for t in base.fixpoint.trace], key
+        for reb in (False, True):
+            assert (
+                runs[(reb, "scalar")].fixpoint.summary()
+                == runs[(reb, "columnar")].fixpoint.summary()
+            )
+
+    def test_cc(self, graph, ranks):
+        runs = {
+            (reb, ex): run_cc(graph, _matrix_config(ranks, ex, reb))
+            for reb in (False, True)
+            for ex in EXECUTORS
+        }
+        base = runs[(False, "columnar")]
+        for key, res in runs.items():
+            assert res.labels == base.labels, key
+            assert res.iterations == base.iterations, key
+            assert [
+                t.delta_fingerprints for t in res.fixpoint.trace
+            ] == [t.delta_fingerprints for t in base.fixpoint.trace], key
+        for reb in (False, True):
+            assert (
+                runs[(reb, "scalar")].fixpoint.summary()
+                == runs[(reb, "columnar")].fixpoint.summary()
+            )
+
+    def test_pagerank(self, graph, ranks):
+        ranks_vecs = [
+            run_pagerank(
+                graph, iterations=5, config=_matrix_config(ranks, ex, reb)
+            )
+            for reb in (False, True)
+            for ex in EXECUTORS
+        ]
+        for vec in ranks_vecs[1:]:
+            assert np.array_equal(vec, ranks_vecs[0])
+
+
+# --------------------------------------------------------------------------
+# chaos: message faults and crash mid-rebalance
+
+
+def _chaos_config(**kw):
+    return _forced(checkpoint_every=1, delta_fingerprints=True, **kw)
+
+
+def _strip_supersteps(events):
+    # A recovered run replays the same decisions at later wall positions;
+    # the superstep stamp is the only event field allowed to move.
+    return [
+        {k: v for k, v in e.items() if k != "superstep"} for e in events
+    ]
+
+
+class TestChaos:
+    def test_drop_faults_counter_for_counter(self, graph):
+        clean = run_sssp(graph, [0, 1], _chaos_config())
+        noisy = run_sssp(
+            graph, [0, 1],
+            _chaos_config(faults=FaultConfig(seed=13, drop=0.08)),
+        )
+        assert noisy.distances == clean.distances
+        assert _strip_supersteps(
+            noisy.fixpoint.rebalance
+        ) == _strip_supersteps(clean.fixpoint.rebalance)
+        assert dict(noisy.fixpoint.counters) == dict(
+            clean.fixpoint.counters
+        )
+        assert noisy.fixpoint.recovery.injected.drops > 0
+
+    def test_dup_and_corrupt_results_identical(self, graph):
+        clean = run_sssp(graph, [0, 1], _chaos_config())
+        noisy = run_sssp(
+            graph, [0, 1],
+            _chaos_config(
+                faults=FaultConfig(seed=13, dup=0.08, corrupt=0.04)
+            ),
+        )
+        assert noisy.distances == clean.distances
+        assert noisy.iterations == clean.iterations
+        # duplicates re-absorb as lattice no-ops: admitted and the
+        # rebalance decisions must still match exactly
+        assert (
+            noisy.fixpoint.counters["admitted"]
+            == clean.fixpoint.counters["admitted"]
+        )
+        assert _strip_supersteps(
+            noisy.fixpoint.rebalance
+        ) == _strip_supersteps(clean.fixpoint.rebalance)
+
+    @pytest.mark.parametrize("which_event", (0, -1))
+    def test_crash_mid_rebalance_replays(self, graph, which_event):
+        clean = run_sssp(graph, [0, 1], _chaos_config())
+        # A benign probe (fault plane on, nothing injected) numbers the
+        # supersteps; crash inside the chosen redistribution exchange.
+        probe = run_sssp(
+            graph, [0, 1], _chaos_config(faults=FaultConfig(seed=2))
+        )
+        events = probe.fixpoint.rebalance
+        assert events
+        step = events[which_event]["superstep"]
+        crashed = run_sssp(
+            graph, [0, 1],
+            _chaos_config(
+                faults=FaultConfig(
+                    seed=2, crash_rank=3, crash_superstep=step
+                )
+            ),
+        )
+        rec = crashed.fixpoint.recovery
+        assert rec.failures == 1 and rec.recoveries == 1
+        assert crashed.distances == clean.distances
+        assert dict(crashed.fixpoint.counters) == dict(
+            clean.fixpoint.counters
+        )
+        assert _strip_supersteps(
+            crashed.fixpoint.rebalance
+        ) == _strip_supersteps(clean.fixpoint.rebalance)
+        assert [
+            t.delta_fingerprints for t in crashed.fixpoint.trace
+        ] == [t.delta_fingerprints for t in clean.fixpoint.trace]
+
+    def test_checkpoint_restore_reverts_subbucket_map(self):
+        rows = [(i % 3, i, i) for i in range(50)]
+        store_rel = _relation(_plain_schema(), 4, full=rows)
+        store = type("S", (), {})()
+        store.relations = {"r": store_rel}
+        store.__class__.__getitem__ = lambda self, k: self.relations[k]
+        ckpt = ckpt_mod.capture(
+            store, ["r"], stratum=0, iteration=0, changed=True,
+            iterations_total=0, counters={}, trace_len=0,
+        )
+        assert ckpt.relations["r"].schema.n_subbuckets == 1
+        reshard_relation(store_rel, 4, SimCluster(4))
+        assert store_rel.schema.n_subbuckets == 4
+        ckpt_mod.restore(store, ckpt)
+        assert store_rel.schema.n_subbuckets == 1
+        assert store_rel.dist.schema.n_subbuckets == 1
+        assert _rows_of(store_rel, "full") == sorted(set(rows))
+
+
+# --------------------------------------------------------------------------
+# Δ fingerprints
+
+
+class TestDeltaFingerprints:
+    def test_off_by_default(self, graph):
+        res = run_sssp(graph, [0], EngineConfig(n_ranks=4))
+        assert all(
+            t.delta_fingerprints == {} for t in res.fixpoint.trace
+        )
+
+    def test_placement_invariant(self, graph):
+        # Different sub-bucketing = different shard layout = different
+        # block order; the fingerprint must not notice.
+        a = run_sssp(
+            graph, [0],
+            EngineConfig(
+                n_ranks=8, subbuckets={"edge": 1}, delta_fingerprints=True
+            ),
+        )
+        b = run_sssp(
+            graph, [0],
+            EngineConfig(
+                n_ranks=8, subbuckets={"edge": 8}, delta_fingerprints=True
+            ),
+        )
+        assert [t.delta_fingerprints for t in a.fixpoint.trace] == [
+            t.delta_fingerprints for t in b.fixpoint.trace
+        ]
+
+    def test_sensitive_to_trajectory_change(self, graph):
+        a = run_sssp(graph, [0], EngineConfig(n_ranks=4, delta_fingerprints=True))
+        b = run_sssp(graph, [1], EngineConfig(n_ranks=4, delta_fingerprints=True))
+        assert [t.delta_fingerprints for t in a.fixpoint.trace] != [
+            t.delta_fingerprints for t in b.fixpoint.trace
+        ]
+
+
+# --------------------------------------------------------------------------
+# config validation + CLI flags
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "field, bad",
+        (
+            ("rebalance_every", 0),
+            ("rebalance_threshold", 1.5),
+            ("rebalance_threshold", -0.1),
+            ("rebalance_factor", -1.0),
+            ("rebalance_max_subbuckets", 0),
+            ("rebalance_min_tuples", -1),
+        ),
+    )
+    def test_bad_values_rejected(self, field, bad):
+        with pytest.raises(ValueError, match=field):
+            EngineConfig(**{field: bad})
+
+    def test_defaults_are_off_and_sane(self):
+        cfg = EngineConfig()
+        assert cfg.rebalance is False
+        assert cfg.rebalance_every >= 1
+        assert 0.0 <= cfg.rebalance_threshold <= 1.0
+        assert cfg.delta_fingerprints is False
+
+
+class TestCli:
+    def test_run_accepts_rebalance_flags(self, capsys, tmp_path):
+        from repro.cli import main
+
+        rc = main([
+            "run", "sssp", "--dataset", "twitter_like",
+            "--scale-shift", "6", "--ranks", "8", "--subbuckets", "1",
+            "--rebalance", "--rebalance-every", "1",
+            "--rebalance-threshold", "0.0", "--rebalance-factor", "0.5",
+            "--json",
+        ])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert "rebalance" in report
+        assert isinstance(report["rebalance"], list)
+
+    def test_bench_rebalance_mode(self, capsys, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "bench.json"
+        rc = main([
+            "bench", "--rebalance", "--scale-shift", "5",
+            "--queries", "sssp", "--output", str(out),
+        ])
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert report["benchmark"] == "rebalance"
+        assert report["all_identical"]
+        q = report["rebalance"]["queries"]["sssp"]
+        assert q["adaptive_final_subbuckets"] >= 1
+        assert "overhead_vs_tuned_pct" in q
+
+    def test_bench_wire_and_rebalance_exclusive(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["bench", "--wire", "--rebalance"])
+
+
+# --------------------------------------------------------------------------
+# the bench module
+
+
+class TestRebalanceBench:
+    def test_skewed_hub_graph_concentrates_one_bucket(self):
+        from repro.experiments.rebalance import (
+            BENCH_THRESHOLD,
+            skewed_hub_graph,
+        )
+
+        g = skewed_hub_graph(
+            "twitter_like", ranks=16, seed=42, scale_shift=5
+        )
+        rel = _relation(
+            Schema(name="edge", arity=3, join_cols=(0,)), 16
+        )
+        # mirror the engine store's seed derivation
+        rel = VersionedRelation(
+            Schema(name="edge", arity=3, join_cols=(0,)), 16,
+            seed=HashSeed().derive(42),
+        )
+        rel.load(g.edges)
+        m = measure_bucket_skew(rel)
+        assert m.top_share > BENCH_THRESHOLD
+
+    def test_report_shape_and_identity(self, tmp_path):
+        from repro.experiments.rebalance import (
+            render,
+            run_rebalance_bench,
+        )
+        from repro.obs.analysis import validate_bench_snapshot
+
+        report = run_rebalance_bench(
+            ranks=16, scale_shift=5, queries=("sssp",), sources=(0,)
+        )
+        validate_bench_snapshot(report)
+        assert report["all_identical"]
+        q = report["rebalance"]["queries"]["sssp"]
+        assert q["adaptive_final_subbuckets"] > 1
+        assert q["events"]
+        assert q["static_1_modeled_seconds"] > q["tuned_modeled_seconds"]
+        text = render(report)
+        assert "rebalance:" in text and "identical" in text
+
+    def test_snapshot_comparable_to_itself(self):
+        from repro.experiments.rebalance import run_rebalance_bench
+        from repro.obs.analysis import compare_bench_snapshots
+
+        report = run_rebalance_bench(
+            ranks=8, scale_shift=6, queries=("sssp",), sources=(0,)
+        )
+        comparison = compare_bench_snapshots(report, report)
+        assert comparison["ok"]
+
+
+# --------------------------------------------------------------------------
+# CommMatrix rebalance channel
+
+
+class TestCommMatrixChannel:
+    def test_round_trips_rebalance_channel(self):
+        m = CommMatrix(3, "rebalance", "rebalance", 4)
+        m.add(0, 1, 64, 8, channel="rebalance")
+        m.add(1, 2, 32, 4, channel="data")
+        again = CommMatrix.from_dict(m.to_dict())
+        assert again.bytes_total("rebalance") == 64
+        assert again.bytes_total("data") == 32
+        assert again.kind == "rebalance"
+
+    def test_unknown_channel_rejected(self):
+        m = CommMatrix(0, "alltoallv", "comm", 2)
+        with pytest.raises(ValueError):
+            m.add(0, 1, 8, 1, channel="sideband")
+
+    def test_recorder_reports_rebalance_bytes(self):
+        rec = CommMatrixRecorder(2)
+        m = rec.begin("rebalance", "rebalance")
+        m.add(0, 1, 128, 16, channel="rebalance")
+        assert rec.to_dict()["rebalance_bytes"] == 128
