@@ -245,6 +245,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="checkpoint each recursive stratum every K iterations "
              "(required to survive an injected rank crash)",
     )
+    run.add_argument(
+        "--replicas", type=int, default=0, metavar="N",
+        help="mirror each rank's checkpoint to N buddy ranks (required "
+             ">= 1 to survive a permanent loss, crash_perm=R@S; the dead "
+             "rank's state is restored from a buddy and its buckets "
+             "re-owned onto the survivors)",
+    )
     _add_obs_flags(run)
     _add_wire_flags(run)
     _add_rebalance_flags(run)
@@ -292,10 +299,17 @@ def _build_parser() -> argparse.ArgumentParser:
                             "a deliberately under-bucketed skewed run, "
                             "static vs statically-tuned vs adaptive "
                             "(default output BENCH_PR8.json)")
+    bench.add_argument("--recovery", action="store_true",
+                       help="benchmark degraded-mode recovery instead: "
+                            "replication overhead (replicas sweep) and the "
+                            "modeled cost of surviving a permanent rank "
+                            "loss, with a hard identity check against the "
+                            "fault-free run (default output BENCH_PR9.json)")
     bench.add_argument("--output", default=None, metavar="PATH",
                        help="write the JSON report here ('-' to skip; "
                             "default BENCH_PR2.json, BENCH_PR7.json with "
-                            "--wire, BENCH_PR8.json with --rebalance, or "
+                            "--wire, BENCH_PR8.json with --rebalance, "
+                            "BENCH_PR9.json with --recovery, or "
                             "'-' with --compare)")
     bench.add_argument("--json", action="store_true",
                        help="print the JSON report instead of the table")
@@ -365,6 +379,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 "--faults injects a rank crash but no checkpoints are "
                 "enabled; add --checkpoint-every K so the run can recover"
             )
+        if faults.has_permanent_crash and args.replicas < 1:
+            raise SystemExit(
+                "--faults injects a permanent rank loss (crash_perm) but "
+                "checkpoints are not replicated; add --replicas N (>= 1) "
+                "so a surviving buddy can restore the dead rank's state"
+            )
     config = EngineConfig(
         n_ranks=args.ranks,
         dynamic_join=not args.no_dynamic_join,
@@ -373,6 +393,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         tracer=tracer,
         faults=faults,
         checkpoint_every=args.checkpoint_every,
+        replicas=args.replicas,
         diagnostics=_want_diagnostics(args),
         wire=_wire_config(args),
         **_rebalance_kwargs(args),
@@ -437,6 +458,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 f"{rec.recoveries} recovery(ies), "
                 f"{rec.rolled_back_iterations} iteration(s) replayed"
             )
+            if rec.replica_bytes:
+                print(
+                    f"replication: {rec.replica_bytes} bytes mirrored to "
+                    f"buddies ({rec.replica_seconds:.6f}s modeled)"
+                )
+        if fp.degraded is not None:
+            deg = fp.degraded
+            sources = ", ".join(
+                f"rank {d} from buddy {b}" for d, b in deg.replica_sources
+            )
+            print(
+                f"degraded: finished without rank(s) "
+                f"{deg.excluded_ranks} (epoch {deg.epoch}); restored "
+                f"{deg.restored_tuples} tuple(s) ({sources}), re-owned "
+                f"{deg.reowned_shards} shard(s) onto survivors"
+            )
     if not quiet and fp.rebalance:
         for e in fp.rebalance:
             print(
@@ -448,6 +485,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     report = _base_report(fp, ranks=args.ranks)
     if fp.recovery is not None:
         report["recovery"] = fp.recovery.as_dict()
+    if fp.degraded is not None:
+        report["degraded"] = fp.degraded.as_dict()
     report.update(summary)
     return _finish_obs(args, fp, report)
 
@@ -457,12 +496,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     # With --compare the default is read-only: don't clobber the baseline
     # file we are comparing against unless --output says so explicitly.
-    if args.wire and args.rebalance:
-        raise SystemExit("--wire and --rebalance are mutually exclusive")
+    if sum((args.wire, args.rebalance, args.recovery)) > 1:
+        raise SystemExit(
+            "--wire, --rebalance and --recovery are mutually exclusive"
+        )
     output = args.output
     if output is None:
         if args.compare:
             output = "-"
+        elif args.recovery:
+            output = "BENCH_PR9.json"
         elif args.rebalance:
             output = "BENCH_PR8.json"
         else:
@@ -477,7 +520,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             validate_bench_snapshot(baseline)
         except (OSError, json.JSONDecodeError, ValueError) as exc:
             raise SystemExit(f"bad baseline {args.compare}: {exc}")
-    if args.rebalance:
+    if args.recovery:
+        from repro.experiments import recovery as recovery_bench
+
+        bench_mod = recovery_bench
+        runner = recovery_bench.run_recovery_bench
+    elif args.rebalance:
         from repro.experiments import rebalance as rebalance_bench
 
         bench_mod = rebalance_bench

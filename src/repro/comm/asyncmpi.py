@@ -37,8 +37,8 @@ from repro.comm.costmodel import CommEvent, CostModel
 from repro.comm.ledger import PhaseLedger
 from repro.faults.plane import (
     FaultPlane,
-    MessageLossError,
     RankFailure,
+    classify_loss,
     payload_checksum,
 )
 
@@ -84,7 +84,7 @@ class _Collective:
             self.world.kill_rank(dead, self.step, self.key[0])
         failed = plane.failed_rank()
         if failed is not None:
-            raise RankFailure(failed, self.step, self.key[0])
+            raise plane.failure_for(failed, self.step, self.key[0])
 
     async def arrive(self, rank: int, value: Any, finish: Callable[[Dict[int, Any]], Any]) -> Any:
         self.world.progress += 1  # reaching a collective is forward motion
@@ -181,7 +181,11 @@ class _World:
         """Propagate a rank death: fail every pending rendezvous and wake
         every blocked receiver so no survivor deadlocks waiting for the
         dead rank."""
-        failure = RankFailure(rank, step, where)
+        failure = (
+            self.faults.failure_for(rank, step, where)
+            if self.faults is not None
+            else RankFailure(rank, step, where)
+        )
         for coll in self.collectives.values():
             if not coll.done.is_set():
                 coll.error = failure
@@ -313,10 +317,14 @@ class AsyncComm:
 
         Under the fault plane, receives are guarded: envelopes failing
         their checksum are discarded (detected corruption), and waits use
-        a bounded retry-with-backoff loop — each timeout triggers one
-        retransmission from the sender's buffer of lost messages, up to
-        ``FaultConfig.max_retries`` attempts before
-        :class:`~repro.faults.plane.MessageLossError`.
+        a bounded retry loop under the shared
+        :class:`~repro.faults.retry.RetryPolicy` — each timeout triggers
+        one retransmission from the sender's buffer of lost messages,
+        with capped, jittered exponential backoff between rounds, up to
+        ``max_retries`` attempts before
+        :class:`~repro.faults.plane.MessageLossError` (escalated to
+        :class:`~repro.faults.plane.PermanentRankFailure` when the peer
+        is permanently dead).
         """
         world = self._world
         box = world.mailboxes[self._rank]
@@ -324,12 +332,13 @@ class AsyncComm:
         faulty = world.message_faults
         plane = world.faults
         attempt = 0
-        timeout = plane.config.recv_timeout if faulty else None
+        n_timeouts = 0
+        policy = plane.config.retry_policy() if faulty else None
         while True:
             if plane is not None:
                 failed = plane.failed_rank()
                 if failed is not None:
-                    raise RankFailure(failed, plane.superstep, "recv")
+                    raise plane.failure_for(failed, plane.superstep, "recv")
             rescan = False
             for (src, t), q in box.items():
                 if not q or source not in (ANY_SOURCE, src) or tag not in (ANY_TAG, t):
@@ -353,8 +362,8 @@ class AsyncComm:
                     # the pristine copy sits in the sender's lost buffer.
                     plane.stats.detected_corruptions += 1
                     attempt += 1
-                    if attempt > plane.config.max_retries:
-                        raise MessageLossError(src, self._rank, attempt)
+                    if policy.exhausted(attempt):
+                        raise classify_loss(plane, src, self._rank, attempt)
                     self._retransmit_lost(source, tag)
                     rescan = True
                     break
@@ -365,23 +374,29 @@ class AsyncComm:
                 continue
             if faulty and self._retransmit_lost(source, tag):
                 attempt += 1
-                if attempt > plane.config.max_retries:
-                    raise MessageLossError(source, self._rank, attempt)
+                if policy.exhausted(attempt):
+                    raise classify_loss(plane, source, self._rank, attempt)
                 continue
             event.clear()
             world.blocked += 1
             world.blocked_on[self._rank] = f"recv(source={source}, tag={tag})"
             try:
-                if timeout is None:
+                if policy is None:
                     await event.wait()
                 else:
+                    # Capped, jittered exponential backoff: patience grows
+                    # per timeout round but never past the policy cap, and
+                    # the jitter (keyed by receiver rank) desynchronises
+                    # concurrent receivers' probe schedules.
+                    timeout = policy.timeout_for(n_timeouts, key=self._rank)
                     try:
                         await asyncio.wait_for(event.wait(), timeout)
                         # Progress arrived; keep the current patience.
                     except asyncio.TimeoutError:
-                        # Nothing arrived: back off before the next probe
-                        # (the retransmission check at loop top fires first).
-                        timeout *= plane.config.recv_backoff
+                        # Nothing arrived: escalate patience for the next
+                        # probe (the retransmission check at loop top
+                        # fires first).
+                        n_timeouts += 1
             finally:
                 world.blocked -= 1
                 world.blocked_on.pop(self._rank, None)
@@ -545,7 +560,7 @@ async def _supervise(tasks: List[asyncio.Task], world: _World) -> None:
                 if world.faults is not None:
                     failed = world.faults.failed_rank()
                     if failed is not None:
-                        raise RankFailure(
+                        raise world.faults.failure_for(
                             failed, world.faults.superstep, "stalled cluster"
                         )
                 diagnosis = {

@@ -192,6 +192,35 @@ class CostModel:
             + self.barrier(n_ranks)
         )
 
+    def checkpoint_replicate(
+        self, n_ranks: int, max_rank_bytes: int, replicas: int
+    ) -> float:
+        """Mirror each rank's snapshot to ``replicas`` buddy ranks.
+
+        Runs concurrently across ranks after the local checkpoint write:
+        every rank streams its partition to each buddy in turn over the
+        interconnect (the slowest — largest — partition gates), and each
+        buddy lands the copy in memory/burst buffer at γ.
+        """
+        if replicas <= 0 or n_ranks <= 1:
+            return 0.0
+        per_buddy = self.p2p(max_rank_bytes) + max_rank_bytes / self.checkpoint_gamma
+        return replicas * per_buddy
+
+    def recovery_reown(self, n_ranks: int, failed_rank_bytes: int) -> float:
+        """Re-own a permanently-lost rank's shards onto the survivors.
+
+        The buddy re-reads the dead rank's replica at γ, then scatters it
+        to the new owners (the degraded placement spreads the shards over
+        all survivors) in one alltoallv; a barrier commits the new world.
+        """
+        read = failed_rank_bytes / self.checkpoint_gamma
+        return (
+            read
+            + self.alltoallv(n_ranks, failed_rank_bytes, max(1, n_ranks - 1))
+            + self.barrier(n_ranks)
+        )
+
     # --------------------------------------------------------------- compute
 
     def join_cost(self, probes: int, emitted: int) -> float:

@@ -28,7 +28,7 @@ from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 from repro.comm.costmodel import BYTES_PER_WORD, CommEvent, CostModel
 from repro.comm.ledger import PhaseLedger
 from repro.faults.invariants import check_conservation
-from repro.faults.plane import FaultPlane, MessageLossError, payload_checksum
+from repro.faults.plane import FaultPlane, classify_loss, payload_checksum
 from repro.obs.tracer import NULL_TRACER
 
 
@@ -484,15 +484,17 @@ class SimCluster:
         Each round re-sends every still-missing message (new fault draws
         keyed by attempt number) and charges the extra traffic as one
         ``retransmit`` event.  Exhausting the budget raises
-        :class:`~repro.faults.plane.MessageLossError`.
+        :class:`~repro.faults.plane.MessageLossError` — escalated to
+        :class:`~repro.faults.plane.PermanentRankFailure` when the peer is
+        permanently dead (the failure detector's classification).
         """
-        max_retries = plane.config.max_retries
+        policy = plane.config.retry_policy()
         attempt = 0
         while pending:
             attempt += 1
-            if attempt > max_retries:
+            if policy.exhausted(attempt):
                 src, dst = pending[0][1], pending[0][2]
-                raise MessageLossError(src, dst, attempt)
+                raise classify_loss(plane, src, dst, attempt)
             round_bytes = 0
             round_busiest = 0
             still: List[Tuple[int, int, int, Any, int, int, int]] = []
@@ -568,7 +570,8 @@ class SimCluster:
                 # every message draws an independent fault stream.
                 base = seq.get((src, dst), 0)
                 seq[(src, dst)] = base + 1
-                stride = plane.config.max_retries + 2
+                policy = plane.config.retry_policy()
+                stride = policy.max_retries + 2
                 checksum = payload_checksum(payload)
                 delivered = 0
                 attempt = 0
@@ -587,8 +590,8 @@ class SimCluster:
                     if delivered:
                         break
                     attempt += 1
-                    if attempt > plane.config.max_retries:
-                        raise MessageLossError(src, dst, attempt)
+                    if policy.exhausted(attempt):
+                        raise classify_loss(plane, src, dst, attempt)
                     plane.stats.retransmits += 1
                     plane.stats.retransmitted_bytes += nbytes
                     retrans_bytes += nbytes

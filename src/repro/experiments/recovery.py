@@ -14,12 +14,23 @@ modeled cost machinery* the scaling figures use:
   correct, not just fast.
 
 Run via ``paralagg experiment recovery`` (``--full`` widens the sweep).
+
+The module also hosts the PR 9 degraded-mode benchmark
+(:func:`run_recovery_bench`, ``paralagg bench --recovery``, output
+``BENCH_PR9.json``): a replication-overhead sweep (replicas 0..3,
+fault-free) plus a permanent-loss matrix (``crash_perm`` × replicas 1/2 ×
+scalar/columnar) whose degraded runs must match the fault-free run on
+every placement-invariant quantity — query answers, per-iteration Δ
+fingerprints, and iteration counts.  (Per-rank sizes legitimately differ
+on the shrunken world, so the degraded identity check deliberately
+excludes them; the scalar and columnar *degraded* runs must still agree
+on the full summary with each other.)
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.common import (
     ExperimentDefaults,
@@ -131,7 +142,249 @@ def run_recovery(
     return result
 
 
-def render(result: RecoveryResult) -> str:
+# ------------------------------------------------ degraded-mode bench (PR 9)
+
+#: Checkpoint interval for every bench run (fixed so the only knob that
+#: moves between runs is the replication factor / fault schedule).
+BENCH_CKPT_EVERY = 2
+#: Fault-free replication sweep.
+REPLICA_SWEEP = (0, 1, 2, 3)
+#: Permanent-loss matrix: replication factors that must survive the loss.
+DEGRADED_REPLICAS = (1, 2)
+
+
+def _bench_config(
+    *,
+    ranks: int,
+    seed: int,
+    subbuckets: int,
+    wire,
+    executor: str = "columnar",
+    faults: Optional[FaultConfig] = None,
+    replicas: int = 0,
+) -> EngineConfig:
+    return EngineConfig(
+        n_ranks=ranks,
+        subbuckets={"edge": subbuckets},
+        seed=seed,
+        executor=executor,
+        wire=wire,
+        faults=faults,
+        checkpoint_every=BENCH_CKPT_EVERY,
+        replicas=replicas,
+        delta_fingerprints=True,
+    )
+
+
+def _invariant_fingerprint(query: str, res) -> Dict[str, object]:
+    """The placement-invariant identity a degraded run must reproduce.
+
+    Query answers, the per-iteration Δ fingerprints, and the iteration
+    count — everything semantics-bearing.  Deliberately excludes per-rank
+    sizes and the Algorithm-1 vote counters: those depend on *where*
+    tuples live, which legitimately changes on a shrunken world.
+    """
+    fp = res.fixpoint
+    return {
+        "answers": res.distances if query == "sssp" else res.labels,
+        "delta_fingerprints": [t.delta_fingerprints for t in fp.trace],
+        "iterations": fp.iterations,
+    }
+
+
+def run_recovery_bench(
+    *,
+    dataset: str = "twitter_like",
+    ranks: int = 16,
+    seed: int = 42,
+    scale_shift: int = 0,
+    sources: Sequence[int] = (0, 1, 2),
+    edge_subbuckets: int = 8,
+    queries: Sequence[str] = ("sssp", "cc"),
+    wire=None,
+) -> Dict[str, object]:
+    """Benchmark degraded-mode recovery; return the comparison report.
+
+    Two sweeps per query: (1) fault-free with replicas 0..3 — what buddy
+    replication costs when nothing fails; (2) a permanent rank loss under
+    replicas 1/2 × scalar/columnar — what surviving it costs, with a hard
+    identity check (``all_identical``) against the fault-free run on
+    every placement-invariant quantity.
+    """
+    from repro.comm.wire import WireConfig
+    from repro.experiments.hotpath import _executor_report, _run_one
+    from repro.obs.analysis import stamp_bench_snapshot
+
+    if wire is None:
+        wire = WireConfig()
+    graph = load_dataset(
+        dataset, seed=seed, scale_shift=scale_shift, max_weight=4
+    )
+    faults = FaultConfig(
+        crash_perm_rank=CRASH_RANK, crash_perm_superstep=CRASH_SUPERSTEP
+    )
+    report: Dict[str, object] = {
+        "benchmark": "recovery",
+        "dataset": dataset,
+        "edges": int(graph.edges.shape[0]),
+        "ranks": ranks,
+        "seed": seed,
+        "scale_shift": scale_shift,
+        "edge_subbuckets": edge_subbuckets,
+        "checkpoint_every": BENCH_CKPT_EVERY,
+        "crash": {"rank": CRASH_RANK, "superstep": CRASH_SUPERSTEP},
+        "queries": {},
+        "recovery": {"replication": {}, "degraded": {}},
+    }
+    identical: List[bool] = []
+    for query in queries:
+        # Fault-free, replication off: the identity every other run —
+        # replicated or degraded — must reproduce.
+        base, _ = _run_one(
+            query, graph,
+            _bench_config(
+                ranks=ranks, seed=seed, subbuckets=edge_subbuckets, wire=wire,
+            ),
+            sources,
+        )
+        want = _invariant_fingerprint(query, base)
+        base_seconds = base.fixpoint.modeled_seconds()
+        # (1) What do the mirrors cost when nothing fails?
+        sweep: List[Dict[str, object]] = []
+        for replicas in REPLICA_SWEEP:
+            if replicas == 0:
+                fp, ok, bytes_ = base.fixpoint, True, 0
+            else:
+                res, _ = _run_one(
+                    query, graph,
+                    _bench_config(
+                        ranks=ranks, seed=seed, subbuckets=edge_subbuckets,
+                        wire=wire, replicas=replicas,
+                    ),
+                    sources,
+                )
+                fp = res.fixpoint
+                ok = _invariant_fingerprint(query, res) == want
+                bytes_ = fp.recovery.replica_bytes
+            seconds = fp.modeled_seconds()
+            sweep.append({
+                "replicas": replicas,
+                "modeled_seconds": seconds,
+                "replica_bytes": int(bytes_),
+                "overhead_pct": (
+                    100.0 * (seconds - base_seconds) / base_seconds
+                    if base_seconds > 0 else 0.0
+                ),
+                "identical": ok,
+            })
+            identical.append(ok)
+        report["recovery"]["replication"][query] = sweep
+        # (2) Survive the permanent loss, both executors.
+        degraded: List[Dict[str, object]] = []
+        by_executor: Dict[str, object] = {}
+        for replicas in DEGRADED_REPLICAS:
+            for executor in ("scalar", "columnar"):
+                res, wall = _run_one(
+                    query, graph,
+                    _bench_config(
+                        ranks=ranks, seed=seed, subbuckets=edge_subbuckets,
+                        wire=wire, executor=executor, faults=faults,
+                        replicas=replicas,
+                    ),
+                    sources,
+                )
+                fp = res.fixpoint
+                fired = (
+                    fp.recovery is not None
+                    and fp.recovery.injected.permanent_crashes >= 1
+                    and fp.degraded is not None
+                )
+                ok = fired and _invariant_fingerprint(query, res) == want
+                identical.append(ok)
+                deg = fp.degraded
+                degraded.append({
+                    "replicas": replicas,
+                    "executor": executor,
+                    "modeled_seconds": fp.modeled_seconds(),
+                    "crash_fired": fired,
+                    "excluded_ranks": list(deg.excluded_ranks) if deg else [],
+                    "reowned_shards": deg.reowned_shards if deg else 0,
+                    "restored_tuples": deg.restored_tuples if deg else 0,
+                    "replica_sources": (
+                        [list(p) for p in deg.replica_sources] if deg else []
+                    ),
+                    "overhead_pct": (
+                        100.0 * (fp.modeled_seconds() - base_seconds)
+                        / base_seconds if base_seconds > 0 else 0.0
+                    ),
+                    "identical": ok,
+                })
+                if replicas == DEGRADED_REPLICAS[0]:
+                    by_executor[executor] = (res, wall)
+        report["recovery"]["degraded"][query] = degraded
+        # Standard per-query sections (the --compare contract) use the
+        # replicas=1 degraded runs: the headline "cost of surviving".
+        res_s, wall_s = by_executor["scalar"]
+        res_c, wall_c = by_executor["columnar"]
+        exec_identical = (
+            res_s.fixpoint.summary() == res_c.fixpoint.summary()
+        )
+        identical.append(exec_identical)
+        report["queries"][query] = {
+            "scalar": _executor_report(res_s.fixpoint, wall_s),
+            "columnar": _executor_report(res_c.fixpoint, wall_c),
+            "speedup": wall_s / wall_c if wall_c > 0 else float("inf"),
+            "identical_results": all(
+                d["identical"] for d in degraded
+            ),
+            "identical_ledger": exec_identical,
+        }
+    report["all_identical"] = all(identical)
+    stamp_bench_snapshot(report)
+    return report
+
+
+def _render_bench(report: Dict[str, object]) -> str:
+    """Human-readable table of the degraded-mode benchmark report."""
+    rec = report["recovery"]
+    crash = report["crash"]
+    lines = [
+        f"degraded-recovery benchmark — {report['dataset']} "
+        f"({report['edges']} edges), {report['ranks']} ranks, "
+        f"checkpoint every {report['checkpoint_every']}, permanent loss of "
+        f"rank {crash['rank']} at superstep {crash['superstep']}",
+        "replication overhead (fault-free):",
+        f"{'query':8s} {'replicas':>8s} {'modeled s':>11s} "
+        f"{'mirror bytes':>13s} {'overhead':>9s} {'identical':>10s}",
+    ]
+    for query, sweep in rec["replication"].items():
+        for p in sweep:
+            lines.append(
+                f"{query:8s} {p['replicas']:8d} {p['modeled_seconds']:11.6f} "
+                f"{p['replica_bytes']:13d} {p['overhead_pct']:8.2f}% "
+                f"{'yes' if p['identical'] else 'NO':>10s}"
+            )
+    lines.append("permanent-loss matrix (degraded vs fault-free):")
+    lines.append(
+        f"{'query':8s} {'replicas':>8s} {'executor':>9s} {'modeled s':>11s} "
+        f"{'reowned':>8s} {'restored':>9s} {'overhead':>9s} {'identical':>10s}"
+    )
+    for query, entries in rec["degraded"].items():
+        for d in entries:
+            lines.append(
+                f"{query:8s} {d['replicas']:8d} {d['executor']:>9s} "
+                f"{d['modeled_seconds']:11.6f} {d['reowned_shards']:8d} "
+                f"{d['restored_tuples']:9d} {d['overhead_pct']:8.2f}% "
+                f"{'yes' if d['identical'] else 'NO':>10s}"
+            )
+    ok = "yes" if report["all_identical"] else "NO"
+    lines.append(f"degraded runs identical to fault-free: {ok}")
+    return "\n".join(lines)
+
+
+def render(result) -> str:
+    if isinstance(result, dict):
+        return _render_bench(result)
     headers = [
         "K", "ckpts", "ckpt s", "recov s", "replayed", "total s",
         "overhead s", "identical",

@@ -1,21 +1,25 @@
 """Fault injection and recovery for the simulated cluster.
 
-The package splits into four planes:
+The package splits into five planes:
 
 * :mod:`repro.faults.config` — :class:`FaultConfig`, the declarative
   fault schedule, and :func:`parse_fault_spec` for the CLI;
+* :mod:`repro.faults.retry` — :class:`RetryPolicy`, the capped/jittered
+  retransmission policy shared by both comm substrates;
 * :mod:`repro.faults.plane` — :class:`FaultPlane`, the deterministic
   injector threaded under both comm substrates, plus the error taxonomy
-  (:class:`RankFailure`, :class:`MessageLossError`,
+  (:class:`RankFailure`, :class:`PermanentRankFailure`,
+  :class:`UnrecoverableRankLoss`, :class:`MessageLossError`,
   :class:`CorruptionError`) and per-message checksums;
 * :mod:`repro.faults.invariants` — tuple-conservation and lattice
   monotonicity checkers (defense in depth under the checksum);
-* :mod:`repro.faults.checkpoint` — iteration-boundary snapshots and the
-  :class:`RecoveryStats` the engine reports.
+* :mod:`repro.faults.checkpoint` — iteration-boundary snapshots, buddy
+  replication, and the :class:`RecoveryStats` /
+  :class:`DegradedStats` the engine reports.
 """
 
 from repro.faults.config import FaultConfig, parse_fault_spec
-from repro.faults.checkpoint import RecoveryStats, StratumCheckpoint
+from repro.faults.checkpoint import DegradedStats, RecoveryStats, StratumCheckpoint
 from repro.faults.invariants import (
     ConservationError,
     accumulator_map,
@@ -28,22 +32,29 @@ from repro.faults.plane import (
     FaultPlane,
     InjectionStats,
     MessageLossError,
+    PermanentRankFailure,
     RankFailure,
+    UnrecoverableRankLoss,
     corrupt_payload,
     payload_checksum,
 )
+from repro.faults.retry import RetryPolicy
 
 __all__ = [
     "ConservationError",
     "CorruptionError",
+    "DegradedStats",
     "FaultConfig",
     "FaultError",
     "FaultPlane",
     "InjectionStats",
     "MessageLossError",
+    "PermanentRankFailure",
     "RankFailure",
-    "RecoveryStats",
+    "RetryPolicy",
     "StratumCheckpoint",
+    "RecoveryStats",
+    "UnrecoverableRankLoss",
     "accumulator_map",
     "check_conservation",
     "corrupt_payload",

@@ -67,6 +67,9 @@ class StratumCheckpoint:
     #: relations) captured alongside the shards; ``None`` when the
     #: rebalancer is off.
     rebalance: Optional[Dict[str, object]] = None
+    #: Ranks alive at capture time (the buddy ring is computed over
+    #: these); ``None`` when replication is off.
+    live_ranks: Optional[List[int]] = None
 
     @property
     def tuples(self) -> int:
@@ -140,6 +143,25 @@ def restore(store, ckpt: StratumCheckpoint) -> None:
         rel._probe_cache_token = -1
 
 
+def replica_buddies(rank: int, live_ranks, replicas: int) -> List[int]:
+    """The buddy ring: ranks mirroring ``rank``'s snapshot.
+
+    Buddies of ``live[i]`` are ``live[i+1 .. i+replicas]`` (mod the live
+    count) — a ring over the *live* ranks at capture time, so buddies are
+    always candidates to survive the holder.  Deterministic and
+    computable by every rank without coordination.
+    """
+    live = sorted(live_ranks)
+    if rank not in live or replicas <= 0 or len(live) <= 1:
+        return []
+    i = live.index(rank)
+    n = len(live)
+    out: List[int] = []
+    for k in range(1, min(replicas, n - 1) + 1):
+        out.append(live[(i + k) % n])
+    return out
+
+
 @dataclass
 class RecoveryStats:
     """Fault, checkpoint and recovery accounting for one run."""
@@ -148,6 +170,10 @@ class RecoveryStats:
     checkpoint_tuples: int = 0
     checkpoint_bytes: int = 0
     checkpoint_seconds: float = 0.0
+    #: Buddy-replication traffic (``replicas`` mirror copies per
+    #: checkpoint), charged on top of the local checkpoint write.
+    replica_bytes: int = 0
+    replica_seconds: float = 0.0
     failures: int = 0
     recoveries: int = 0
     rolled_back_iterations: int = 0
@@ -162,9 +188,46 @@ class RecoveryStats:
             "checkpoint_tuples": self.checkpoint_tuples,
             "checkpoint_bytes": self.checkpoint_bytes,
             "checkpoint_seconds": self.checkpoint_seconds,
+            "replica_bytes": self.replica_bytes,
+            "replica_seconds": self.replica_seconds,
             "failures": self.failures,
             "recoveries": self.recoveries,
             "rolled_back_iterations": self.rolled_back_iterations,
             "recovery_seconds": self.recovery_seconds,
             "injected": self.injected.as_dict(),
+        }
+
+
+@dataclass
+class DegradedStats:
+    """What elastic degraded-mode recovery did after a permanent loss.
+
+    Populated on :class:`repro.runtime.result.FixpointResult` only when a
+    rank was lost for good and the run finished on the shrunken world.
+    """
+
+    #: Ranks permanently excluded from the world, in exclusion order.
+    excluded_ranks: List[int] = field(default_factory=list)
+    #: Placement epoch: bumps once per exclusion (0 = never degraded).
+    epoch: int = 0
+    #: Shards whose ownership moved off dead ranks onto survivors.
+    reowned_shards: int = 0
+    #: Tuples / bytes restored from buddy replicas (the dead ranks' state).
+    restored_tuples: int = 0
+    restored_bytes: int = 0
+    #: ``(dead_rank, buddy_rank)`` — which surviving buddy supplied each
+    #: dead rank's replica.
+    replica_sources: List[Tuple[int, int]] = field(default_factory=list)
+    #: Modeled seconds spent in the re-owning collective.
+    reown_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "excluded_ranks": list(self.excluded_ranks),
+            "epoch": self.epoch,
+            "reowned_shards": self.reowned_shards,
+            "restored_tuples": self.restored_tuples,
+            "restored_bytes": self.restored_bytes,
+            "replica_sources": [list(p) for p in self.replica_sources],
+            "reown_seconds": self.reown_seconds,
         }

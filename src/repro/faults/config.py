@@ -17,7 +17,9 @@ a config, e.g.::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, Mapping, Optional, Set, Tuple
+
+from repro.faults.retry import RetryPolicy
 
 #: (drop, duplicate, corrupt) probabilities for one directed rank edge.
 EdgeRates = Tuple[float, float, float]
@@ -42,6 +44,12 @@ class FaultConfig:
         Kill ``crash_rank`` at the first collective whose superstep index
         is ``>= crash_superstep``.  The crash fires exactly once; after
         recovery the replacement rank ("restart with spare") is healthy.
+    crash_perm_rank, crash_perm_superstep:
+        Like ``crash_rank``/``crash_superstep`` but the loss is
+        *permanent*: no spare exists, so recovery must re-own the dead
+        rank's buckets onto the survivors and restore its state from a
+        checkpoint replica (requires ``EngineConfig.replicas >= 1``).
+        Mutually exclusive with the transient crash pair.
     stragglers:
         ``rank -> slowdown factor`` (>= 1): that rank's compute charges
         are scaled by the factor, stretching every superstep it is the
@@ -50,10 +58,12 @@ class FaultConfig:
         Bounded retransmission attempts for a message whose every copy
         was dropped or failed its checksum.  Exhaustion raises
         :class:`repro.faults.plane.MessageLossError`.
-    recv_timeout, recv_backoff:
+    recv_timeout, recv_backoff, recv_timeout_cap, recv_jitter:
         Point-to-point receive patience under :mod:`repro.comm.asyncmpi`:
-        initial wall-clock timeout per attempt and the multiplier applied
-        after each retransmission round.
+        initial wall-clock timeout per attempt, the multiplier applied
+        after each retransmission round, the hard cap the backed-off
+        timeout never exceeds, and the deterministic jitter fraction.
+        Bundled for both substrates by :meth:`retry_policy`.
     audit_monotonicity:
         Run the lattice monotonicity audit after every absorb (defense in
         depth against corruption that slips past the checksum).
@@ -66,10 +76,14 @@ class FaultConfig:
     per_edge: Mapping[Tuple[int, int], EdgeRates] = field(default_factory=dict)
     crash_rank: Optional[int] = None
     crash_superstep: Optional[int] = None
+    crash_perm_rank: Optional[int] = None
+    crash_perm_superstep: Optional[int] = None
     stragglers: Mapping[int, float] = field(default_factory=dict)
     max_retries: int = 3
     recv_timeout: float = 0.02
     recv_backoff: float = 2.0
+    recv_timeout_cap: float = 0.5
+    recv_jitter: float = 0.1
     audit_monotonicity: bool = True
 
     def __post_init__(self) -> None:
@@ -83,15 +97,21 @@ class FaultConfig:
                     f"per_edge[{edge}] must be (drop, dup, corrupt) in [0, 1), "
                     f"got {rates}"
                 )
-        if (self.crash_rank is None) != (self.crash_superstep is None):
+        for prefix in ("crash", "crash_perm"):
+            rank = getattr(self, f"{prefix}_rank")
+            step = getattr(self, f"{prefix}_superstep")
+            if (rank is None) != (step is None):
+                raise ValueError(
+                    f"{prefix}_rank and {prefix}_superstep must be set together"
+                )
+            if rank is not None and rank < 0:
+                raise ValueError(f"{prefix}_rank must be >= 0, got {rank}")
+            if step is not None and step < 0:
+                raise ValueError(f"{prefix}_superstep must be >= 0, got {step}")
+        if self.crash_rank is not None and self.crash_perm_rank is not None:
             raise ValueError(
-                "crash_rank and crash_superstep must be set together"
-            )
-        if self.crash_rank is not None and self.crash_rank < 0:
-            raise ValueError(f"crash_rank must be >= 0, got {self.crash_rank}")
-        if self.crash_superstep is not None and self.crash_superstep < 0:
-            raise ValueError(
-                f"crash_superstep must be >= 0, got {self.crash_superstep}"
+                "crash and crash_perm are mutually exclusive — one run injects "
+                "either a transient crash (spare rejoins) or a permanent loss"
             )
         for rank, factor in self.stragglers.items():
             if rank < 0:
@@ -106,12 +126,36 @@ class FaultConfig:
             raise ValueError(f"recv_timeout must be > 0, got {self.recv_timeout}")
         if self.recv_backoff < 1.0:
             raise ValueError(f"recv_backoff must be >= 1.0, got {self.recv_backoff}")
+        if self.recv_timeout_cap < self.recv_timeout:
+            raise ValueError(
+                f"recv_timeout_cap {self.recv_timeout_cap} must be >= "
+                f"recv_timeout {self.recv_timeout}"
+            )
+        if not 0.0 <= self.recv_jitter < 1.0:
+            raise ValueError(
+                f"recv_jitter must be in [0, 1), got {self.recv_jitter}"
+            )
 
     # -------------------------------------------------------------- queries
 
     @property
     def has_crash(self) -> bool:
-        return self.crash_rank is not None
+        return self.crash_rank is not None or self.crash_perm_rank is not None
+
+    @property
+    def has_permanent_crash(self) -> bool:
+        return self.crash_perm_rank is not None
+
+    def retry_policy(self) -> RetryPolicy:
+        """The shared retransmission policy for both comm substrates."""
+        return RetryPolicy(
+            max_retries=self.max_retries,
+            base_timeout=self.recv_timeout,
+            backoff=self.recv_backoff,
+            max_timeout=self.recv_timeout_cap,
+            jitter=self.recv_jitter,
+            seed=self.seed,
+        )
 
     @property
     def has_message_faults(self) -> bool:
@@ -134,17 +178,33 @@ def parse_fault_spec(spec: str) -> FaultConfig:
 
     Comma-separated ``key=value`` entries:
 
-    * ``crash=R@S`` — kill rank ``R`` at superstep ``S``;
+    * ``crash=R@S`` — kill rank ``R`` at superstep ``S`` (a spare rejoins);
+    * ``crash_perm=R@S`` — rank ``R`` dies *permanently* at superstep
+      ``S`` (recovery re-owns its buckets; needs ``--replicas >= 1``);
     * ``drop=P`` / ``dup=P`` / ``corrupt=P`` — global probabilities;
     * ``edge=SRC>DST:PDROP:PDUP:PCORRUPT`` — per-edge override
       (repeatable via ``/``: ``edge=0>1:0.5:0:0/1>0:0.1:0:0``);
     * ``straggle=R:F`` — rank ``R`` runs ``F``× slower
       (repeatable via ``/``: ``straggle=2:4/5:1.5``);
     * ``seed=N``, ``retries=N`` — plane seed and retransmission bound.
+
+    Each key may appear at most once, and probabilities must lie in
+    ``[0, 1)`` — both violations raise :class:`ValueError` rather than
+    silently keeping the last (or an impossible) value.
     """
     cfg: Dict[str, object] = {}
     per_edge: Dict[Tuple[int, int], EdgeRates] = {}
     stragglers: Dict[int, float] = {}
+    seen: Set[str] = set()
+
+    def _prob(key: str, text: str) -> float:
+        p = float(text)
+        if not 0.0 <= p < 1.0:
+            raise ValueError(
+                f"--faults {key}={text}: probability must be in [0, 1)"
+            )
+        return p
+
     for raw in spec.split(","):
         entry = raw.strip()
         if not entry:
@@ -154,16 +214,22 @@ def parse_fault_spec(spec: str) -> FaultConfig:
         key, _, value = entry.partition("=")
         key = key.strip()
         value = value.strip()
-        if key == "crash":
+        if key in seen:
+            raise ValueError(
+                f"duplicate --faults key {key!r} (each key may appear once)"
+            )
+        seen.add(key)
+        if key in ("crash", "crash_perm"):
             rank_s, _, step_s = value.partition("@")
             if not step_s:
                 raise ValueError(
-                    f"bad crash spec {value!r} (expected RANK@SUPERSTEP)"
+                    f"bad {key} spec {value!r} (expected RANK@SUPERSTEP)"
                 )
-            cfg["crash_rank"] = int(rank_s)
-            cfg["crash_superstep"] = int(step_s)
+            prefix = "crash_perm" if key == "crash_perm" else "crash"
+            cfg[f"{prefix}_rank"] = int(rank_s)
+            cfg[f"{prefix}_superstep"] = int(step_s)
         elif key in ("drop", "dup", "corrupt"):
-            cfg[key] = float(value)
+            cfg[key] = _prob(key, value)
         elif key == "edge":
             for part in value.split("/"):
                 head, *rates = part.split(":")
@@ -173,8 +239,16 @@ def parse_fault_spec(spec: str) -> FaultConfig:
                         f"bad edge spec {part!r} "
                         "(expected SRC>DST:PDROP:PDUP:PCORRUPT)"
                     )
-                per_edge[(int(src_s), int(dst_s))] = (
-                    float(rates[0]), float(rates[1]), float(rates[2])
+                edge = (int(src_s), int(dst_s))
+                if edge in per_edge:
+                    raise ValueError(
+                        f"duplicate --faults edge {edge[0]}>{edge[1]} "
+                        "(each directed edge may appear once)"
+                    )
+                per_edge[edge] = (
+                    _prob("edge", rates[0]),
+                    _prob("edge", rates[1]),
+                    _prob("edge", rates[2]),
                 )
         elif key == "straggle":
             for part in value.split("/"):
@@ -183,7 +257,13 @@ def parse_fault_spec(spec: str) -> FaultConfig:
                     raise ValueError(
                         f"bad straggle spec {part!r} (expected RANK:FACTOR)"
                     )
-                stragglers[int(rank_s)] = float(factor_s)
+                rank = int(rank_s)
+                if rank in stragglers:
+                    raise ValueError(
+                        f"duplicate --faults straggler rank {rank} "
+                        "(each rank may appear once)"
+                    )
+                stragglers[rank] = float(factor_s)
         elif key == "seed":
             cfg["seed"] = int(value, 0)
         elif key == "retries":

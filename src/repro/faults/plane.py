@@ -58,6 +58,42 @@ class RankFailure(FaultError):
         )
 
 
+class PermanentRankFailure(RankFailure):
+    """A rank is gone for good — no spare will rejoin.
+
+    The failure detector escalates to this class when the configured
+    crash is permanent (``crash_perm=R@S``) or when the retransmission
+    budget toward a permanently-dead peer is exhausted.  Recovery must
+    re-own the dead rank's buckets onto the survivors and restore its
+    state from a checkpoint replica.
+    """
+
+    def __init__(self, rank: int, superstep: int, where: str):
+        super().__init__(rank, superstep, where)
+        # Re-render the message with the permanent classification.
+        self.args = (
+            f"rank {rank} permanently lost (detected at {where}, "
+            f"superstep {superstep})",
+        )
+
+
+class UnrecoverableRankLoss(FaultError):
+    """A permanent rank loss that recovery cannot survive.
+
+    Raised (loudly, never silently wrong) when the dead rank's state has
+    no surviving copy: either checkpoint replication was off
+    (``replicas=0``) or every buddy holding a replica is itself dead.
+    """
+
+    def __init__(self, rank: int, superstep: int, reason: str):
+        self.rank = rank
+        self.superstep = superstep
+        super().__init__(
+            f"rank {rank} permanently lost at superstep {superstep} and its "
+            f"state cannot be restored: {reason}"
+        )
+
+
 class MessageLossError(FaultError):
     """A message could not be delivered within the retransmission budget."""
 
@@ -78,6 +114,24 @@ class CorruptionError(FaultError):
 def payload_checksum(payload: Any) -> int:
     """CRC-32 of the canonically pickled payload (per-message integrity)."""
     return zlib.crc32(pickle.dumps(payload, protocol=4))
+
+
+def classify_loss(plane: "FaultPlane", src: int, dst: int, attempt: int) -> FaultError:
+    """The failure detector: classify retry-budget exhaustion.
+
+    A flaky link toward a *live* peer is a
+    :class:`MessageLossError`; exhaustion toward a *permanently dead*
+    endpoint is how survivors detect the loss without a membership
+    service — escalate to :class:`PermanentRankFailure` so recovery
+    re-owns the dead rank instead of waiting for a spare.  Shared by both
+    comm substrates.
+    """
+    for rank in (dst, src):
+        if plane.is_permanent(rank):
+            return plane.failure_for(
+                rank, plane.superstep, f"retry budget exhausted toward rank {rank}"
+            )
+    return MessageLossError(src, dst, attempt)
 
 
 # --------------------------------------------------------------- corruption
@@ -155,6 +209,7 @@ class InjectionStats:
     dups: int = 0
     corruptions: int = 0
     crashes: int = 0
+    permanent_crashes: int = 0
     #: Receiver-side detections and repairs (filled in by the substrate).
     detected_corruptions: int = 0
     retransmits: int = 0
@@ -167,6 +222,7 @@ class InjectionStats:
             "dups": self.dups,
             "corruptions": self.corruptions,
             "crashes": self.crashes,
+            "permanent_crashes": self.permanent_crashes,
             "detected_corruptions": self.detected_corruptions,
             "retransmits": self.retransmits,
             "retransmitted_bytes": self.retransmitted_bytes,
@@ -186,6 +242,11 @@ class FaultPlane:
             raise ValueError(
                 f"crash_rank {config.crash_rank} out of range for {n_ranks} ranks"
             )
+        if config.crash_perm_rank is not None and config.crash_perm_rank >= n_ranks:
+            raise ValueError(
+                f"crash_perm_rank {config.crash_perm_rank} out of range "
+                f"for {n_ranks} ranks"
+            )
         for rank in config.stragglers:
             if rank >= n_ranks:
                 raise ValueError(
@@ -195,6 +256,11 @@ class FaultPlane:
         self.n_ranks = n_ranks
         self.superstep = 0
         self.crashed: set[int] = set()
+        #: Ranks permanently lost (never rejoin; see :meth:`is_permanent`).
+        self.permanent: set[int] = set()
+        #: Permanently-lost ranks whose state recovery already re-owned:
+        #: rendezvous no longer raise for them, but they stay dead.
+        self.excluded: set[int] = set()
         self._crash_fired = False
         self.stats = InjectionStats()
 
@@ -223,6 +289,17 @@ class FaultPlane:
             self.crashed.add(cfg.crash_rank)
             self.stats.crashes += 1
             return cfg.crash_rank
+        if (
+            not self._crash_fired
+            and cfg.crash_perm_rank is not None
+            and step >= (cfg.crash_perm_superstep or 0)
+        ):
+            self._crash_fired = True
+            self.crashed.add(cfg.crash_perm_rank)
+            self.permanent.add(cfg.crash_perm_rank)
+            self.stats.crashes += 1
+            self.stats.permanent_crashes += 1
+            return cfg.crash_perm_rank
         return None
 
     def failed_rank(self) -> Optional[int]:
@@ -230,15 +307,39 @@ class FaultPlane:
         return next(iter(self.crashed)) if self.crashed else None
 
     def check_alive(self, step: int, where: str) -> None:
-        """Raise :class:`RankFailure` if a crash is due or outstanding."""
+        """Raise a (possibly permanent) failure if a crash is outstanding."""
         rank = self.crash_due(step)
         if rank is None:
             rank = self.failed_rank()
         if rank is not None:
-            raise RankFailure(rank, step, where)
+            raise self.failure_for(rank, step, where)
+
+    def is_permanent(self, rank: int) -> bool:
+        """True when ``rank`` is lost for good (no spare will rejoin)."""
+        return rank in self.permanent
+
+    def failure_for(self, rank: int, step: int, where: str) -> RankFailure:
+        """Classify a detected failure: transient vs permanent."""
+        if self.is_permanent(rank):
+            return PermanentRankFailure(rank, step, where)
+        return RankFailure(rank, step, where)
 
     def mark_restarted(self, rank: int) -> None:
         """Recovery replaced the dead rank; rendezvous are healthy again."""
+        if rank in self.permanent:
+            raise ValueError(
+                f"rank {rank} is permanently lost — no spare rejoins; "
+                "recovery must mark_excluded() it instead"
+            )
+        self.crashed.discard(rank)
+
+    def mark_excluded(self, rank: int) -> None:
+        """Recovery re-owned the permanently-dead rank's state.
+
+        The rank stays dead, but rendezvous stop raising for it: the
+        survivors continue the fixpoint on the shrunken world.
+        """
+        self.excluded.add(rank)
         self.crashed.discard(rank)
 
     # ------------------------------------------------------------- messages

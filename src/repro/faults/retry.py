@@ -1,0 +1,100 @@
+"""Shared retry policy for both comm substrates.
+
+Before this module existed the retransmission knobs lived in two places
+with two different behaviours: :class:`repro.comm.simcluster.SimCluster`
+counted attempts against ``max_retries`` directly, while
+``repro.comm.asyncmpi.recv`` grew its per-attempt timeout by
+``recv_backoff`` *without bound* — a long outage could stretch a single
+receive to minutes of wall clock.  :class:`RetryPolicy` hoists the whole
+policy — attempt budget, base timeout, backoff multiplier, timeout cap,
+and deterministic jitter — into one frozen object both substrates share.
+
+Jitter is deterministic by design: the simulator's contract is that a
+replayed schedule re-draws exactly the same faults, so the jitter for
+attempt *n* on channel *key* is a pure splitmix64 hash of
+``(seed, key, n)``, not a live RNG draw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def _splitmix64(x: int) -> int:
+    """One round of splitmix64 — the repo's standard cheap mixer."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK
+    return (x ^ (x >> 31)) & _MASK
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Attempt budget + capped, jittered exponential backoff.
+
+    Parameters
+    ----------
+    max_retries:
+        How many *re*-transmissions are allowed after the first attempt.
+        :meth:`exhausted` is the single exhaustion predicate both
+        substrates consult.
+    base_timeout:
+        Receive patience for the first attempt (modeled wall seconds).
+    backoff:
+        Multiplier applied per timeout round (>= 1).
+    max_timeout:
+        Hard cap on the backed-off timeout.  Caps the previously
+        unbounded ``timeout *= backoff`` growth in ``asyncmpi.recv``.
+    jitter:
+        Fraction of the capped timeout added as deterministic jitter in
+        ``[0, jitter)`` — decorrelates retry rounds across channels
+        without breaking replay determinism.
+    seed:
+        Root of the jitter hash (normally the fault-plane seed).
+    """
+
+    max_retries: int = 3
+    base_timeout: float = 0.02
+    backoff: float = 2.0
+    max_timeout: float = 0.5
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.base_timeout <= 0:
+            raise ValueError(f"base_timeout must be > 0, got {self.base_timeout}")
+        if self.backoff < 1.0:
+            raise ValueError(f"backoff must be >= 1.0, got {self.backoff}")
+        if self.max_timeout < self.base_timeout:
+            raise ValueError(
+                f"max_timeout {self.max_timeout} must be >= base_timeout "
+                f"{self.base_timeout}"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    # ------------------------------------------------------------- predicates
+
+    def exhausted(self, attempt: int) -> bool:
+        """True when ``attempt`` (0-based retransmission count) is over budget."""
+        return attempt > self.max_retries
+
+    # -------------------------------------------------------------- timeouts
+
+    def timeout_for(self, n_timeouts: int, key: int = 0) -> float:
+        """Patience for the next receive after ``n_timeouts`` timeout rounds.
+
+        Exponential in ``n_timeouts``, capped at :attr:`max_timeout`,
+        plus a deterministic jitter fraction derived from
+        ``(seed, key, n_timeouts)`` so distinct channels desynchronise.
+        """
+        base = min(self.base_timeout * self.backoff**n_timeouts, self.max_timeout)
+        if self.jitter == 0.0:
+            return base
+        h = _splitmix64((self.seed & _MASK) ^ _splitmix64((key & _MASK) ^ n_timeouts))
+        frac = (h >> 11) / float(1 << 53)  # uniform in [0, 1)
+        return base * (1.0 + self.jitter * frac)

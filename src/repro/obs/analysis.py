@@ -62,7 +62,11 @@ BENCH_SCHEMA_VERSION = 2
 #: redistribution exchanges (PR 8) — real charged traffic like ``data``,
 #: but tagged separately so migration volume is visible per edge and the
 #: fixpoint's own traffic stays comparable across rebalance on/off runs.
-CHANNELS = ("data", "retransmit", "precombine", "rebalance")
+#: ``replica`` carries buddy checkpoint replication (PR 9: each rank's
+#: snapshot mirrored to its replica ring), and ``recovery`` carries the
+#: re-owning scatter after a permanent rank loss — both real charged
+#: traffic, separated so degraded runs stay comparable to fault-free.
+CHANNELS = ("data", "retransmit", "precombine", "rebalance", "replica", "recovery")
 
 
 # ===================================================================== comm
@@ -79,7 +83,7 @@ class CommMatrix:
 
     __slots__ = (
         "seq", "kind", "phase", "n_ranks", "data", "retransmit", "precombine",
-        "rebalance",
+        "rebalance", "replica", "recovery",
     )
 
     def __init__(self, seq: int, kind: str, phase: str, n_ranks: int):
@@ -91,6 +95,8 @@ class CommMatrix:
         self.retransmit: Dict[Tuple[int, int], List[int]] = {}
         self.precombine: Dict[Tuple[int, int], List[int]] = {}
         self.rebalance: Dict[Tuple[int, int], List[int]] = {}
+        self.replica: Dict[Tuple[int, int], List[int]] = {}
+        self.recovery: Dict[Tuple[int, int], List[int]] = {}
 
     def add(
         self, src: int, dst: int, nbytes: int, tuples: int,
@@ -117,6 +123,10 @@ class CommMatrix:
             return self.precombine
         if channel == "rebalance":
             return self.rebalance
+        if channel == "replica":
+            return self.replica
+        if channel == "recovery":
+            return self.recovery
         raise ValueError(f"unknown channel {channel!r}; expected {CHANNELS}")
 
     def bytes_total(self, channel: str = "data") -> int:
@@ -171,6 +181,14 @@ class CommMatrix:
                 [s, d, c[0], c[1]]
                 for (s, d), c in sorted(self.rebalance.items())
             ],
+            "replica": [
+                [s, d, c[0], c[1]]
+                for (s, d), c in sorted(self.replica.items())
+            ],
+            "recovery": [
+                [s, d, c[0], c[1]]
+                for (s, d), c in sorted(self.recovery.items())
+            ],
         }
 
     @classmethod
@@ -190,6 +208,14 @@ class CommMatrix:
         for s, d, nbytes, tuples in rec.get("rebalance", ()):
             m.add(
                 int(s), int(d), int(nbytes), int(tuples), channel="rebalance"
+            )
+        for s, d, nbytes, tuples in rec.get("replica", ()):
+            m.add(
+                int(s), int(d), int(nbytes), int(tuples), channel="replica"
+            )
+        for s, d, nbytes, tuples in rec.get("recovery", ()):
+            m.add(
+                int(s), int(d), int(nbytes), int(tuples), channel="recovery"
             )
         return m
 
@@ -284,12 +310,18 @@ class CommMatrixRecorder:
         channel must equal the ledger's ``retransmit`` entry.  Returns
         the comparison; raises ``ValueError`` on mismatch when ``strict``.
         """
-        # A rebalance exchange records its charged traffic in the
-        # "rebalance" channel, every other exchange in "data"; the ledger
-        # keys both by the exchange's kind.
+        # Non-fixpoint exchanges record their charged traffic in a kind-
+        # specific channel (rebalance migration, checkpoint replication,
+        # permanent-loss re-owning), every other exchange in "data"; the
+        # ledger keys all of them by the exchange's kind.
+        kind_channel = {
+            "rebalance": "rebalance",
+            "replica": "replica",
+            "reown": "recovery",
+        }
         by_kind: Dict[str, int] = {}
         for m in self.matrices:
-            chan = "rebalance" if m.kind == "rebalance" else "data"
+            chan = kind_channel.get(m.kind, "data")
             by_kind[m.kind] = by_kind.get(m.kind, 0) + m.bytes_total(chan)
         ledger_by_kind = dict(comm_stats.by_kind)
         mismatches = {}

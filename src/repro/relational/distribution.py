@@ -16,7 +16,7 @@ what makes fused local aggregation communication-free (§III-A).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
 
 import numpy as np
 
@@ -25,9 +25,27 @@ from repro.util.hashing import HashSeed, hash_columns, hash_tuple, splitmix64
 
 
 class Distribution:
-    """Placement function for one relation on a cluster of ``n_ranks``."""
+    """Placement function for one relation on a cluster of ``n_ranks``.
 
-    def __init__(self, schema: Schema, n_ranks: int, seed: HashSeed | None = None):
+    ``dead_ranks`` installs the *degraded-mode overlay*: shards whose
+    nominal owner is permanently lost are deterministically rerouted to a
+    surviving rank.  The reroute is a pure hash of ``(bucket, sub)``, so
+    every rank computes the same degraded placement without coordination,
+    and the dead rank's shards spread across all survivors rather than
+    piling onto one buddy.  Aggregation stays correct because placement
+    is still a pure function of the independent columns (all members of
+    one group reroute together), and lattice aggregation is
+    placement-invariant — the degraded fixpoint provably matches the
+    fault-free one.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        n_ranks: int,
+        seed: HashSeed | None = None,
+        dead_ranks: Iterable[int] = (),
+    ):
         if n_ranks < 1:
             raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
         self.schema = schema
@@ -38,18 +56,75 @@ class Distribution:
         # placement; offset 0 for s=0 keeps the unbalanced path identical to
         # plain BPRA.
         self._sub_salt = splitmix64(self.seed.subbucket ^ 0x5B5B_5B5B)
+        self.dead_ranks: FrozenSet[int] = frozenset(dead_ranks)
+        if self.dead_ranks:
+            bad = [r for r in self.dead_ranks if not 0 <= r < n_ranks]
+            if bad:
+                raise ValueError(
+                    f"dead_ranks {sorted(bad)} out of range for {n_ranks} ranks"
+                )
+            live = sorted(set(range(n_ranks)) - self.dead_ranks)
+            if not live:
+                raise ValueError("all ranks dead — no survivor to re-own shards")
+            self._live = np.asarray(live, dtype=np.int64)
+            self._dead_arr = np.asarray(sorted(self.dead_ranks), dtype=np.int64)
+            self._reroute_salt = splitmix64(self.seed.bucket ^ 0xDEAD_0A11)
+        else:
+            self._live = None
+            self._dead_arr = None
+            self._reroute_salt = 0
 
     def with_subbuckets(self, n_subbuckets: int) -> "Distribution":
         """A new placement for the same relation at a different fan-out.
 
         Buckets are untouched (join columns and seed are unchanged), so a
         resize only moves tuples *within* their bucket's rank set — the
-        invariant behind the intra-bucket redistribution exchange.
+        invariant behind the intra-bucket redistribution exchange.  The
+        degraded overlay, when installed, carries over.
         """
         import dataclasses
 
         schema = dataclasses.replace(self.schema, n_subbuckets=n_subbuckets)
-        return Distribution(schema, self.n_ranks, self.seed)
+        return Distribution(schema, self.n_ranks, self.seed, self.dead_ranks)
+
+    def exclude_ranks(self, dead: Iterable[int]) -> "Distribution":
+        """The same placement with ``dead`` added to the degraded overlay."""
+        return Distribution(
+            self.schema, self.n_ranks, self.seed, self.dead_ranks | set(dead)
+        )
+
+    # ------------------------------------------------------ degraded overlay
+
+    def _reroute(self, bucket: int, sub: int, nominal: int) -> int:
+        """Scalar overlay: reroute a dead nominal owner to a survivor."""
+        if self._live is None or nominal not in self.dead_ranks:
+            return nominal
+        idx = splitmix64(
+            self._reroute_salt ^ (bucket * 0x1_0000 + sub)
+        ) % len(self._live)
+        return int(self._live[idx])
+
+    def _apply_overlay(
+        self, owners: np.ndarray, buckets: np.ndarray, subs: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized overlay over parallel (owner, bucket, sub) arrays."""
+        if self._live is None or owners.size == 0:
+            return owners
+        from repro.util.hashing import splitmix64_array
+
+        dead = np.isin(owners, self._dead_arr)
+        if not dead.any():
+            return owners
+        key = (
+            buckets.astype(np.uint64) * np.uint64(0x1_0000)
+        ) + subs.astype(np.uint64)
+        idx = (
+            splitmix64_array(np.uint64(self._reroute_salt) ^ key)
+            % np.uint64(len(self._live))
+        ).astype(np.int64)
+        out = owners.copy()
+        out[dead] = self._live[idx[dead]]
+        return out
 
     # ------------------------------------------------------------ scalar path
 
@@ -72,9 +147,9 @@ class Distribution:
     def owner(self, bucket: int, sub: int) -> int:
         """Rank hosting sub-bucket ``sub`` of ``bucket``."""
         if sub == 0:
-            return bucket
+            return self._reroute(bucket, 0, bucket)
         offset = splitmix64(self._sub_salt ^ (bucket * 0x1_0000 + sub)) % self.n_ranks
-        return (bucket + offset) % self.n_ranks
+        return self._reroute(bucket, sub, (bucket + offset) % self.n_ranks)
 
     def rank_of(self, t: Tuple[int, ...]) -> int:
         return self.owner(self.bucket_of(t), self.sub_of(t))
@@ -106,10 +181,11 @@ class Distribution:
         """Vectorized :meth:`rank_of` over an ``(n, arity)`` array."""
         buckets, subs = self.bucket_sub_of_rows(rows)
         if buckets.size == 0 or not subs.any():
-            return buckets
+            return self._apply_overlay(buckets, buckets, subs)
         # Vectorized owner(): replicate the scalar offset computation.
         mixed = self._vector_offsets(buckets, subs)
-        return np.where(subs == 0, buckets, (buckets + mixed) % self.n_ranks)
+        owners = np.where(subs == 0, buckets, (buckets + mixed) % self.n_ranks)
+        return self._apply_overlay(owners, buckets, subs)
 
     def _vector_offsets(self, buckets: np.ndarray, subs: np.ndarray) -> np.ndarray:
         from repro.util.hashing import splitmix64_array
@@ -124,16 +200,18 @@ class Distribution:
         if buckets.size == 0:
             return buckets
         if not subs.any():
-            return buckets
+            return self._apply_overlay(buckets, buckets, subs)
         mixed = self._vector_offsets(buckets, subs)
-        return np.where(subs == 0, buckets, (buckets + mixed) % self.n_ranks)
+        owners = np.where(subs == 0, buckets, (buckets + mixed) % self.n_ranks)
+        return self._apply_overlay(owners, buckets, subs)
 
     def owners_of_buckets(self, buckets: np.ndarray, sub: int) -> np.ndarray:
         """Vectorized :meth:`owner` for one sub-bucket index across buckets."""
-        if sub == 0:
-            return buckets
         subs = np.full_like(buckets, sub)
-        return (buckets + self._vector_offsets(buckets, subs)) % self.n_ranks
+        if sub == 0:
+            return self._apply_overlay(buckets, buckets, subs)
+        owners = (buckets + self._vector_offsets(buckets, subs)) % self.n_ranks
+        return self._apply_overlay(owners, buckets, subs)
 
     def buckets_of_key_rows(self, rows: np.ndarray, key_cols: Sequence[int]) -> np.ndarray:
         """Vectorized bucket of the key values at ``key_cols`` of each row.

@@ -247,12 +247,27 @@ class VersionedRelation:
         """Point the relation at a (possibly resized) schema + placement.
 
         Used by the online rebalancer and by checkpoint restore: the
-        placement is a pure function of (schema, n_ranks, seed), so
-        swapping the schema re-derives it exactly.  Probe caches are
+        placement is a pure function of (schema, n_ranks, seed, dead set),
+        so swapping the schema re-derives it exactly — the degraded-mode
+        overlay, when installed, survives the swap.  Probe caches are
         invalidated — sub-bucket fan-out just changed under them.
         """
         self.schema = new_schema
-        self.dist = Distribution(new_schema, self.n_ranks, self.dist.seed)
+        self.dist = Distribution(
+            new_schema, self.n_ranks, self.dist.seed, self.dist.dead_ranks
+        )
+        self._probe_cache.clear()
+        self._probe_cache_token = -1
+
+    def exclude_ranks(self, dead: Iterable[int]) -> None:
+        """Install the degraded-mode overlay: reroute dead ranks' shards.
+
+        Shards physically stay where they are (the simulation holds all
+        of them in one process); only the owner function changes, exactly
+        as survivors of a real cluster would recompute placement.  Probe
+        caches are invalidated — ownership just changed under them.
+        """
+        self.dist = self.dist.exclude_ranks(dead)
         self._probe_cache.clear()
         self._probe_cache_token = -1
 

@@ -108,6 +108,14 @@ class EngineConfig:
     #: every K iterations (plus one before the seed pass); required to
     #: survive an injected rank crash.  None = no checkpoints.
     checkpoint_every: Optional[int] = None
+    #: Checkpoint replication factor (PR 9): mirror each rank's stratum
+    #: snapshot to this many buddy ranks at capture time (charged through
+    #: the cost model).  Required (>= 1) to survive a *permanent* rank
+    #: loss (``crash_perm=R@S``): the dead rank's state is restored from
+    #: a surviving buddy and its buckets re-owned onto the survivors.
+    #: 0 = no replication — a permanent loss then fails loudly with
+    #: :class:`repro.faults.UnrecoverableRankLoss`.
+    replicas: int = 0
     #: Wire-optimization layer under the route exchange (PR 7):
     #: sender-side combining, payload codec, collective autotuning.  On
     #: by default; ``WireConfig.off()`` reproduces the pre-wire engine
@@ -173,6 +181,11 @@ class EngineConfig:
         if self.checkpoint_every is not None and self.checkpoint_every < 1:
             raise ValueError(
                 f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
+            )
+        if not 0 <= self.replicas < self.n_ranks:
+            raise ValueError(
+                f"replicas must be in [0, n_ranks), got {self.replicas} "
+                f"for {self.n_ranks} ranks"
             )
         if not isinstance(self.wire, WireConfig):
             raise ValueError(

@@ -30,9 +30,19 @@ from repro.comm.simcluster import SimCluster
 from repro.core.join_planner import JoinSide, vote_outer_relation
 from repro.core.local_agg import AbsorbStats
 from repro.faults import checkpoint as ckpt_mod
-from repro.faults.checkpoint import RecoveryStats, StratumCheckpoint
+from repro.faults.checkpoint import (
+    DegradedStats,
+    RecoveryStats,
+    StratumCheckpoint,
+    replica_buddies,
+)
 from repro.faults.invariants import accumulator_map, monotonicity_audit
-from repro.faults.plane import FaultPlane, RankFailure
+from repro.faults.plane import (
+    FaultPlane,
+    PermanentRankFailure,
+    RankFailure,
+    UnrecoverableRankLoss,
+)
 from repro.comm.wire import encoded_nbytes
 from repro.kernels.absorb import vector_combiner
 from repro.kernels.block import concat_ranges
@@ -105,6 +115,12 @@ class Engine:
             or self.config.checkpoint_every is not None
             else None
         )
+        #: Ranks permanently excluded from the world (elastic degraded
+        #: mode, PR 9) and its accounting; the set grows once per
+        #: permanent loss and every later checkpoint/replica ring is
+        #: computed over the survivors.
+        self.dead_ranks: set = set()
+        self.degraded: Optional[DegradedStats] = None
         # Lattice monotonicity audit: only worth paying for when injected
         # corruption could actually reach an absorb.
         self._audit = (
@@ -295,6 +311,7 @@ class Engine:
             spans=self.tracer.spans,
             metrics=self.tracer.metrics,
             recovery=self.recovery,
+            degraded=self.degraded,
             comm_profile=self.comm_recorder,
             rebalance=(
                 [e.to_dict() for e in self.rebalancer.events]
@@ -562,11 +579,57 @@ class Engine:
                     seconds=seconds,
                 )
             )
+            # Buddy replication (PR 9): each live rank mirrors its shard
+            # partition to the next ``replicas`` live ranks on the ring.
+            # The mirrors are what make a *permanent* loss survivable; a
+            # checkpoint without them only covers restartable crashes.
+            replica_bytes = 0
+            replica_seconds = 0.0
+            if self.config.replicas >= 1:
+                live = sorted(set(range(self.config.n_ranks)) - self.dead_ranks)
+                ckpt.live_ranks = live
+                if len(live) > 1:
+                    eff = min(self.config.replicas, len(live) - 1)
+                    replica_bytes = int(per_rank[live].sum()) * eff
+                    replica_seconds = self.cluster.cost.checkpoint_replicate(
+                        self.config.n_ranks,
+                        int(per_rank.max()),
+                        self.config.replicas,
+                    )
+                    self.cluster.ledger.add_comm(
+                        CommEvent(
+                            kind="replica",
+                            phase="checkpoint",
+                            nbytes=replica_bytes,
+                            messages=len(live) * eff,
+                            seconds=replica_seconds,
+                        )
+                    )
+                    if self.comm_recorder is not None:
+                        per_rank_tuples = np.zeros(
+                            self.config.n_ranks, dtype=np.int64
+                        )
+                        for name in names:
+                            per_rank_tuples += self.store[name].full_sizes_by_rank()
+                        m = self.comm_recorder.begin("replica", "checkpoint")
+                        for rank in live:
+                            for buddy in replica_buddies(
+                                rank, live, self.config.replicas
+                            ):
+                                m.add(
+                                    rank,
+                                    buddy,
+                                    int(per_rank[rank]),
+                                    int(per_rank_tuples[rank]),
+                                    channel="replica",
+                                )
         if self.recovery is not None:
             self.recovery.checkpoints += 1
             self.recovery.checkpoint_tuples += ckpt.tuples
             self.recovery.checkpoint_bytes += ckpt.nbytes
             self.recovery.checkpoint_seconds += seconds
+            self.recovery.replica_bytes += replica_bytes
+            self.recovery.replica_seconds += replica_seconds
         return ckpt
 
     def _recover(
@@ -586,7 +649,16 @@ class Engine:
         Engine counters, iteration totals and the trace are rewound too,
         so a recovered run's bookkeeping matches a fault-free run's.
         Returns the (iteration, changed) loop position to resume from.
+
+        A *permanent* loss (the failure detector escalated to
+        :class:`PermanentRankFailure`) takes the elastic degraded-mode
+        path instead: the rank never comes back, its state is restored
+        from a buddy replica and its buckets are re-owned onto survivors.
         """
+        if isinstance(failure, PermanentRankFailure):
+            return self._recover_permanent(
+                stratum, ckpt, failure, at_iteration=at_iteration
+            )
         in_flight = at_iteration + 1 if at_iteration >= 0 else 0
         with self.tracer.span(
             "recovery", cat="phase", stratum=stratum.index,
@@ -635,6 +707,162 @@ class Engine:
                 0, in_flight - max(ckpt.iteration, 0)
             )
             self.recovery.recovery_seconds += seconds
+            self.recovery.events.append(
+                (stratum.index, in_flight, ckpt.iteration)
+            )
+        return ckpt.iteration, ckpt.changed
+
+    def _recover_permanent(
+        self,
+        stratum: Stratum,
+        ckpt: StratumCheckpoint,
+        failure: PermanentRankFailure,
+        *,
+        at_iteration: int,
+    ) -> Tuple[int, bool]:
+        """Elastic degraded-mode recovery: finish the run without the rank.
+
+        Unlike the restart path, the lost rank never comes back.  The
+        survivors (1) roll the stratum back to the checkpoint, (2) restore
+        the dead rank's checkpointed shard partition from its first
+        surviving buddy replica, and (3) re-own every shard the dead rank
+        held by installing the placement overlay — the owner function is
+        re-derived over the shrunken world, so every survivor computes the
+        same new map without coordination.  Because placement never enters
+        tuple *values* and lattice absorption is order-independent, the
+        replayed fixpoint on the degraded world produces results, Δ
+        fingerprints and iteration counts identical to a fault-free run
+        (the Algorithm-1 vote may legitimately see different per-rank
+        sizes; it only picks the probe direction, never the answer).
+
+        Raises :class:`UnrecoverableRankLoss` — loudly, never silently
+        wrong — when no replica of the dead rank's state survives.
+        """
+        rank = failure.rank
+        if self.config.replicas < 1:
+            raise UnrecoverableRankLoss(
+                rank,
+                failure.superstep,
+                "no checkpoint replica exists (replicas=0); "
+                "rerun with --replicas >= 1",
+            )
+        live_at_capture = (
+            ckpt.live_ranks
+            if ckpt.live_ranks is not None
+            else sorted(set(range(self.config.n_ranks)) - self.dead_ranks)
+        )
+        buddies = replica_buddies(rank, live_at_capture, self.config.replicas)
+        buddy = next(
+            (b for b in buddies if b not in self.dead_ranks and b != rank),
+            None,
+        )
+        if buddy is None:
+            raise UnrecoverableRankLoss(
+                rank,
+                failure.superstep,
+                f"all replica buddies {buddies} of the lost rank are dead "
+                "too; rerun with a higher --replicas",
+            )
+        in_flight = at_iteration + 1 if at_iteration >= 0 else 0
+        with self.tracer.span(
+            "recovery", cat="phase", stratum=stratum.index,
+            attrs={
+                "failed_rank": rank,
+                "superstep": failure.superstep,
+                "detected_at": failure.where,
+                "restored_iteration": ckpt.iteration,
+                "permanent": True,
+                "replica_buddy": buddy,
+            },
+        ):
+            with self.timer.phase("recovery"):
+                failed_bytes = ckpt.rank_nbytes(self.store, rank)
+                ckpt_mod.restore(self.store, ckpt)
+                self._index_cache.clear()
+                self.counters = defaultdict(int)
+                self.counters.update(ckpt.counters)
+                self._iterations = ckpt.iterations_total
+                del self.trace[ckpt.trace_len:]
+                if self.rebalancer is not None:
+                    for name in ckpt.relations:
+                        self.compiled.schemas[name] = self.store[name].schema
+                    self.rebalancer.restore_state(ckpt.rebalance)
+                # Checkpoint-state bytes/tuples the dead rank held — this
+                # is exactly what the buddy's mirror copy restores.
+                restored_bytes = ckpt.rank_nbytes(self.store, rank)
+                restored_tuples = 0
+                for name in ckpt.relations:
+                    restored_tuples += int(
+                        self.store[name].full_sizes_by_rank()[rank]
+                    )
+                # Re-own: install the overlay on EVERY relation (EDBs
+                # included — the dead rank cannot own anything anymore),
+                # diffing ownership to account the migrated shards.
+                reowned = 0
+                moves: List[Tuple[int, int, int]] = []
+                for _name, rel in sorted(self.store.relations.items()):
+                    old_dist = rel.dist
+                    keys = [
+                        k for k in rel.shards if old_dist.owner(*k) == rank
+                    ]
+                    rel.exclude_ranks({rank})
+                    for key in keys:
+                        tuples = rel.shards[key].full_size()
+                        moves.append((
+                            rel.dist.owner(*key),
+                            tuples * rel.schema.arity * BYTES_PER_WORD,
+                            tuples,
+                        ))
+                    reowned += len(keys)
+                self._index_cache.clear()
+            _total, per_rank = self._stratum_state_bytes(ckpt.relations)
+            restore_seconds = self.cluster.cost.recovery_restore(
+                self.config.n_ranks, int(per_rank.max()), failed_bytes
+            )
+            self.cluster.ledger.add_comm(
+                CommEvent(
+                    kind="recovery",
+                    phase="recovery",
+                    nbytes=failed_bytes,
+                    messages=self.config.n_ranks,
+                    seconds=restore_seconds,
+                )
+            )
+            reown_seconds = self.cluster.cost.recovery_reown(
+                self.config.n_ranks, restored_bytes
+            )
+            self.cluster.ledger.add_comm(
+                CommEvent(
+                    kind="reown",
+                    phase="recovery",
+                    nbytes=restored_bytes,
+                    messages=max(1, len(live_at_capture) - 1),
+                    seconds=reown_seconds,
+                )
+            )
+            if self.comm_recorder is not None:
+                m = self.comm_recorder.begin("reown", "recovery")
+                for dst, nbytes, tuples in moves:
+                    m.add(buddy, dst, nbytes, tuples, channel="recovery")
+            self.dead_ranks.add(rank)
+            if self.fault_plane is not None:
+                self.fault_plane.mark_excluded(rank)
+        if self.degraded is None:
+            self.degraded = DegradedStats()
+        self.degraded.excluded_ranks.append(rank)
+        self.degraded.epoch += 1
+        self.degraded.reowned_shards += reowned
+        self.degraded.restored_tuples += restored_tuples
+        self.degraded.restored_bytes += restored_bytes
+        self.degraded.replica_sources.append((rank, buddy))
+        self.degraded.reown_seconds += reown_seconds
+        if self.recovery is not None:
+            self.recovery.failures += 1
+            self.recovery.recoveries += 1
+            self.recovery.rolled_back_iterations += max(
+                0, in_flight - max(ckpt.iteration, 0)
+            )
+            self.recovery.recovery_seconds += restore_seconds + reown_seconds
             self.recovery.events.append(
                 (stratum.index, in_flight, ckpt.iteration)
             )

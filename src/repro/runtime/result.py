@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.comm.ledger import PhaseLedger
-from repro.faults.checkpoint import RecoveryStats
+from repro.faults.checkpoint import DegradedStats, RecoveryStats
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.obs.tracer import Span
 from repro.relational.storage import VersionedRelation
@@ -69,6 +69,14 @@ class FixpointResult:
     #: run had ``EngineConfig.rebalance`` enabled.  Deliberately not part
     #: of :meth:`summary` — it describes placement, not semantics.
     rebalance: Optional[List[Dict[str, object]]] = None
+    #: Elastic degraded-mode recovery accounting
+    #: (:class:`repro.faults.checkpoint.DegradedStats`); None unless a
+    #: rank was permanently lost and the run finished on the shrunken
+    #: world.  Deliberately not part of :meth:`summary` — like
+    #: ``rebalance`` it describes placement, not semantics (query results,
+    #: Δ fingerprints and iteration counts stay fault-free-identical; the
+    #: per-rank layout legitimately differs on a degraded world).
+    degraded: Optional[DegradedStats] = None
 
     def query(self, name: str) -> Set[TupleT]:
         """Materialize a relation's final contents as a set of tuples."""

@@ -13,12 +13,15 @@ from repro.faults import (
     FaultConfig,
     FaultPlane,
     MessageLossError,
+    PermanentRankFailure,
     RankFailure,
+    RetryPolicy,
     check_conservation,
     corrupt_payload,
     parse_fault_spec,
     payload_checksum,
 )
+from repro.faults.plane import classify_loss
 
 
 class TestFaultConfig:
@@ -70,6 +73,164 @@ class TestParseFaultSpec:
         for bad in ("drop", "crash=1", "frobnicate=1", "drop=notanumber"):
             with pytest.raises(ValueError):
                 parse_fault_spec(bad)
+
+    def test_crash_perm_parsed(self):
+        fc = parse_fault_spec("crash_perm=2@9,seed=3")
+        assert fc.crash_perm_rank == 2 and fc.crash_perm_superstep == 9
+        assert fc.has_crash and fc.has_permanent_crash
+        assert parse_fault_spec("crash=1@5").has_permanent_crash is False
+
+    def test_crash_perm_needs_superstep(self):
+        with pytest.raises(ValueError, match="RANK@SUPERSTEP"):
+            parse_fault_spec("crash_perm=2")
+
+    def test_duplicate_keys_rejected(self):
+        for bad in (
+            "drop=0.1,drop=0.2",
+            "seed=1,seed=2",
+            "crash=1@5,crash=2@6",
+            "edge=0>1:0.5:0:0,edge=1>0:0.5:0:0",
+        ):
+            with pytest.raises(ValueError, match="duplicate"):
+                parse_fault_spec(bad)
+
+    def test_probabilities_outside_unit_interval_rejected(self):
+        for bad in ("drop=1.5", "dup=-0.1", "corrupt=1.0",
+                    "edge=0>1:2.0:0:0"):
+            with pytest.raises(ValueError, match=r"probability must be in"):
+                parse_fault_spec(bad)
+
+    def test_transient_and_permanent_crash_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            parse_fault_spec("crash=1@5,crash_perm=2@9")
+
+    def test_duplicate_edge_and_straggler_rejected(self):
+        with pytest.raises(ValueError, match="duplicate --faults edge"):
+            parse_fault_spec("edge=0>1:0.5:0:0/0>1:0.2:0:0")
+        with pytest.raises(ValueError, match="duplicate --faults straggler"):
+            parse_fault_spec("straggle=2:3.0/2:4.0")
+
+
+class TestRetryPolicy:
+    def test_exhausted_respects_budget(self):
+        policy = RetryPolicy(max_retries=2)
+        assert not policy.exhausted(0)
+        assert not policy.exhausted(2)
+        assert policy.exhausted(3)
+
+    def test_backoff_capped(self):
+        policy = RetryPolicy(
+            base_timeout=0.02, backoff=2.0, max_timeout=0.1, jitter=0.0
+        )
+        timeouts = [policy.timeout_for(n) for n in range(10)]
+        assert timeouts[0] == pytest.approx(0.02)
+        assert timeouts[1] == pytest.approx(0.04)
+        # Unbounded exponential would reach 10.24s by n=9; the cap wins.
+        assert all(t <= 0.1 for t in timeouts)
+        assert timeouts[-1] == pytest.approx(0.1)
+
+    def test_jitter_bounded_and_deterministic(self):
+        policy = RetryPolicy(
+            base_timeout=0.02, backoff=2.0, max_timeout=0.5,
+            jitter=0.25, seed=7,
+        )
+        for n in range(8):
+            for key in range(4):
+                base = min(0.02 * 2.0 ** n, 0.5)
+                t = policy.timeout_for(n, key=key)
+                assert base <= t <= base * 1.25
+                # Pure hash, no live RNG: replays are bit-identical.
+                assert t == policy.timeout_for(n, key=key)
+
+    def test_jitter_decorrelates_receivers(self):
+        policy = RetryPolicy(jitter=0.5, seed=1)
+        values = {policy.timeout_for(3, key=k) for k in range(16)}
+        assert len(values) > 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_timeout=0.2, max_timeout=0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+
+    def test_config_bundles_policy_for_both_substrates(self):
+        fc = FaultConfig(
+            max_retries=5, recv_timeout=0.01, recv_backoff=3.0,
+            recv_timeout_cap=0.2, recv_jitter=0.05, seed=9,
+        )
+        policy = fc.retry_policy()
+        assert policy.max_retries == 5
+        assert policy.timeout_for(0) <= 0.01 * 1.05
+        assert policy.timeout_for(99) <= 0.2 * 1.05
+
+
+class TestFailureDetector:
+    def test_classify_loss_escalates_toward_dead_endpoint(self):
+        plane = FaultPlane(
+            FaultConfig(crash_perm_rank=1, crash_perm_superstep=0), 4
+        )
+        plane.permanent.add(1)
+        err = classify_loss(plane, 0, 1, attempt=4)
+        assert isinstance(err, PermanentRankFailure)
+        assert err.rank == 1
+        # Dead *sender* detected too (its acks never come).
+        assert isinstance(classify_loss(plane, 1, 2, 4), PermanentRankFailure)
+        # A flaky link between live peers stays a message loss.
+        err3 = classify_loss(plane, 0, 2, attempt=4)
+        assert isinstance(err3, MessageLossError)
+        assert not isinstance(err3, RankFailure)
+
+    def test_permanent_crash_fires_and_counts(self):
+        plane = FaultPlane(
+            FaultConfig(crash_perm_rank=1, crash_perm_superstep=2), 4
+        )
+        assert plane.crash_due(0) is None
+        assert plane.crash_due(2) == 1
+        assert plane.is_permanent(1)
+        assert plane.stats.crashes == 1
+        assert plane.stats.permanent_crashes == 1
+        with pytest.raises(PermanentRankFailure):
+            plane.check_alive(3, "allreduce")
+
+    def test_mark_restarted_refuses_permanent_loss(self):
+        plane = FaultPlane(
+            FaultConfig(crash_perm_rank=1, crash_perm_superstep=0), 4
+        )
+        plane.crash_due(0)
+        with pytest.raises(ValueError, match="mark_excluded"):
+            plane.mark_restarted(1)
+
+    def test_mark_excluded_silences_rendezvous_but_stays_dead(self):
+        plane = FaultPlane(
+            FaultConfig(crash_perm_rank=1, crash_perm_superstep=0), 4
+        )
+        plane.crash_due(0)
+        plane.mark_excluded(1)
+        plane.check_alive(5, "allreduce")  # survivors proceed
+        assert plane.is_permanent(1)
+        assert 1 in plane.excluded
+
+    def test_simcluster_escalates_exhaustion_toward_dead_rank(self):
+        """Timeout-based detection: retry-budget exhaustion toward a
+        permanently dead endpoint surfaces as PermanentRankFailure, not a
+        plain message loss."""
+        plane = FaultPlane(
+            FaultConfig(
+                seed=0,
+                per_edge={(0, 1): (1.0 - 1e-12, 0.0, 0.0)},
+                max_retries=2,
+            ),
+            2,
+        )
+        plane.permanent.add(1)  # detector state: peer is known-dead
+        plane.excluded.add(1)
+        cluster = SimCluster(2, fault_plane=plane)
+        with pytest.raises(PermanentRankFailure):
+            cluster.alltoallv({0: {1: [(1,)]}}, arity=1)
 
 
 class TestChecksumAndCorruption:

@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.faults import FaultConfig, RankFailure
+from repro.faults import FaultConfig, RankFailure, UnrecoverableRankLoss
 from repro.queries.cc import run_cc
 from repro.queries.pagerank import run_pagerank
 from repro.queries.sssp import run_sssp
@@ -26,13 +26,32 @@ CHAOS = {
 
 CRASH = FaultConfig(seed=21, crash_rank=1, crash_superstep=12)
 
+#: Permanent loss of rank 1 mid-run: no restart, the run must finish
+#: elastically on the surviving ranks.
+PERM = FaultConfig(seed=31, crash_perm_rank=1, crash_perm_superstep=12)
 
-def _cfg(executor, faults=None, checkpoint_every=None, n_ranks=4):
+
+def _cfg(executor, faults=None, checkpoint_every=None, n_ranks=4,
+         replicas=0, delta_fingerprints=False):
     return EngineConfig(
         n_ranks=n_ranks,
         executor=executor,
         faults=faults,
         checkpoint_every=checkpoint_every,
+        replicas=replicas,
+        delta_fingerprints=delta_fingerprints,
+    )
+
+
+def _invariant_fingerprint(fp, rel):
+    """What degraded-mode recovery must preserve: the answers, the exact
+    per-iteration Δ content, and the iteration count.  Deliberately NOT
+    counters or per-rank sizes — the shrunken world legitimately places
+    (and votes on) tuples differently; the *outputs* may not differ."""
+    return (
+        fp.query(rel),
+        [t.delta_fingerprints for t in fp.trace],
+        fp.iterations,
     )
 
 
@@ -304,3 +323,280 @@ class TestCheckpointAccounting:
         assert d["failures"] == 1
         assert d["injected"]["crashes"] == 1
         assert faulty.metrics_dict()
+
+
+class TestReplication:
+    """Checkpoint replication without any fault: pure overhead, zero
+    semantic effect."""
+
+    def test_replication_is_invariant_and_charged(self, medium_weighted_graph):
+        sources = list(range(5))
+        plain = run_sssp(
+            medium_weighted_graph, sources,
+            _cfg("columnar", checkpoint_every=2),
+        ).fixpoint
+        mirrored = run_sssp(
+            medium_weighted_graph, sources,
+            _cfg("columnar", checkpoint_every=2, replicas=2),
+        ).fixpoint
+        assert mirrored.query("spath") == plain.query("spath")
+        assert dict(mirrored.counters) == dict(plain.counters)
+        assert mirrored.iterations == plain.iterations
+        rec = mirrored.recovery
+        assert rec.replica_bytes > 0 and rec.replica_seconds > 0
+        assert plain.recovery.replica_bytes == 0
+        assert mirrored.ledger.comm.by_kind.get("replica", 0) > 0
+        assert mirrored.modeled_seconds() > plain.modeled_seconds()
+
+    def test_replica_bytes_scale_with_factor(self, medium_weighted_graph):
+        sources = list(range(5))
+        runs = {
+            r: run_sssp(
+                medium_weighted_graph, sources,
+                _cfg("columnar", checkpoint_every=2, replicas=r),
+            ).fixpoint.recovery.replica_bytes
+            for r in (1, 2, 3)
+        }
+        assert runs[1] > 0
+        assert runs[2] == 2 * runs[1]
+        assert runs[3] == 3 * runs[1]
+
+    def test_replicas_validated_against_world(self):
+        with pytest.raises(ValueError, match="replicas"):
+            EngineConfig(n_ranks=4, replicas=4)
+        with pytest.raises(ValueError, match="replicas"):
+            EngineConfig(n_ranks=4, replicas=-1)
+
+
+class TestPermanentLoss:
+    """Permanent rank loss: the run finishes on the shrunken world with
+    answers, per-iteration Δ fingerprints and iteration counts identical
+    to the fault-free run."""
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    @pytest.mark.parametrize("replicas", (1, 2))
+    def test_sssp_degraded_equivalence(
+        self, medium_weighted_graph, executor, replicas
+    ):
+        sources = list(range(10))
+        base = run_sssp(
+            medium_weighted_graph, sources,
+            _cfg(executor, delta_fingerprints=True),
+        ).fixpoint
+        faulty = run_sssp(
+            medium_weighted_graph, sources,
+            _cfg(executor, PERM, checkpoint_every=2,
+                 replicas=replicas, delta_fingerprints=True),
+        ).fixpoint
+        assert faulty.recovery.injected.permanent_crashes == 1
+        assert _invariant_fingerprint(faulty, "spath") == _invariant_fingerprint(
+            base, "spath"
+        )
+        deg = faulty.degraded
+        assert deg is not None
+        assert deg.excluded_ranks == [1] and deg.epoch == 1
+        assert deg.reowned_shards > 0
+        assert deg.restored_tuples > 0 and deg.restored_bytes > 0
+        assert len(deg.replica_sources) == 1
+        dead, buddy = deg.replica_sources[0]
+        assert dead == 1 and buddy not in (1,)
+        # The dead rank owns nothing after re-owning.
+        for _name, rel in sorted(faulty.relations.items()):
+            assert rel.full_sizes_by_rank()[1] == 0
+        # Restore + re-owning are charged to the modeled ledger.
+        assert faulty.ledger.comm.by_kind.get("replica", 0) > 0
+        assert faulty.ledger.comm.by_kind.get("reown", 0) > 0
+        assert faulty.ledger.phase_seconds.get("recovery", 0) > 0
+        rec = faulty.recovery
+        assert rec.failures == 1 and rec.recoveries == 1
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_cc_degraded_equivalence(self, medium_graph, executor):
+        base = run_cc(
+            medium_graph, _cfg(executor, delta_fingerprints=True)
+        ).fixpoint
+        faulty = run_cc(
+            medium_graph,
+            _cfg(executor, PERM, checkpoint_every=2, replicas=1,
+                 delta_fingerprints=True),
+        ).fixpoint
+        assert _invariant_fingerprint(faulty, "cc") == _invariant_fingerprint(
+            base, "cc"
+        )
+        assert faulty.degraded is not None
+        assert faulty.degraded.excluded_ranks == [1]
+
+    def test_executors_agree_on_degraded_world(self, medium_weighted_graph):
+        """Scalar and columnar degraded runs must agree on the FULL
+        summary with each other — they shrink to the same world."""
+        sources = list(range(10))
+        runs = {
+            ex: run_sssp(
+                medium_weighted_graph, sources,
+                _cfg(ex, PERM, checkpoint_every=2, replicas=1),
+            ).fixpoint
+            for ex in EXECUTORS
+        }
+        assert runs["scalar"].summary() == runs["columnar"].summary()
+
+    def test_ring_wraparound_buddy(self, medium_weighted_graph):
+        """Losing the last rank in the ring restores from rank 0."""
+        perm_last = FaultConfig(seed=33, crash_perm_rank=3,
+                                crash_perm_superstep=12)
+        sources = list(range(10))
+        base = run_sssp(
+            medium_weighted_graph, sources,
+            _cfg("columnar", delta_fingerprints=True),
+        ).fixpoint
+        faulty = run_sssp(
+            medium_weighted_graph, sources,
+            _cfg("columnar", perm_last, checkpoint_every=2, replicas=1,
+                 delta_fingerprints=True),
+        ).fixpoint
+        assert _invariant_fingerprint(faulty, "spath") == _invariant_fingerprint(
+            base, "spath"
+        )
+        assert faulty.degraded.replica_sources == [(3, 0)]
+
+    def test_unreplicated_loss_is_unrecoverable(self, medium_weighted_graph):
+        """replicas=0 + permanent loss must fail loudly, with a message
+        that says how to fix it — never a silent wrong answer."""
+        with pytest.raises(UnrecoverableRankLoss, match="--replicas"):
+            run_sssp(
+                medium_weighted_graph, list(range(10)),
+                _cfg("columnar", PERM, checkpoint_every=2),
+            )
+
+    def test_permanent_loss_without_checkpoint_raises(
+        self, medium_weighted_graph
+    ):
+        with pytest.raises(RankFailure):
+            run_sssp(
+                medium_weighted_graph, list(range(10)),
+                _cfg("columnar", PERM, replicas=1),
+            )
+
+    def test_degraded_report_fields(self, medium_weighted_graph):
+        faulty = run_sssp(
+            medium_weighted_graph, list(range(10)),
+            _cfg("columnar", PERM, checkpoint_every=2, replicas=2),
+        ).fixpoint
+        d = faulty.degraded.as_dict()
+        assert d["excluded_ranks"] == [1]
+        assert d["epoch"] == 1
+        assert d["reowned_shards"] > 0
+        assert d["restored_bytes"] > 0
+        assert d["reown_seconds"] > 0
+        assert faulty.recovery.as_dict()["injected"]["permanent_crashes"] == 1
+
+
+class TestCheckpointRoundTrip:
+    """Property: capture → arbitrary mutation → restore is an exact
+    round-trip of every observable the fixpoint loop reads — tuple sets,
+    both version generations, and the sub-bucket schema."""
+
+    @staticmethod
+    def _observe(rel):
+        return (
+            rel.as_set(),
+            set(rel.iter_delta()),
+            rel.full_gen,
+            rel.delta_gen,
+            rel.schema,
+        )
+
+    @given(
+        first=st.lists(
+            st.tuples(st.integers(0, 63), st.integers(0, 63)),
+            min_size=1, max_size=40,
+        ),
+        second=st.lists(
+            st.tuples(st.integers(0, 63), st.integers(0, 63)),
+            max_size=40,
+        ),
+        sub0=st.integers(1, 8),
+        sub1=st.integers(1, 8),
+        layout=st.sampled_from(["scalar", "columnar"]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_capture_restore_exact(self, first, second, sub0, sub1, layout):
+        import dataclasses
+
+        from repro.faults import checkpoint as ckpt_mod
+        from repro.relational.schema import Schema
+        from repro.relational.storage import RelationStore
+
+        store = RelationStore(4, layout=layout)
+        rel = store.declare(
+            Schema(name="r", arity=2, join_cols=(0,), n_subbuckets=sub0)
+        )
+        rel.load(first)
+        rel.advance()
+        before = self._observe(rel)
+
+        ckpt = ckpt_mod.capture(
+            store, ["r"], stratum=0, iteration=0, changed=True,
+            iterations_total=1, counters={"admitted": len(first)},
+            trace_len=0,
+        )
+
+        # Mutate everything the loop mutates: more tuples, another Δ
+        # promotion, and a sub-bucket resize (the rebalancer's move).
+        rel.load(second)
+        rel.advance()
+        if sub1 != sub0:
+            rel.set_schema(dataclasses.replace(rel.schema, n_subbuckets=sub1))
+
+        ckpt_mod.restore(store, ckpt)
+        assert self._observe(rel) == before
+        assert ckpt.counters == {"admitted": len(first)}
+
+        # The checkpoint survives rollback: a second failure inside the
+        # same interval restores from the same boundary again.
+        rel.load(second)
+        rel.advance()
+        ckpt_mod.restore(store, ckpt)
+        assert self._observe(rel) == before
+
+    @given(
+        superstep=st.integers(4, 20),
+        seed=st.integers(0, 2**16),
+        replicas=st.integers(1, 3),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_permanent_loss_accounting_invariants(
+        self, superstep, seed, replicas
+    ):
+        """Whatever the crash schedule, the books must balance: one
+        failure ↔ one recovery ↔ one excluded rank, replica traffic
+        strictly positive, and the answers fault-free-identical."""
+        from repro.graphs.types import Graph
+
+        edges = np.array(
+            [(0, 1, 4), (0, 2, 9), (1, 2, 1), (2, 3, 2),
+             (3, 1, 1), (1, 4, 7), (3, 4, 3), (5, 6, 1), (4, 5, 2)],
+            dtype=np.int64,
+        )
+        graph = Graph(edges=edges, n_nodes=7, name="fixture")
+        base = run_sssp(graph, [0, 5], _cfg("columnar")).fixpoint
+        faults = FaultConfig(
+            seed=seed, crash_perm_rank=1, crash_perm_superstep=superstep
+        )
+        faulty = run_sssp(
+            graph, [0, 5],
+            _cfg("columnar", faults, checkpoint_every=1, replicas=replicas),
+        ).fixpoint
+        assert faulty.query("spath") == base.query("spath")
+        rec = faulty.recovery
+        assert rec.replica_bytes > 0
+        fired = rec.injected.permanent_crashes
+        assert fired in (0, 1)  # schedule may land past the fixpoint
+        assert rec.failures == rec.recoveries == fired
+        if fired:
+            deg = faulty.degraded
+            assert deg is not None
+            assert deg.excluded_ranks == [1] and deg.epoch == 1
+            assert len(deg.replica_sources) == 1
+            assert rec.recovery_seconds > 0
+        else:
+            assert faulty.degraded is None
