@@ -54,9 +54,11 @@ from repro.planner.ast import (
 )
 from repro.runtime.config import EngineConfig
 from repro.runtime.engine import Engine
+from repro.runtime.incremental import FixpointHandle, IncrementalUnsupportedError
 from repro.runtime.result import FixpointResult
 from repro.comm.costmodel import CostModel
 from repro.obs import MetricsRegistry, NullTracer, Span, Tracer
+from repro.api import Options, Session
 
 __version__ = "1.0.0"
 
@@ -67,13 +69,17 @@ __all__ = [
     "CostModel",
     "Engine",
     "EngineConfig",
+    "FixpointHandle",
     "FixpointResult",
+    "IncrementalUnsupportedError",
     "MAX",
     "MCOUNT",
     "MIN",
     "MetricsRegistry",
     "NullTracer",
+    "Options",
     "Program",
+    "Session",
     "Rel",
     "Rule",
     "SUM",

@@ -94,13 +94,62 @@ def _add_rebalance_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _rebalance_kwargs(args: argparse.Namespace) -> dict:
-    return {
-        "rebalance": args.rebalance,
-        "rebalance_every": args.rebalance_every,
-        "rebalance_threshold": args.rebalance_threshold,
-        "rebalance_factor": args.rebalance_factor,
-    }
+def _options_from_args(args: argparse.Namespace, *, tracer=None):
+    """Lift a CLI flag namespace into grouped :class:`repro.api.Options`.
+
+    Flags a subcommand doesn't define fall back to the Options defaults,
+    so ``run``, ``query`` and ``update`` all share one lifting path and
+    one set of cross-field rules (crash vs --checkpoint-every,
+    crash_perm vs --replicas, rebalance factor) — the same
+    ``Options.validate`` the library runs.
+    """
+    from repro.api import (
+        DiagnosticsOptions,
+        FaultOptions,
+        Options,
+        RebalanceOptions,
+        RecoveryOptions,
+        WireOptions,
+    )
+
+    core = {}
+    if hasattr(args, "subbuckets"):
+        core["subbuckets"] = {"edge": args.subbuckets}
+    if hasattr(args, "seed"):
+        core["seed"] = args.seed
+    return Options(
+        n_ranks=args.ranks,
+        dynamic_join=not getattr(args, "no_dynamic_join", False),
+        **core,
+        wire=WireOptions.from_config(_wire_config(args)),
+        faults=FaultOptions(spec=getattr(args, "faults", None) or None),
+        recovery=RecoveryOptions(
+            checkpoint_every=getattr(args, "checkpoint_every", None),
+            replicas=getattr(args, "replicas", 0),
+        ),
+        rebalance=RebalanceOptions(
+            enabled=args.rebalance,
+            every=args.rebalance_every,
+            threshold=args.rebalance_threshold,
+            factor=args.rebalance_factor,
+        ),
+        diagnostics=DiagnosticsOptions(
+            enabled=_want_diagnostics(args), tracer=tracer
+        ),
+    )
+
+
+def _engine_config(args: argparse.Namespace, *, tracer=None) -> EngineConfig:
+    """Validated EngineConfig from CLI flags (SystemExit on bad combos)."""
+    from repro.api import OptionsError
+
+    options = _options_from_args(args, tracer=tracer)
+    try:
+        return options.to_engine_config()
+    except OptionsError as exc:
+        raise SystemExit(str(exc))
+    except ValueError as exc:
+        raise SystemExit(f"bad --faults spec: {exc}")
 
 
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
@@ -256,6 +305,51 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_wire_flags(run)
     _add_rebalance_flags(run)
 
+    update = sub.add_parser(
+        "update",
+        help="demonstrate incremental fixpoint maintenance: converge on "
+             "most of a dataset, apply the held-out edges as update "
+             "batches through the Session API, and verify bit-identity "
+             "against a cold recompute on the union EDB",
+    )
+    update.add_argument("query", choices=["sssp", "cc"])
+    update.add_argument("--dataset", default="twitter_like")
+    update.add_argument("--ranks", type=int, default=64)
+    update.add_argument("--subbuckets", type=int, default=8,
+                        help="spatial load-balancing factor for the edge "
+                             "relation")
+    update.add_argument("--sources", default="0",
+                        help="comma-separated SSSP source vertices")
+    update.add_argument("--scale-shift", type=int, default=0,
+                        help="halve the graph's linear scale this many times")
+    update.add_argument("--seed", type=int, default=42)
+    update.add_argument("--batch-frac", type=float, default=0.01,
+                        metavar="FRAC",
+                        help="fraction of edges held out and replayed as "
+                             "updates (default: 0.01)")
+    update.add_argument("--batches", type=int, default=1, metavar="N",
+                        help="split the held-out edges into N sequential "
+                             "update batches (default: 1)")
+    update.add_argument(
+        "--faults", metavar="SPEC", default=None,
+        help="inject faults under the comm substrate during convergence "
+             "AND the updates (see repro.faults.parse_fault_spec); the "
+             "maintained fixpoint must still match the fault-free cold "
+             "recompute bit-for-bit",
+    )
+    update.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="K",
+        help="checkpoint each recursive stratum every K iterations "
+             "(required to survive an injected rank crash)",
+    )
+    update.add_argument(
+        "--replicas", type=int, default=0, metavar="N",
+        help="mirror each rank's checkpoint to N buddy ranks",
+    )
+    _add_obs_flags(update)
+    _add_wire_flags(update)
+    _add_rebalance_flags(update)
+
     query = sub.add_parser(
         "query", help="run a Datalog source file (surface syntax)"
     )
@@ -305,11 +399,25 @@ def _build_parser() -> argparse.ArgumentParser:
                             "modeled cost of surviving a permanent rank "
                             "loss, with a hard identity check against the "
                             "fault-free run (default output BENCH_PR9.json)")
+    bench.add_argument("--incremental", action="store_true",
+                       help="benchmark incremental fixpoint maintenance "
+                            "instead: hold out a small edge batch, converge, "
+                            "apply it via FixpointHandle.update, and verify "
+                            "bit-identity (answers + full multisets) against "
+                            "a cold recompute on the union EDB, plus a chaos "
+                            "variant with drop/dup and a crash probed into "
+                            "the update window (default output "
+                            "BENCH_PR10.json)")
+    bench.add_argument("--batch-frac", type=float, default=0.01,
+                       metavar="FRAC",
+                       help="with --incremental: fraction of edges held out "
+                            "as the update batch (default: 0.01)")
     bench.add_argument("--output", default=None, metavar="PATH",
                        help="write the JSON report here ('-' to skip; "
                             "default BENCH_PR2.json, BENCH_PR7.json with "
                             "--wire, BENCH_PR8.json with --rebalance, "
-                            "BENCH_PR9.json with --recovery, or "
+                            "BENCH_PR9.json with --recovery, "
+                            "BENCH_PR10.json with --incremental, or "
                             "'-' with --compare)")
     bench.add_argument("--json", action="store_true",
                        help="print the JSON report instead of the table")
@@ -366,38 +474,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     graph = load_dataset(args.dataset, seed=args.seed, scale_shift=args.scale_shift)
     # Diagnostics need the span stream, so they imply a live tracer.
     tracer = Tracer() if args.trace or _want_diagnostics(args) else None
-    faults = None
-    if args.faults:
-        from repro.faults import parse_fault_spec
-
-        try:
-            faults = parse_fault_spec(args.faults)
-        except ValueError as exc:
-            raise SystemExit(f"bad --faults spec: {exc}")
-        if faults.has_crash and args.checkpoint_every is None:
-            raise SystemExit(
-                "--faults injects a rank crash but no checkpoints are "
-                "enabled; add --checkpoint-every K so the run can recover"
-            )
-        if faults.has_permanent_crash and args.replicas < 1:
-            raise SystemExit(
-                "--faults injects a permanent rank loss (crash_perm) but "
-                "checkpoints are not replicated; add --replicas N (>= 1) "
-                "so a surviving buddy can restore the dead rank's state"
-            )
-    config = EngineConfig(
-        n_ranks=args.ranks,
-        dynamic_join=not args.no_dynamic_join,
-        subbuckets={"edge": args.subbuckets},
-        seed=args.seed,
-        tracer=tracer,
-        faults=faults,
-        checkpoint_every=args.checkpoint_every,
-        replicas=args.replicas,
-        diagnostics=_want_diagnostics(args),
-        wire=_wire_config(args),
-        **_rebalance_kwargs(args),
-    )
+    # All cross-field validation (crash vs --checkpoint-every, crash_perm
+    # vs --replicas, rebalance factor) lives in api.Options.validate().
+    config = _engine_config(args, tracer=tracer)
     quiet = args.json
     if not quiet:
         print(f"{graph} on {args.ranks} simulated ranks")
@@ -491,19 +570,137 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return _finish_obs(args, fp, report)
 
 
+def _cmd_update(args: argparse.Namespace) -> int:
+    """Converge on a base EDB, replay held-out edges as update batches."""
+    from repro.api import OptionsError, Session
+    from repro.experiments.incremental import (
+        _cold_run,
+        _program_and_facts,
+        _split_edges,
+    )
+    from repro.runtime.incremental import IncrementalUnsupportedError
+
+    graph = load_dataset(args.dataset, seed=args.seed, scale_shift=args.scale_shift)
+    tracer = Tracer() if args.trace or _want_diagnostics(args) else None
+    options = _options_from_args(args, tracer=tracer)
+    try:
+        session = Session(options)
+    except OptionsError as exc:
+        raise SystemExit(str(exc))
+    except ValueError as exc:
+        raise SystemExit(f"bad --faults spec: {exc}")
+    sources = [int(s) for s in args.sources.split(",") if s]
+    program, edges, other_facts, answer_rel = _program_and_facts(
+        args.query, graph, sources, args.subbuckets
+    )
+    base, held = _split_edges(edges, args.batch_frac, args.seed)
+    n_batches = max(1, args.batches)
+    batches = [held[i::n_batches] for i in range(n_batches)]
+    batches = [b for b in batches if b]
+
+    quiet = args.json
+    if not quiet:
+        print(
+            f"{graph} on {args.ranks} simulated ranks — converging on "
+            f"{len(base)} edges, holding out {len(held)} "
+            f"({args.batch_frac:.1%}) across {len(batches)} batch(es)"
+        )
+    t0 = time.time()
+    session.query(program, {"edge": base, **other_facts})
+    base_modeled = session.result().modeled_seconds()
+    prev = base_modeled
+    update_costs = []
+    for i, batch in enumerate(batches):
+        try:
+            session.update({"edge": batch})
+        except IncrementalUnsupportedError as exc:
+            raise SystemExit(
+                f"update batch {i} is outside insertion-only maintenance; "
+                f"a cold recompute on the union EDB is required: {exc}"
+            )
+        total = session.result().modeled_seconds()
+        update_costs.append(total - prev)
+        prev = total
+        if not quiet:
+            print(
+                f"update {i}: {len(batch)} tuple(s), modeled "
+                f"{update_costs[-1]:.6f}s"
+            )
+
+    # The oracle: a fault-free cold recompute on the union EDB.
+    cold_options = _options_from_args(args, tracer=None)
+    cold_options.faults = type(cold_options.faults)()
+    cold_options.recovery = type(cold_options.recovery)()
+    cold = _cold_run(
+        program, edges, other_facts, cold_options.to_engine_config()
+    )
+    cold_modeled = cold.cluster.ledger.total_seconds()
+    names = sorted(cold.store.relations)
+    identical_answers = session.relation(answer_rel) == cold.store[
+        answer_rel
+    ].as_set()
+    identical_multisets = all(
+        sorted(session.engine.store[n].iter_full())
+        == sorted(cold.store[n].iter_full())
+        for n in names
+    )
+    update_modeled = sum(update_costs)
+    speedup = (
+        cold_modeled / update_modeled if update_modeled > 0 else float("inf")
+    )
+    fp = session.result()
+    report = fp.to_dict()
+    report.update(
+        query=args.query,
+        dataset=args.dataset,
+        ranks=args.ranks,
+        base_modeled_seconds=base_modeled,
+        update_modeled_seconds=update_modeled,
+        cold_modeled_seconds=cold_modeled,
+        speedup_vs_cold=speedup,
+        identical_answers=identical_answers,
+        identical_multisets=identical_multisets,
+    )
+    if not quiet:
+        print(
+            f"cold recompute (union EDB): {cold_modeled:.6f}s modeled; "
+            f"updates: {update_modeled:.6f}s modeled "
+            f"({speedup:.1f}x cheaper)"
+        )
+        print(
+            "identity vs cold recompute: answers "
+            + ("MATCH" if identical_answers else "DIFFER")
+            + ", full multisets "
+            + ("MATCH" if identical_multisets else "DIFFER")
+        )
+        if fp.recovery is not None and fp.recovery.recoveries:
+            print(
+                f"recovery: {fp.recovery.recoveries} recovery(ies), "
+                f"{fp.recovery.rolled_back_iterations} iteration(s) replayed"
+            )
+        print(f"wall (simulation host): {time.time() - t0:.2f}s")
+    rc = _finish_obs(args, fp, report)
+    if not (identical_answers and identical_multisets):
+        return 1
+    return rc
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.experiments import hotpath, wirebench
 
     # With --compare the default is read-only: don't clobber the baseline
     # file we are comparing against unless --output says so explicitly.
-    if sum((args.wire, args.rebalance, args.recovery)) > 1:
+    if sum((args.wire, args.rebalance, args.recovery, args.incremental)) > 1:
         raise SystemExit(
-            "--wire, --rebalance and --recovery are mutually exclusive"
+            "--wire, --rebalance, --recovery and --incremental are "
+            "mutually exclusive"
         )
     output = args.output
     if output is None:
         if args.compare:
             output = "-"
+        elif args.incremental:
+            output = "BENCH_PR10.json"
         elif args.recovery:
             output = "BENCH_PR9.json"
         elif args.rebalance:
@@ -520,7 +717,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             validate_bench_snapshot(baseline)
         except (OSError, json.JSONDecodeError, ValueError) as exc:
             raise SystemExit(f"bad baseline {args.compare}: {exc}")
-    if args.recovery:
+    if args.incremental:
+        import functools
+
+        from repro.experiments import incremental as incremental_bench
+
+        bench_mod = incremental_bench
+        runner = functools.partial(
+            incremental_bench.run_incremental_bench,
+            batch_frac=args.batch_frac,
+        )
+    elif args.recovery:
         from repro.experiments import recovery as recovery_bench
 
         bench_mod = recovery_bench
@@ -689,16 +896,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
     source = pathlib.Path(args.file).read_text()
     parsed = parse_program(source)
     tracer = Tracer() if args.trace or _want_diagnostics(args) else None
-    engine = Engine(
-        parsed.program,
-        EngineConfig(
-            n_ranks=args.ranks,
-            tracer=tracer,
-            diagnostics=_want_diagnostics(args),
-            wire=_wire_config(args),
-            **_rebalance_kwargs(args),
-        ),
-    )
+    engine = Engine(parsed.program, _engine_config(args, tracer=tracer))
     if args.explain:
         print(engine.explain())
     for name, rows in parsed.facts.items():
@@ -763,6 +961,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_datasets()
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "update":
+        return _cmd_update(args)
     if args.command == "query":
         return _cmd_query(args)
     if args.command == "bench":

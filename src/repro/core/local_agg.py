@@ -198,6 +198,32 @@ class _ShardBase:
             dgroup[other_of(t)] = t
             self.n_delta += 1
 
+    def install_delta(self, delta_rows: "np.ndarray") -> int:
+        """Replace Δ wholesale with the given rows (incremental seeding).
+
+        Used by the incremental-maintenance layer to seed a resumed
+        fixpoint: the rows are a change set already present in the full
+        version, installed as Δ so downstream rules re-read exactly the
+        changed tuples.  Insertion in delivery order reproduces the
+        nested ``jk → other`` iteration order; the pending Δ is left
+        untouched (it must be empty at an update boundary).
+        """
+        delta: Dict[TupleT, Dict[TupleT, TupleT]] = {}
+        n = 0
+        if delta_rows.shape[0]:
+            key_of = _tuple_getter(self.schema.join_cols)
+            other_of = _tuple_getter(self.schema.other_cols)
+            for t in map(tuple, delta_rows.tolist()):
+                jk = key_of(t)
+                group = delta.get(jk)
+                if group is None:
+                    group = delta[jk] = {}
+                group[other_of(t)] = t
+            n = sum(len(g) for g in delta.values())
+        self.delta = delta
+        self.n_delta = n
+        return n
+
 
 class PlainShard(_ShardBase):
     """Set-semantics shard: fused dedup is plain membership-insert."""

@@ -303,6 +303,27 @@ class _ColumnarShardBase:
             key[order] = np.repeat(order[starts], counts)
             self._delta_block = rows[np.argsort(key, kind="stable")]
 
+    def install_delta(self, delta_rows: np.ndarray) -> int:
+        """Replace Δ wholesale with the given rows (incremental seeding).
+
+        Columnar twin of the dict shard's ``install_delta``: the block is
+        normalized into the nested (jk-first-occurrence, row) order a dict
+        shard gets for free from insertion order, so both layouts iterate
+        the installed Δ identically.  The full store and pending rows are
+        untouched.
+        """
+        k = int(delta_rows.shape[0])
+        if not k:
+            self._delta_block = np.empty((0, self.schema.arity), dtype=np.int64)
+            return 0
+        rows = np.ascontiguousarray(delta_rows, dtype=np.int64)
+        jkv = rows[:, self._jk_cols]
+        order, starts, counts = lex_group(jkv)
+        key = np.empty(k, dtype=np.int64)
+        key[order] = np.repeat(order[starts], counts)
+        self._delta_block = rows[np.argsort(key, kind="stable")]
+        return k
+
     # -------------------------------------------------------------- ordering
 
     def _nested_order(self) -> np.ndarray:

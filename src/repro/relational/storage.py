@@ -168,6 +168,39 @@ class VersionedRelation:
             shard.seed_delta_from_full()
         self.delta_gen += 1
 
+    def install_delta(self, rows: Optional[np.ndarray] = None) -> int:
+        """Replace every shard's Δ with the given change-set rows.
+
+        The incremental-maintenance seeding primitive: rows are routed
+        through the normal bucket/sub-bucket placement to their home
+        shards; shards that receive nothing get an empty Δ (``rows=None``
+        clears Δ everywhere).  Rows must already exist in the full version
+        — this installs a *view* of what changed, it never inserts.
+        Bumps ``delta_gen`` so cached Δ join indexes rebuild.
+        """
+        empty = np.empty((0, self.schema.arity), dtype=np.int64)
+        for shard in self.shards.values():
+            shard.install_delta(empty)
+        total = 0
+        if rows is not None:
+            arr = np.ascontiguousarray(rows, dtype=np.int64)
+            if arr.size:
+                if arr.ndim != 2 or arr.shape[1] != self.schema.arity:
+                    raise ValueError(
+                        f"{self.schema.name}: expected rows of arity "
+                        f"{self.schema.arity}, got array shape {arr.shape}"
+                    )
+                b_arr, s_arr = self.dist.bucket_sub_of_rows(arr)
+                order, starts, counts = lex_group(
+                    np.column_stack([b_arr, s_arr])
+                )
+                for g in range(starts.shape[0]):
+                    idx = order[starts[g] : starts[g] + counts[g]]
+                    b, s = int(b_arr[idx[0]]), int(s_arr[idx[0]])
+                    total += self.shard(b, s).install_delta(arr[idx])
+        self.delta_gen += 1
+        return total
+
     # ----------------------------------------------------------------- sizes
 
     def full_size(self) -> int:

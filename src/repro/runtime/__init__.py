@@ -14,13 +14,17 @@ returned to callers.
 
 from repro.runtime.config import EngineConfig
 from repro.runtime.engine import Engine
+from repro.runtime.incremental import FixpointHandle, IncrementalUnsupportedError
 from repro.runtime.result import FixpointResult, IterationTrace
-from repro.runtime.spmd import run_spmd_engine
+from repro.runtime.spmd import run_spmd_engine, run_spmd_incremental
 
 __all__ = [
     "EngineConfig",
     "Engine",
+    "FixpointHandle",
     "FixpointResult",
+    "IncrementalUnsupportedError",
     "IterationTrace",
     "run_spmd_engine",
+    "run_spmd_incremental",
 ]

@@ -43,9 +43,9 @@ from repro.faults.plane import (
     RankFailure,
     UnrecoverableRankLoss,
 )
-from repro.comm.wire import encoded_nbytes
+from repro.comm.wire import encode_rows, encoded_nbytes
 from repro.kernels.absorb import vector_combiner
-from repro.kernels.block import concat_ranges
+from repro.kernels.block import concat_ranges, lex_group
 from repro.kernels.join import RankJoinIndex
 from repro.kernels.route import (
     build_intra_sends,
@@ -72,8 +72,11 @@ P_JOIN = "local_join"
 P_COMM = "comm"
 P_DEDUP = "dedup_agg"
 P_OTHER = "other"
+#: Incremental maintenance (PR 10): routing an EDB update batch to its
+#: home shards and installing downstream change-set Δs.
+P_SEED = "incremental_seed"
 
-PHASES = (P_VOTE, P_INTRA, P_JOIN, P_COMM, P_DEDUP, P_OTHER)
+PHASES = (P_VOTE, P_INTRA, P_JOIN, P_COMM, P_DEDUP, P_OTHER, P_SEED)
 
 
 class Engine:
@@ -147,6 +150,11 @@ class Engine:
         self.counters: Dict[str, int] = defaultdict(int)
         self.trace: List[IterationTrace] = []
         self._iterations = 0
+        # Re-entrant result building (incremental updates rebuild the
+        # result after every batch): last-folded counter values and the
+        # count of comm matrices already embedded in the trace stream.
+        self._metric_counter_base: Dict[str, int] = {}
+        self._embedded_matrices = 0
         #: Wire layer (PR 7): per-head-relation (combiner, can_combine)
         #: plan for sender-side folding; resolved lazily per relation.
         self.wire = self.config.wire
@@ -291,16 +299,27 @@ class Engine:
                             )
             for stratum in self.compiled.strata:
                 self._run_stratum(stratum)
+        return self._build_result()
+
+    def _build_result(self) -> FixpointResult:
+        """Assemble a :class:`FixpointResult` from the engine's live state.
+
+        Called at the end of :meth:`run` and again after every
+        incremental update (:mod:`repro.runtime.incremental`), so it must
+        be safe to invoke repeatedly — metric counters are folded
+        incrementally and gauges overwritten.
+        """
         if self.recovery is not None and self.fault_plane is not None:
             self.recovery.injected = self.fault_plane.stats
         self._finalize_metrics()
         if self.comm_recorder is not None and self.tracer.enabled:
             # Embed the matrices in the span stream so trace-report can
             # rebuild the comm profile offline from the trace file alone.
-            for matrix in self.comm_recorder.matrices:
+            for matrix in self.comm_recorder.matrices[self._embedded_matrices:]:
                 self.tracer.instant(
                     "comm_matrix", cat="diagnostics", attrs=matrix.to_dict()
                 )
+            self._embedded_matrices = len(self.comm_recorder.matrices)
         return FixpointResult(
             relations=dict(self.store.relations),
             iterations=self._iterations,
@@ -321,7 +340,12 @@ class Engine:
         )
 
     def _finalize_metrics(self) -> None:
-        """Fold run-level aggregates into the metrics registry."""
+        """Fold run-level aggregates into the metrics registry.
+
+        Re-entrant: tuple counters fold only their growth since the last
+        call (updates re-finalize after each batch); gauges overwrite and
+        histograms take a fresh snapshot sample per call.
+        """
         if not self.tracer.enabled:
             return
         metrics = self.tracer.metrics
@@ -329,7 +353,10 @@ class Engine:
             if name.startswith("wire_"):
                 metrics.gauge(name).set(value)
             else:
-                metrics.counter(f"tuples/{name}").inc(value)
+                grown = value - self._metric_counter_base.get(name, 0)
+                if grown > 0:
+                    metrics.counter(f"tuples/{name}").inc(grown)
+                self._metric_counter_base[name] = value
         metrics.gauge("iterations").set(self._iterations)
         if self.wire.enabled:
             saved = (
@@ -513,6 +540,247 @@ class Engine:
                 f"{self.config.max_iterations} iterations — non-terminating "
                 "program (is every aggregate a finite-height lattice?)"
             )
+
+    # --------------------------------------------- incremental maintenance
+
+    def _seed_update(self, edb_deltas: Dict[str, "np.ndarray"]) -> Dict[str, int]:
+        """Route one EDB insertion batch to its home shards (update seed).
+
+        Models the batch arriving round-robin across ranks and being
+        alltoallv'd to owner ranks through the normal bucket/sub-bucket
+        placement — charged to the ``incremental_seed`` phase with its own
+        ledger kind and CommMatrix ``update`` channel, payloads codec-
+        encoded when the wire layer is on.  Each relation's stale Δ (the
+        full content :meth:`load` leaves behind, or a previous update's
+        seed) is flushed first; afterwards Δ holds exactly the batch rows
+        newly admitted on the affected ranks.
+
+        A restartable rank crash during the exchange retries after
+        ``FaultPlane.mark_restarted`` — nothing has been absorbed yet, so
+        the retry replays bit-identically.  Returns each relation's
+        global Δ size.
+        """
+        cost = self.cluster.cost
+        n_ranks = self.config.n_ranks
+        out: Dict[str, int] = {}
+        for name in sorted(edb_deltas):
+            rel = self.store[name]
+            batch = sorted(set(map(tuple, np.asarray(
+                edb_deltas[name], dtype=np.int64
+            ).reshape(-1, rel.schema.arity).tolist())))
+            rel.install_delta(None)  # flush the stale Δ left by load()
+            if not batch:
+                out[name] = 0
+                continue
+            arr = np.asarray(batch, dtype=np.int64)
+            with self.timer.phase(P_SEED):
+                dst_arr = rel.dist.rank_of_rows(arr)
+                src_arr = np.arange(arr.shape[0], dtype=np.int64) % n_ranks
+                order, starts, counts = lex_group(
+                    np.column_stack([src_arr, dst_arr])
+                )
+                sends: Dict[int, Dict[int, List[object]]] = {}
+                for g in range(starts.shape[0]):
+                    idx = order[starts[g] : starts[g] + counts[g]]
+                    src, dst = int(src_arr[idx[0]]), int(dst_arr[idx[0]])
+                    block = arr[idx]
+                    box: object = (
+                        (block, encode_rows(block, self.wire.codec))
+                        if self.wire.enabled
+                        else block
+                    )
+                    sends.setdefault(src, {})[dst] = [box]
+                attempts = 0
+                while True:
+                    try:
+                        if self.wire.enabled:
+                            self.cluster.alltoallv(
+                                sends,
+                                arity=rel.schema.arity,
+                                phase=P_SEED,
+                                kind="incremental_seed",
+                                channel="update",
+                                count_of=lambda box: box[0].shape[0],
+                                nbytes_of=lambda box: encoded_nbytes(box[1]),
+                                collective=self.wire.alltoallv,
+                            )
+                        else:
+                            self.cluster.alltoallv(
+                                sends,
+                                arity=rel.schema.arity,
+                                phase=P_SEED,
+                                kind="incremental_seed",
+                                channel="update",
+                                count_of=lambda box: box.shape[0],
+                            )
+                        break
+                    except PermanentRankFailure:
+                        raise
+                    except RankFailure as failure:
+                        # Nothing absorbed yet: restart the rank and replay
+                        # the exchange (bounded, then escalate).
+                        attempts += 1
+                        if self.fault_plane is None or attempts > 8:
+                            raise
+                        self.fault_plane.mark_restarted(failure.rank)
+                        self.counters["update_seed_retries"] += 1
+                # Owners absorb the routed rows; the loader's placement is
+                # the same hash the exchange routed by, and absorption
+                # dedups, so duplicate deliveries can never double-apply.
+                rel.load(arr)
+                rel.advance()
+                per_rank_adm = rel.delta_sizes_by_rank()
+                self.cluster.ledger.add_compute_step(
+                    P_SEED,
+                    np.bincount(dst_arr, minlength=n_ranks)
+                    * (cost.tuple_agg * cost.compute_scale)
+                    + per_rank_adm * (cost.tuple_insert * cost.compute_scale),
+                )
+            n = rel.delta_size()
+            self.counters["update_seed_tuples"] += n
+            out[name] = n
+        return out
+
+    def _run_stratum_incremental(
+        self, stratum: Stratum, pending: set
+    ) -> Dict[str, int]:
+        """Resume one stratum's fixpoint from converged state after new Δs.
+
+        The *update pass* (the incremental analog of the seed pass)
+        evaluates each rule once per pending body position
+        (``delta_atom=i``), absorbing into heads exactly as a cold
+        iteration would; recursive strata then continue the normal
+        semi-naïve loop until quiescence.  Because the converged state is
+        a sound under-approximation of the union-EDB least fixpoint and
+        absorption is inflationary, resuming from it converges to the
+        same lattice point a cold recompute reaches — bit-identical full
+        contents (the identity gate asserts this).
+
+        Afterwards the stratum's *change set* — the set difference of
+        each relation's full version against its pre-update contents, not
+        the intermediate Δs (transient aggregate improvements must never
+        leak downstream) — is installed as Δ for later strata.  The diff
+        snapshot is host-side bookkeeping standing in for the touched-
+        group tracking a real rank keeps during absorption, so only the
+        installed change rows are charged (``incremental_seed`` phase).
+        Checkpoint/rollback, rebalance and wire behavior are the cold
+        loop's own.  A stratum no pending Δ reaches is skipped for free.
+        Returns ``{relation: installed Δ size}`` for relations that
+        changed.
+        """
+        rules = self.compiled.rules_of(stratum)
+        recursive_rels = set(stratum.relations)
+        relevant: List[Tuple[CompiledRule, List[int]]] = []
+        for cr in rules:
+            idxs = [i for i, n in enumerate(cr.body_names) if n in pending]
+            if idxs:
+                relevant.append((cr, idxs))
+        if not relevant:
+            return {}
+        before: Dict[str, set] = {}
+        if stratum.recursive:
+            with self.timer.phase(P_SEED):
+                before = {
+                    name: self.store[name].as_set()
+                    for name in sorted(recursive_rels)
+                }
+        every = self.config.checkpoint_every
+        ckpt: Optional[StratumCheckpoint] = (
+            self._take_checkpoint(stratum, -1, changed=True)
+            if every is not None
+            else None
+        )
+        iteration = -1
+        changed = True
+        while True:
+            try:
+                if iteration < 0:
+                    if self.rebalancer is not None:
+                        self.rebalancer.maybe_rebalance(self, stratum, -1)
+                    it_stats = _IterStats()
+                    with self.tracer.span(
+                        "iteration", cat="iteration", iteration=0,
+                        stratum=stratum.index, attrs={"update_pass": True},
+                    ):
+                        for cr, idxs in relevant:
+                            for i in idxs:
+                                self._evaluate_direction(
+                                    cr, delta_atom=i, stats=it_stats
+                                )
+                        changed = self._advance_and_count(stratum)
+                        self._record_iteration(stratum, 0, it_stats)
+                    iteration = 0
+                    if not stratum.recursive:
+                        break
+                    if self.rebalancer is not None and changed:
+                        self.rebalancer.maybe_rebalance(self, stratum, 0)
+                    if every is not None and changed:
+                        ckpt = self._take_checkpoint(stratum, 0, changed)
+                    continue
+                if not changed or iteration >= self.config.max_iterations:
+                    break
+                iteration += 1
+                self._iterations += 1
+                it_stats = _IterStats()
+                with self.tracer.span(
+                    "iteration",
+                    cat="iteration",
+                    iteration=iteration,
+                    stratum=stratum.index,
+                ):
+                    for cr in rules:
+                        for i, rel_name in enumerate(cr.body_names):
+                            if rel_name in recursive_rels:
+                                self._evaluate_direction(
+                                    cr, delta_atom=i, stats=it_stats
+                                )
+                    changed = self._advance_and_count(stratum)
+                    self._record_iteration(stratum, iteration, it_stats)
+                if (
+                    self.rebalancer is not None
+                    and changed
+                    and iteration % self.config.rebalance_every == 0
+                ):
+                    self.rebalancer.maybe_rebalance(self, stratum, iteration)
+                if every is not None and changed and iteration % every == 0:
+                    ckpt = self._take_checkpoint(stratum, iteration, changed)
+            except RankFailure as failure:
+                if ckpt is None:
+                    raise
+                iteration, changed = self._recover(
+                    stratum, ckpt, failure, at_iteration=iteration
+                )
+        if changed and stratum.recursive:
+            raise RuntimeError(
+                f"stratum {stratum.relations} did not converge within "
+                f"{self.config.max_iterations} iterations during an "
+                "incremental update"
+            )
+        out: Dict[str, int] = {}
+        if stratum.recursive:
+            per_rank = np.zeros(self.config.n_ranks, dtype=np.int64)
+            with self.timer.phase(P_SEED):
+                for name in sorted(recursive_rels):
+                    rel = self.store[name]
+                    diff = rel.as_set() - before[name]
+                    if diff:
+                        out[name] = rel.install_delta(
+                            np.asarray(sorted(diff), dtype=np.int64)
+                        )
+                        per_rank += rel.delta_sizes_by_rank()
+                    else:
+                        rel.install_delta(None)
+            if out:
+                cost = self.cluster.cost
+                self.cluster.ledger.add_compute_step(
+                    P_SEED, per_rank * (cost.tuple_insert * cost.compute_scale)
+                )
+        else:
+            for name in sorted({cr.head_name for cr, _ in relevant}):
+                n = self.store[name].delta_size()
+                if n:
+                    out[name] = n
+        return out
 
     # ------------------------------------------------- checkpoint / recovery
 

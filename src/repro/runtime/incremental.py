@@ -1,0 +1,325 @@
+"""Incremental fixpoint maintenance: keep a converged run hot, apply
+EDB insertion batches, resume semi-naïve iteration until quiescence.
+
+PARALAGG's fused dedup/aggregation makes converged state *reusable*:
+every relation's full version is a sound under-approximation of the
+least fixpoint over any enlarged EDB, and lattice absorption is
+inflationary, so resuming chaotic semi-naïve iteration from the retained
+state converges to exactly the cold-recompute fixpoint — bit-identical
+answers and full-relation multisets.  A :class:`FixpointHandle` retains
+the distributed state an :class:`~repro.runtime.engine.Engine` built
+(storage shards, placement including sub-bucket maps and any
+``exclude_ranks`` degraded overlay, probe caches, checkpointed counters)
+and accepts update batches via :meth:`FixpointHandle.update`.
+
+Each update:
+
+1. routes the new tuples through the normal bucket/sub-bucket placement
+   (``incremental_seed`` phase, ``update`` CommMatrix channel,
+   codec-encoded under the wire layer) and seeds Δ only on affected
+   ranks;
+2. runs each stratum's *update pass* — one semi-naïve direction per
+   pending body atom — then resumes the recursive loop to quiescence,
+   with the cold loop's own checkpoint/rollback, rebalance, and wire
+   behavior;
+3. installs each changed relation's *final* change set (a set difference
+   of full versions, never the intermediate Δs — transient aggregate
+   improvements must not leak downstream, paper §III-A) as Δ for later
+   strata;
+4. clears every seeded Δ so the next update starts clean.
+
+Insertion-only maintenance has two soundness boundaries, both rejected
+loudly with :class:`IncrementalUnsupportedError` instead of silently
+diverging from the cold run:
+
+* **Non-idempotent double-delta**: a rule with two or more pending body
+  atoms over-delivers the Δ⋈Δ pairs (once per direction).  Idempotent
+  lattices (MIN/MAX/ANY/UNION/MCOUNT) absorb the repeat harmlessly —
+  exactly as the cold engine's two-recursive-atom iterations do — but
+  SUM/COUNT heads would double-count.
+* **Aggregate improvement visible downstream**: when an update improves
+  an *existing* aggregate group, the old value conceptually retracts —
+  but a downstream relation that already materialized tuples derived
+  from it cannot un-derive them.  New groups are always fine; an
+  improved group is only rejected when some rule outside the aggregate's
+  own stratum reads it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.planner.compile_rules import CompiledProgram
+from repro.runtime.engine import Engine
+from repro.runtime.result import FixpointResult
+
+TupleT = Tuple[int, ...]
+
+
+class IncrementalUnsupportedError(RuntimeError):
+    """The program or update batch is outside insertion-only maintenance."""
+
+
+def _defining_stratum(compiled: CompiledProgram) -> Dict[str, int]:
+    """relation name → index of the stratum whose loop defines it."""
+    out: Dict[str, int] = {}
+    for stratum in compiled.strata:
+        for name in stratum.relations:
+            out[name] = stratum.index
+    return out
+
+
+def check_program_supported(compiled: CompiledProgram) -> None:
+    """Structural gate: reject programs incremental resume cannot replay.
+
+    A plain (set-semantics) head that reads an aggregate relation of its
+    *own* recursive stratum records that aggregate's transient value
+    trajectory — trajectory-dependent even cold, and a resumed trajectory
+    is legitimately different.  Everything else is trajectory-independent
+    (the least fixpoint is unique) and supported.
+    """
+    for stratum in compiled.strata:
+        if not stratum.recursive:
+            continue
+        for cr in compiled.rules_of(stratum):
+            head = compiled.schemas[cr.head_name]
+            if head.is_aggregate:
+                continue
+            for body in cr.body_names:
+                if (
+                    body in stratum.relations
+                    and compiled.schemas[body].is_aggregate
+                ):
+                    raise IncrementalUnsupportedError(
+                        f"rule {cr.rule!r}: plain head {cr.head_name!r} "
+                        f"reads aggregate {body!r} of its own recursive "
+                        "stratum — its contents depend on the Δ "
+                        "trajectory, which incremental resume does not "
+                        "preserve"
+                    )
+
+
+def improvable_watch(compiled: CompiledProgram) -> Set[str]:
+    """Aggregate relations whose group *improvements* have readers.
+
+    An aggregate read only inside its defining stratum participates in
+    the lattice fixpoint (improvements are absorbed, order-independent).
+    One read from outside — a later stratum, or any rule at all for an
+    aggregate EDB — materializes derived tuples insertion-only
+    maintenance cannot retract, so those relations are watched per
+    update: an improvement of an existing group there aborts the update.
+    """
+    defined_in = _defining_stratum(compiled)
+    watch: Set[str] = set()
+    for stratum in compiled.strata:
+        for cr in compiled.rules_of(stratum):
+            for body in cr.body_names:
+                if not compiled.schemas[body].is_aggregate:
+                    continue
+                home = defined_in.get(body)
+                if home is None or home != stratum.index:
+                    watch.add(body)
+    return watch
+
+
+def check_batch_supported(
+    compiled: CompiledProgram, batch_names: Iterable[str]
+) -> None:
+    """Per-batch gate: reject non-idempotent double-delta evaluation.
+
+    Propagates a conservative pending set through the strata (every
+    relation the batch could possibly change) and rejects any rule that
+    would evaluate two pending directions into a non-idempotent
+    (SUM/COUNT) head — those Δ⋈Δ pairs are delivered once per direction
+    and would double-count.  Pure: raises before anything is mutated.
+    """
+    pending = set(batch_names)
+    for stratum in compiled.strata:
+        touched = False
+        for cr in compiled.rules_of(stratum):
+            idxs = [i for i, n in enumerate(cr.body_names) if n in pending]
+            if not idxs:
+                continue
+            touched = True
+            head = compiled.schemas[cr.head_name]
+            if len(idxs) >= 2 and head.is_aggregate and not head.aggregator.idempotent:
+                raise IncrementalUnsupportedError(
+                    f"rule {cr.rule!r}: update batch makes {len(idxs)} body "
+                    f"atoms pending at once, and head aggregator "
+                    f"{head.aggregator.name} is not idempotent — the Δ⋈Δ "
+                    "join pairs would be double-counted; split the batch "
+                    "so only one body relation changes per update"
+                )
+        if touched:
+            pending |= set(stratum.relations)
+            pending |= {
+                cr.head_name
+                for cr in compiled.rules_of(stratum)
+                if any(n in pending for n in cr.body_names)
+            }
+
+
+class FixpointHandle:
+    """A converged fixpoint kept hot for incremental EDB updates.
+
+    Wraps an :class:`~repro.runtime.engine.Engine` *after* convergence
+    (constructing a handle on an un-run engine runs it first) and keeps
+    every piece of distributed state live: shards, sub-bucket placement,
+    degraded-mode overlays, probe caches, and the checkpointed counters —
+    so each :meth:`update` resumes exactly where the last fixpoint
+    stopped.
+
+    The correctness contract is absolute: after any update sequence,
+    :meth:`result` is bit-identical (answers and final full-relation
+    multisets) to a cold recompute on the union of all EDB facts ever
+    loaded.  Updates that would break that contract raise
+    :class:`IncrementalUnsupportedError` *before* answering wrong, and
+    poison the handle (the retained state may be half-updated).
+    """
+
+    def __init__(self, engine: Engine, result: Optional[FixpointResult] = None):
+        self.engine = engine
+        check_program_supported(engine.compiled)
+        self._result = result if result is not None else engine.run()
+        self._edb_names = {d.name for d in engine.compiled.program.edb}
+        self._watch = improvable_watch(engine.compiled)
+        self._updates = 0
+        self._poisoned: Optional[str] = None
+
+    # ------------------------------------------------------------ construct
+
+    @classmethod
+    def converge(
+        cls,
+        program,
+        facts: Mapping[str, Iterable[TupleT]],
+        config=None,
+    ) -> "FixpointHandle":
+        """Build an engine, load ``facts``, run to fixpoint, retain state."""
+        engine = Engine(program, config)
+        for name, rows in facts.items():
+            engine.load(name, rows)
+        return cls(engine)
+
+    # -------------------------------------------------------------- queries
+
+    def result(self) -> FixpointResult:
+        """The current :class:`FixpointResult` (refreshed by every update)."""
+        self._check_alive()
+        return self._result
+
+    def query(self, name: str) -> Set[TupleT]:
+        """A relation's current full contents as a set of tuples."""
+        self._check_alive()
+        return self.engine.store[name].as_set()
+
+    @property
+    def updates(self) -> int:
+        """Number of update batches applied so far."""
+        return self._updates
+
+    def _check_alive(self) -> None:
+        if self._poisoned is not None:
+            raise IncrementalUnsupportedError(
+                f"handle poisoned by a failed update: {self._poisoned}; "
+                "re-run cold on the union EDB"
+            )
+
+    # -------------------------------------------------------------- updates
+
+    def update(
+        self, edb_deltas: Mapping[str, Iterable[TupleT]]
+    ) -> FixpointResult:
+        """Apply one batch of EDB insertions and resume to quiescence.
+
+        ``edb_deltas`` maps EDB relation names to new fact tuples (sets;
+        duplicates of already-loaded facts are absorbed away).  Returns
+        the refreshed :class:`FixpointResult`; modeled time grows only by
+        the update's own cost, so ``result().modeled_seconds()`` deltas
+        measure incremental speed.
+        """
+        self._check_alive()
+        engine = self.engine
+        unknown = sorted(set(edb_deltas) - self._edb_names)
+        if unknown:
+            raise KeyError(
+                f"update batch names non-EDB relations {unknown}; "
+                f"EDB relations: {sorted(self._edb_names)}"
+            )
+        check_batch_supported(engine.compiled, edb_deltas.keys())
+        batch = {
+            name: np.asarray(
+                [tuple(t) for t in rows],
+                dtype=np.int64,
+            ).reshape(-1, engine.store[name].schema.arity)
+            for name, rows in edb_deltas.items()
+        }
+        n_rows = sum(a.shape[0] for a in batch.values())
+        with engine.tracer.span(
+            "update",
+            cat="run",
+            attrs={
+                "batch": self._updates,
+                "relations": sorted(batch),
+                "tuples": n_rows,
+            },
+        ):
+            baselines = self._watch_baselines()
+            try:
+                seeded = engine._seed_update(batch)
+                touched = set(batch)
+                self._check_improvements(
+                    set(seeded) & self._watch, baselines
+                )
+                pending = {n for n, c in seeded.items() if c}
+                for stratum in engine.compiled.strata:
+                    changed = engine._run_stratum_incremental(stratum, pending)
+                    self._check_improvements(
+                        set(changed) & self._watch, baselines
+                    )
+                    pending |= set(changed)
+                    touched |= set(changed)
+            except IncrementalUnsupportedError as exc:
+                self._poisoned = str(exc)
+                raise
+            # Leave no Δ behind: the next update (or plain queries over
+            # the retained state) must see a quiescent store.
+            for name in sorted(touched):
+                engine.store[name].install_delta(None)
+        engine.counters["updates"] += 1
+        engine.counters["update_batch_tuples"] += n_rows
+        self._updates += 1
+        self._result = engine._build_result()
+        return self._result
+
+    # ----------------------------------------------------- improvement gate
+
+    def _watch_baselines(self) -> Dict[str, Set[TupleT]]:
+        """Pre-update group keys of every watched aggregate relation."""
+        out: Dict[str, Set[TupleT]] = {}
+        for name in sorted(self._watch):
+            rel = self.engine.store[name]
+            n = rel.schema.n_indep
+            out[name] = {t[:n] for t in rel.iter_full()}
+        return out
+
+    def _check_improvements(
+        self, names: Set[str], baselines: Dict[str, Set[TupleT]]
+    ) -> None:
+        """Abort if an update improved an existing watched aggregate group."""
+        for name in sorted(names):
+            rel = self.engine.store[name]
+            keys = baselines[name]
+            n = rel.schema.n_indep
+            for t in rel.iter_delta():
+                if t[:n] in keys:
+                    self._poisoned = (
+                        f"update improved existing group {t[:n]} of "
+                        f"aggregate relation {name!r}, which is read "
+                        "outside its own stratum — downstream tuples "
+                        "derived from the old value cannot be retracted "
+                        "by insertion-only maintenance"
+                    )
+                    raise IncrementalUnsupportedError(self._poisoned)

@@ -118,6 +118,82 @@ class FixpointResult:
             "comm_messages": self.ledger.comm.messages,
         }
 
+    def to_dict(self) -> Dict[str, object]:
+        """One stable, JSON-serializable schema for the whole result.
+
+        Unlike :meth:`summary` (the executor-equivalence digest), this
+        is the reporting surface: **every key is always present** with a
+        zeroed default, so downstream tooling never branches on which
+        subsystems a run happened to enable.  ``recovery`` and
+        ``degraded`` are the zero-valued stats dicts when the subsystem
+        was off; ``rebalance.events`` is an empty list; ``wire`` carries
+        the canonical tally keys (all zero with the layer disabled);
+        ``incremental`` counts update batches (zero for a cold-only run).
+        """
+        counters = dict(sorted(self.counters.items()))
+        recovery = (self.recovery or RecoveryStats()).as_dict()
+        degraded = (self.degraded or DegradedStats()).as_dict()
+        return {
+            "schema_version": 1,
+            "iterations": self.iterations,
+            "modeled_seconds": self.ledger.total_seconds(),
+            "wall_seconds": self.timer.total(),
+            "phase_seconds": dict(sorted(self.ledger.phase_seconds.items())),
+            "imbalance_ratio": self.ledger.imbalance_ratio(),
+            "counters": counters,
+            "relation_sizes": {
+                name: rel.full_size()
+                for name, rel in sorted(self.relations.items())
+            },
+            "comm": {
+                "bytes": self.ledger.comm.bytes_total,
+                "messages": self.ledger.comm.messages,
+                "bytes_by_kind": dict(sorted(self.ledger.comm.by_kind.items())),
+            },
+            "wire": {
+                "precombine_bytes": counters.get("wire_precombine_bytes", 0),
+                "on_wire_bytes": counters.get("wire_on_wire_bytes", 0),
+                "collective_direct": counters.get("wire_collective_direct", 0),
+                "collective_bruck": counters.get("wire_collective_bruck", 0),
+                "bytes_saved": counters.get("wire_precombine_bytes", 0)
+                - counters.get("wire_on_wire_bytes", 0),
+            },
+            "rebalance": {
+                "enabled": self.rebalance is not None,
+                "events": list(self.rebalance or []),
+            },
+            "recovery": recovery,
+            "degraded": degraded,
+            "incremental": {
+                "updates": counters.get("updates", 0),
+                "update_batch_tuples": counters.get("update_batch_tuples", 0),
+                "update_seed_tuples": counters.get("update_seed_tuples", 0),
+                "update_seed_retries": counters.get("update_seed_retries", 0),
+            },
+        }
+
+    def __repr__(self) -> str:
+        sizes = ", ".join(
+            f"{name}={rel.full_size()}"
+            for name, rel in sorted(self.relations.items())
+        )
+        extras = []
+        updates = self.counters.get("updates", 0)
+        if updates:
+            extras.append(f"updates={updates}")
+        if self.rebalance:
+            extras.append(f"rebalance_events={len(self.rebalance)}")
+        if self.recovery is not None and self.recovery.recoveries:
+            extras.append(f"recoveries={self.recovery.recoveries}")
+        if self.degraded is not None:
+            extras.append(f"degraded_ranks={list(self.degraded.excluded_ranks)}")
+        tail = (", " + ", ".join(extras)) if extras else ""
+        return (
+            f"FixpointResult(iterations={self.iterations}, "
+            f"modeled={self.ledger.total_seconds():.6f}s, "
+            f"relations[{sizes}]{tail})"
+        )
+
     # ------------------------------------------------------------------- obs
 
     def spans_named(self, name: str) -> List[Span]:

@@ -27,7 +27,7 @@ engine, so there is exactly one implementation of the semantics.)
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -110,6 +110,29 @@ class _RankState:
                 if shard is not None:
                     out.append(shard.delta if version == "delta" else shard.full)
         return out
+
+    def install_delta(self, name: str, tuples: Iterable[TupleT]) -> int:
+        """Replace this rank's Δ of ``name`` with the given local tuples.
+
+        Mirrors :meth:`repro.relational.storage.VersionedRelation.install_delta`
+        for the SPMD store: every existing shard's Δ is cleared, then the
+        rows are regrouped by (bucket, sub) and installed sorted — the
+        caller passes tuples this rank already owns, so no communication
+        happens here.
+        """
+        schema = self.compiled.schemas[name]
+        empty = np.empty((0, schema.arity), dtype=np.int64)
+        for shard in self.shards[name].values():
+            shard.install_delta(empty)
+        dist = self.dist[name]
+        by_key: Dict[ShardKey, List[TupleT]] = {}
+        for t in tuples:
+            by_key.setdefault((dist.bucket_of(t), dist.sub_of(t)), []).append(t)
+        total = 0
+        for key in sorted(by_key):
+            rows = np.asarray(sorted(by_key[key]), dtype=np.int64)
+            total += self.shard(name, key).install_delta(rows)
+        return total
 
 
 async def _eval_direction(
@@ -235,11 +258,173 @@ async def _route_and_absorb(
             state.absorb(head_name, [tuple(t) for t in rows.tolist()])
 
 
+async def _recursive_loop(comm, state, stratum, rules, changed) -> None:
+    """Drain one recursive stratum to quiescence (shared cold/incremental)."""
+    config = state.config
+    iterations = 0
+    while changed and iterations < config.max_iterations:
+        iterations += 1
+        for cr in rules:
+            for i, rel_name in enumerate(cr.body_names):
+                if rel_name in stratum.relations:
+                    await _eval_direction(comm, state, cr, delta_atom=i)
+        local_new = state.advance(stratum.relations)
+        changed = await comm.allreduce(local_new)
+    if changed:
+        raise RuntimeError(
+            f"stratum {stratum.relations} did not converge on rank "
+            f"{comm.Get_rank()}"
+        )
+
+
+async def _cold_fixpoint(comm, state, compiled) -> None:
+    """Run every stratum from the currently loaded EDB to fixpoint."""
+    for stratum in compiled.strata:
+        rules = compiled.rules_of(stratum)
+        for cr in rules:
+            await _eval_direction(comm, state, cr, delta_atom=None)
+        local_new = state.advance(stratum.relations)
+        changed = await comm.allreduce(local_new)
+        if stratum.recursive:
+            await _recursive_loop(comm, state, stratum, rules, changed)
+
+
+async def _seed_update_spmd(
+    comm: AsyncComm,
+    state: _RankState,
+    batch_parts: Mapping[str, List[TupleT]],
+) -> Dict[str, int]:
+    """Route this rank's slice of an update batch to the owning ranks.
+
+    Each rank holds an arbitrary slice of the batch (tuples arrive
+    wherever the client connected); one alltoall per relation delivers
+    every tuple to its bucket/sub-bucket owner, which absorbs it against
+    the retained full version.  Returns the *global* admitted-Δ size per
+    relation (allreduced, so every rank sees the same pending set).
+    """
+    size = comm.Get_size()
+    seeded: Dict[str, int] = {}
+    for name in sorted(batch_parts):
+        dist = state.dist[name]
+        sends: List[List[TupleT]] = [[] for _ in range(size)]
+        for t in batch_parts[name]:
+            sends[dist.rank_of(tuple(t))].append(tuple(t))
+        received = await comm.alltoall(sends)
+        for batch in received:
+            state.absorb(name, sorted(batch))
+        state.advance([name])
+        seeded[name] = await comm.allreduce(state.size(name, "delta"))
+    return seeded
+
+
+async def _check_improvements_spmd(
+    comm: AsyncComm,
+    state: _RankState,
+    names: Iterable[str],
+    baselines: Mapping[str, Set[TupleT]],
+) -> None:
+    """Collectively abort if any rank's Δ improved a watched group.
+
+    The check is local (full placement never moves mid-update), but the
+    verdict must be symmetric — an allgather shares each rank's finding
+    so every rank raises the identical error.
+    """
+    detail = ""
+    for name in sorted(names):
+        schema = state.compiled.schemas[name]
+        n = schema.n_indep
+        keys = baselines[name]
+        for t in state.tuples(name, "delta"):
+            if t[:n] in keys:
+                detail = (
+                    f"update improved existing group {t[:n]} of aggregate "
+                    f"relation {name!r}, which is read outside its own "
+                    "stratum — downstream tuples derived from the old "
+                    "value cannot be retracted by insertion-only "
+                    "maintenance"
+                )
+                break
+        if detail:
+            break
+    found = await comm.allgather(detail)
+    for msg in found:
+        if msg:
+            from repro.runtime.incremental import IncrementalUnsupportedError
+
+            raise IncrementalUnsupportedError(msg)
+
+
+async def _apply_update_spmd(
+    comm: AsyncComm,
+    state: _RankState,
+    compiled: CompiledProgram,
+    batch_parts: Mapping[str, List[TupleT]],
+    watch: Set[str],
+) -> None:
+    """One incremental update batch: seed, resume strata, clear Δ."""
+    baselines: Dict[str, Set[TupleT]] = {}
+    for name in sorted(watch):
+        n = compiled.schemas[name].n_indep
+        baselines[name] = {t[:n] for t in state.tuples(name, "full")}
+
+    seeded = await _seed_update_spmd(comm, state, batch_parts)
+    await _check_improvements_spmd(
+        comm, state, set(seeded) & watch, baselines
+    )
+    pending = {n for n, c in seeded.items() if c}
+    touched = set(batch_parts)
+
+    for stratum in compiled.strata:
+        rules = compiled.rules_of(stratum)
+        relevant = [
+            (cr, [i for i, n in enumerate(cr.body_names) if n in pending])
+            for cr in rules
+        ]
+        relevant = [(cr, idxs) for cr, idxs in relevant if idxs]
+        if not relevant:
+            continue
+        if stratum.recursive:
+            before = {
+                name: set(state.tuples(name, "full"))
+                for name in stratum.relations
+            }
+        for cr, idxs in relevant:
+            for i in idxs:
+                await _eval_direction(comm, state, cr, delta_atom=i)
+        local_new = state.advance(stratum.relations)
+        changed_count = await comm.allreduce(local_new)
+        changed_names: Set[str] = set()
+        if stratum.recursive:
+            await _recursive_loop(comm, state, stratum, rules, changed_count)
+            # Downstream Δ = final full-version growth, never the
+            # transient Δs the loop burned through (paper §III-A).
+            for name in stratum.relations:
+                diff = set(state.tuples(name, "full")) - before[name]
+                n_global = await comm.allreduce(
+                    state.install_delta(name, diff)
+                )
+                if n_global:
+                    changed_names.add(name)
+        else:
+            for name in sorted({cr.head_name for cr, _ in relevant}):
+                if await comm.allreduce(state.size(name, "delta")):
+                    changed_names.add(name)
+        await _check_improvements_spmd(
+            comm, state, changed_names & watch, baselines
+        )
+        pending |= changed_names
+        touched |= changed_names
+
+    for name in sorted(touched):
+        state.install_delta(name, ())
+
+
 async def _rank_program(
     comm: AsyncComm,
     program: Program,
     config: EngineConfig,
     facts_by_rank: Mapping[str, List[List[TupleT]]],
+    updates_by_rank: Sequence[Mapping[str, List[List[TupleT]]]] = (),
 ) -> Dict[str, Set[TupleT]]:
     compiled = compile_program(
         program,
@@ -251,28 +436,17 @@ async def _rank_program(
         state.absorb(name, parts[comm.Get_rank()])
         state.advance([name])
 
-    for stratum in compiled.strata:
-        rules = compiled.rules_of(stratum)
-        for cr in rules:
-            await _eval_direction(comm, state, cr, delta_atom=None)
-        local_new = state.advance(stratum.relations)
-        changed = await comm.allreduce(local_new)
-        if not stratum.recursive:
-            continue
-        iterations = 0
-        while changed and iterations < config.max_iterations:
-            iterations += 1
-            for cr in rules:
-                for i, rel_name in enumerate(cr.body_names):
-                    if rel_name in stratum.relations:
-                        await _eval_direction(comm, state, cr, delta_atom=i)
-            local_new = state.advance(stratum.relations)
-            changed = await comm.allreduce(local_new)
-        if changed:
-            raise RuntimeError(
-                f"stratum {stratum.relations} did not converge on rank "
-                f"{comm.Get_rank()}"
-            )
+    await _cold_fixpoint(comm, state, compiled)
+
+    if updates_by_rank:
+        from repro.runtime.incremental import improvable_watch
+
+        watch = improvable_watch(compiled)
+        for batch in updates_by_rank:
+            parts = {
+                name: rows[comm.Get_rank()] for name, rows in batch.items()
+            }
+            await _apply_update_spmd(comm, state, compiled, parts, watch)
 
     return {
         name: set(state.tuples(name, "full")) for name in compiled.schemas
@@ -290,12 +464,38 @@ def run_spmd_engine(
     Intended for validation and small/medium rank counts; for scaling
     studies use :class:`~repro.runtime.engine.Engine`.
     """
+    return run_spmd_incremental(program, facts, (), config)
+
+
+def run_spmd_incremental(
+    program: Program,
+    facts: Mapping[str, Iterable[TupleT]],
+    updates: Sequence[Mapping[str, Iterable[TupleT]]],
+    config: Optional[EngineConfig] = None,
+) -> Dict[str, Set[TupleT]]:
+    """Converge on ``facts``, then apply each update batch incrementally.
+
+    The per-rank asynchronous twin of
+    :class:`~repro.runtime.incremental.FixpointHandle`: every rank keeps
+    its shards live after convergence, ingests its arbitrary slice of
+    each update batch (round-robin, modeling clients connected to random
+    ranks), alltoall-routes the tuples to their owners, and resumes the
+    semi-naïve loop until quiescent — raising the same
+    :class:`~repro.runtime.incremental.IncrementalUnsupportedError` on
+    every rank for unsupported programs or batches.  Returns each
+    relation's final full contents (union across ranks), bit-identical
+    to :func:`run_spmd_engine` on the union EDB.
+    """
+    from repro.runtime.incremental import check_batch_supported, check_program_supported
+
     config = config or EngineConfig()
     compiled = compile_program(
         program,
         subbuckets=config.subbuckets,
         default_subbuckets=config.default_subbuckets,
     )
+    if updates:
+        check_program_supported(compiled)
     seed = HashSeed().derive(config.seed)
     # Pre-partition the input facts exactly as a parallel loader would.
     facts_by_rank: Dict[str, List[List[TupleT]]] = {}
@@ -308,8 +508,34 @@ def run_spmd_engine(
             parts[dist.rank_of(tuple(t))].append(tuple(t))
         facts_by_rank[name] = parts
 
+    # Update batches are sliced round-robin — tuples arrive at whichever
+    # rank the client happened to reach; the seed exchange moves them to
+    # their owners.
+    edb_names = {d.name for d in compiled.program.edb}
+    updates_by_rank: List[Dict[str, List[List[TupleT]]]] = []
+    for batch in updates:
+        unknown = sorted(set(batch) - edb_names)
+        if unknown:
+            raise KeyError(
+                f"update batch names non-EDB relations {unknown}; "
+                f"EDB relations: {sorted(edb_names)}"
+            )
+        check_batch_supported(compiled, batch.keys())
+        by_rank: Dict[str, List[List[TupleT]]] = {}
+        for name, rows in batch.items():
+            tuples = sorted(tuple(t) for t in rows)
+            by_rank[name] = [
+                tuples[r :: config.n_ranks] for r in range(config.n_ranks)
+            ]
+        updates_by_rank.append(by_rank)
+
     results = run_spmd(
-        config.n_ranks, _rank_program, program, config, facts_by_rank
+        config.n_ranks,
+        _rank_program,
+        program,
+        config,
+        facts_by_rank,
+        updates_by_rank,
     )
     merged: Dict[str, Set[TupleT]] = {}
     for per_rank in results:

@@ -1,0 +1,366 @@
+"""repro.api tests: Options groups, validation, shims, Session lifecycle.
+
+Satellite coverage for PR 10: every CLI flag of ``run``/``update``/
+``query``/``bench`` must round-trip flag → grouped Options →
+EngineConfig; the deprecation shims must warn once per name and keep
+legacy kwargs working; cross-field validation must name the Options
+fields involved; and ``FixpointResult.to_dict`` must expose one stable
+schema regardless of which subsystems ran.
+"""
+
+import warnings
+
+import pytest
+
+from repro import Engine, EngineConfig, MIN, Program, Rel, vars_
+from repro.api import (
+    DiagnosticsOptions,
+    FaultOptions,
+    Options,
+    OptionsError,
+    RebalanceOptions,
+    RecoveryOptions,
+    Session,
+    WireOptions,
+    make_options,
+)
+from repro.api.options import _WARNED_LEGACY
+from repro.cli import _build_parser, _options_from_args
+from repro.comm.wire import WireConfig
+from repro.faults.config import FaultConfig
+
+f, t, m, l, w, n = vars_("f t m l w n")
+
+
+def sssp_dsl():
+    edge, start, spath = Rel("edge"), Rel("start"), Rel("spath")
+    return Program(
+        rules=[
+            spath(n, n, 0) <= start(n),
+            spath(f, t, MIN(l + w)) <= (spath(f, m, l), edge(m, t, w)),
+        ],
+        edb={"edge": (3, (0,)), "start": (1, (0,))},
+    )
+
+
+EDGES = [(0, 1, 4), (0, 2, 9), (1, 2, 1), (2, 3, 2), (3, 4, 3)]
+
+
+class TestOptionsRoundTrip:
+    def test_defaults_equal_engine_defaults(self):
+        assert Options().to_engine_config() == EngineConfig()
+
+    def test_lossless_round_trip(self):
+        options = Options(
+            n_ranks=16,
+            executor="scalar",
+            seed=7,
+            max_iterations=500,
+            dynamic_join=False,
+            vote_abstain_empty=False,
+            static_outer="right",
+            subbuckets={"edge": 4},
+            default_subbuckets=2,
+            auto_balance=1.5,
+            use_btree=True,
+            reorder_messages_seed=3,
+            wire=WireOptions(sender_combine=False, codec="dict",
+                             alltoallv="bruck"),
+            faults=FaultOptions(config=FaultConfig(seed=9, drop=0.01)),
+            recovery=RecoveryOptions(checkpoint_every=3, replicas=1),
+            rebalance=RebalanceOptions(enabled=True, every=2, threshold=0.1,
+                                       factor=1.5, max_subbuckets=32,
+                                       min_tuples=8),
+            diagnostics=DiagnosticsOptions(enabled=True, track_trace=False,
+                                           delta_fingerprints=True),
+        )
+        lifted = Options.from_engine_config(options.to_engine_config())
+        assert lifted == options
+        assert lifted.to_engine_config() == options.to_engine_config()
+
+    def test_wire_disabled_round_trip(self):
+        options = Options(wire=WireOptions(enabled=False))
+        config = options.to_engine_config()
+        assert not config.wire.enabled
+        assert not Options.from_engine_config(config).wire.enabled
+
+    def test_fault_spec_parses(self):
+        options = Options(
+            faults=FaultOptions(spec="drop=0.02,seed=7"),
+        )
+        config = options.to_engine_config()
+        assert config.faults.drop == pytest.approx(0.02)
+        assert config.faults.seed == 7
+
+    def test_fault_spec_and_config_conflict(self):
+        options = Options(
+            faults=FaultOptions(config=FaultConfig(), spec="drop=0.1"),
+        )
+        with pytest.raises(OptionsError, match="alternatives"):
+            options.to_engine_config()
+
+
+class TestValidation:
+    def test_crash_requires_checkpoints(self):
+        options = Options(
+            faults=FaultOptions(config=FaultConfig(crash_rank=1,
+                                                   crash_superstep=5)),
+        )
+        with pytest.raises(OptionsError) as exc:
+            options.validate()
+        assert "RecoveryOptions.checkpoint_every" in str(exc.value)
+        assert "--checkpoint-every" in str(exc.value)
+
+    def test_crash_perm_requires_replicas(self):
+        options = Options(
+            faults=FaultOptions(config=FaultConfig(crash_perm_rank=1,
+                                                   crash_perm_superstep=5)),
+            recovery=RecoveryOptions(checkpoint_every=2),
+        )
+        with pytest.raises(OptionsError) as exc:
+            options.validate()
+        assert "RecoveryOptions.replicas" in str(exc.value)
+        assert "--replicas" in str(exc.value)
+
+    def test_replicas_require_checkpoints(self):
+        options = Options(recovery=RecoveryOptions(replicas=2))
+        with pytest.raises(OptionsError) as exc:
+            options.validate()
+        assert "checkpoint_every" in str(exc.value)
+
+    def test_rebalance_cap_below_static_fanout(self):
+        options = Options(
+            subbuckets={"edge": 16},
+            rebalance=RebalanceOptions(enabled=True, max_subbuckets=16),
+        )
+        with pytest.raises(OptionsError) as exc:
+            options.validate()
+        assert "RebalanceOptions.max_subbuckets" in str(exc.value)
+        assert "--subbuckets" in str(exc.value)
+        # A disabled group does not trip the cross-field rule.
+        Options(
+            subbuckets={"edge": 16},
+            rebalance=RebalanceOptions(enabled=False, max_subbuckets=16),
+        ).validate()
+        # A sub-1 growth gate is legal — it forces aggressive doubling and
+        # the max_subbuckets cap still self-extinguishes (the seed's CLI
+        # rebalance smoke test drives factor=0.5 on purpose).
+        Options(rebalance=RebalanceOptions(enabled=True, factor=0.5)).validate()
+
+    def test_valid_combinations_pass(self):
+        Options(
+            faults=FaultOptions(config=FaultConfig(crash_rank=0,
+                                                   crash_superstep=3)),
+            recovery=RecoveryOptions(checkpoint_every=2),
+        ).validate()
+        Options(
+            faults=FaultOptions(config=FaultConfig(crash_perm_rank=0,
+                                                   crash_perm_superstep=3)),
+            recovery=RecoveryOptions(checkpoint_every=2, replicas=1),
+        ).validate()
+        Options(rebalance=RebalanceOptions(enabled=True, factor=1.0)).validate()
+
+
+class TestLegacyShims:
+    def test_legacy_kwargs_map_and_warn(self):
+        _WARNED_LEGACY.discard("checkpoint_every")
+        with pytest.warns(DeprecationWarning, match="checkpoint_every"):
+            options = make_options(checkpoint_every=4)
+        assert options.recovery.checkpoint_every == 4
+
+    def test_warns_once_per_name(self):
+        _WARNED_LEGACY.discard("use_btree")
+        with pytest.warns(DeprecationWarning):
+            make_options(use_btree=True)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            options = make_options(use_btree=True)  # second time: silent
+        assert options.use_btree is True
+
+    def test_unknown_kwarg_rejected(self):
+        with pytest.raises(TypeError, match="no_such_option"):
+            make_options(no_such_option=1)
+
+    def test_legacy_overrides_grouped_base(self):
+        _WARNED_LEGACY.discard("n_ranks")
+        base = Options(n_ranks=4, executor="scalar")
+        with pytest.warns(DeprecationWarning):
+            merged = make_options(base, n_ranks=32)
+        assert merged.n_ranks == 32
+        assert merged.executor == "scalar"  # untouched fields survive
+
+    def test_legacy_values_still_range_checked(self):
+        _WARNED_LEGACY.add("n_ranks")  # silence, we only care about the check
+        with pytest.raises(ValueError):
+            make_options(n_ranks=0)
+
+    def test_session_accepts_engine_config(self):
+        _WARNED_LEGACY.discard("<EngineConfig>")
+        with pytest.warns(DeprecationWarning):
+            session = Session(EngineConfig(n_ranks=8))
+        assert session.options.n_ranks == 8
+
+
+class TestCliFlagRoundTrip:
+    """Every run/update/query/bench flag must land on the right
+    EngineConfig field after the flag → Options → EngineConfig trip."""
+
+    def parse(self, argv):
+        return _build_parser().parse_args(argv)
+
+    def test_run_flags(self):
+        args = self.parse([
+            "run", "sssp", "--ranks", "32", "--subbuckets", "16",
+            "--seed", "5", "--no-dynamic-join",
+            "--faults", "crash=1@12,seed=7", "--checkpoint-every", "3",
+            "--replicas", "1", "--rebalance", "--rebalance-every", "2",
+            "--rebalance-threshold", "0.5", "--rebalance-factor", "1.5",
+            "--no-sender-combine", "--wire-codec", "dict",
+            "--alltoallv", "bruck", "--diagnostics",
+        ])
+        config = _options_from_args(args).to_engine_config()
+        assert config.n_ranks == 32
+        assert config.subbuckets == {"edge": 16}
+        assert config.seed == 5
+        assert config.dynamic_join is False
+        assert config.faults.crash_rank == 1
+        assert config.faults.crash_superstep == 12
+        assert config.checkpoint_every == 3
+        assert config.replicas == 1
+        assert config.rebalance is True
+        assert config.rebalance_every == 2
+        assert config.rebalance_threshold == pytest.approx(0.5)
+        assert config.rebalance_factor == pytest.approx(1.5)
+        assert config.wire.sender_combine is False
+        assert config.wire.codec == "dict"
+        assert config.wire.alltoallv == "bruck"
+        assert config.diagnostics is True
+
+    def test_run_no_wire(self):
+        args = self.parse(["run", "cc", "--no-wire"])
+        config = _options_from_args(args).to_engine_config()
+        assert config.wire.enabled is False
+
+    def test_update_flags(self):
+        args = self.parse([
+            "update", "sssp", "--ranks", "12", "--subbuckets", "2",
+            "--seed", "9", "--batch-frac", "0.05", "--batches", "3",
+            "--wire-codec", "raw",
+        ])
+        assert args.batch_frac == pytest.approx(0.05)
+        assert args.batches == 3
+        config = _options_from_args(args).to_engine_config()
+        assert config.n_ranks == 12
+        assert config.subbuckets == {"edge": 2}
+        assert config.seed == 9
+        assert config.wire.codec == "raw"
+
+    def test_query_flags_use_defaults_for_missing(self):
+        args = self.parse(["query", "prog.dl", "--ranks", "6"])
+        config = _options_from_args(args).to_engine_config()
+        assert config.n_ranks == 6
+        # query has no --seed/--subbuckets: Options defaults apply.
+        assert config.seed == EngineConfig().seed
+        assert config.subbuckets == {}
+
+    def test_bench_flags_parse(self):
+        args = self.parse([
+            "bench", "--incremental", "--batch-frac", "0.02",
+            "--ranks", "8", "--seed", "3", "--queries", "sssp",
+        ])
+        assert args.incremental is True
+        assert args.batch_frac == pytest.approx(0.02)
+        assert args.ranks == 8 and args.seed == 3
+        assert args.queries == "sssp"
+
+    def test_invalid_cli_combo_exits_with_flag_hint(self):
+        args = self.parse([
+            "run", "sssp", "--faults", "crash_perm=1@5",
+            "--checkpoint-every", "2",
+        ])
+        from repro.cli import _engine_config
+
+        with pytest.raises(SystemExit) as exc:
+            _engine_config(args)
+        assert "--replicas" in str(exc.value)
+
+
+class TestSession:
+    def test_query_then_update_matches_cold(self):
+        session = Session(Options(n_ranks=4))
+        session.query(sssp_dsl(), {"edge": EDGES[:3], "start": [(0,)]})
+        session.update({"edge": EDGES[3:]})
+        cold = Engine(sssp_dsl(), EngineConfig(n_ranks=4))
+        cold.load("edge", EDGES)
+        cold.load("start", [(0,)])
+        cold_result = cold.run()
+        assert session.relation("spath") == cold_result.query("spath")
+        names = sorted(cold.store.relations)
+        assert {
+            name: sorted(session.engine.store[name].iter_full())
+            for name in names
+        } == {
+            name: sorted(cold.store[name].iter_full()) for name in names
+        }
+        assert session.result().counters["updates"] == 1
+
+    def test_update_before_query_raises(self):
+        session = Session(Options(n_ranks=2))
+        with pytest.raises(RuntimeError, match="query"):
+            session.update({"edge": [(0, 1, 1)]})
+        with pytest.raises(RuntimeError):
+            session.result()
+        with pytest.raises(RuntimeError):
+            session.relation("spath")
+
+    def test_new_query_resets_incremental_state(self):
+        session = Session(Options(n_ranks=2))
+        session.query(sssp_dsl(), {"edge": EDGES[:2], "start": [(0,)]})
+        session.update({"edge": EDGES[2:3]})
+        assert session.handle is not None
+        session.query(sssp_dsl(), {"edge": EDGES, "start": [(0,)]})
+        assert session.handle is None
+        assert session.result().counters.get("updates", 0) == 0
+
+    def test_invalid_options_fail_eagerly(self):
+        with pytest.raises(OptionsError):
+            Session(Options(recovery=RecoveryOptions(replicas=1)))
+
+
+class TestResultSchema:
+    def test_to_dict_stable_keys(self):
+        session = Session(Options(n_ranks=2))
+        session.query(sssp_dsl(), {"edge": EDGES, "start": [(0,)]})
+        d = session.result().to_dict()
+        for key in (
+            "schema_version", "iterations", "modeled_seconds",
+            "wall_seconds", "phase_seconds", "imbalance_ratio", "counters",
+            "relation_sizes", "comm", "wire", "rebalance", "recovery",
+            "degraded", "incremental",
+        ):
+            assert key in d, key
+        assert d["schema_version"] == 1
+        assert d["rebalance"] == {"enabled": False, "events": []}
+        assert d["incremental"]["updates"] == 0
+        assert d["degraded"]["excluded_ranks"] == []
+        import json
+
+        json.dumps(d)  # the whole schema must be JSON-serializable
+
+    def test_to_dict_reflects_updates(self):
+        session = Session(Options(n_ranks=2))
+        session.query(sssp_dsl(), {"edge": EDGES[:3], "start": [(0,)]})
+        session.update({"edge": EDGES[3:]})
+        d = session.result().to_dict()
+        assert d["incremental"]["updates"] == 1
+        assert d["incremental"]["update_batch_tuples"] == len(EDGES[3:])
+        assert "incremental_seed" in d["phase_seconds"]
+
+    def test_repr_mentions_updates(self):
+        session = Session(Options(n_ranks=2))
+        session.query(sssp_dsl(), {"edge": EDGES[:3], "start": [(0,)]})
+        r = repr(session.result())
+        assert r.startswith("FixpointResult(iterations=")
+        assert "updates" not in r  # cold run: no update clutter
+        session.update({"edge": EDGES[3:]})
+        assert "updates=1" in repr(session.result())

@@ -247,3 +247,85 @@ class TestBenchCompare:
         capsys.readouterr()
         assert main(self._ARGS + ["--compare", str(snap)]) == 0
         assert snap.read_text() == before
+
+
+class TestUpdate:
+    def test_sssp_identity_and_speedup(self, capsys):
+        rc = main([
+            "update", "sssp", "--dataset", "topcats", "--ranks", "8",
+            "--scale-shift", "3", "--batch-frac", "0.02", "--batches", "2",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "update 0:" in out and "update 1:" in out
+        assert "answers MATCH" in out and "full multisets MATCH" in out
+        assert "x cheaper" in out
+
+    def test_json_report_carries_incremental_schema(self, capsys):
+        import json
+
+        rc = main([
+            "update", "sssp", "--dataset", "topcats", "--ranks", "4",
+            "--scale-shift", "4", "--json",
+        ])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["schema_version"] == 1
+        assert report["incremental"]["updates"] == 1
+        assert report["identical_answers"] is True
+        assert report["identical_multisets"] is True
+        assert report["speedup_vs_cold"] > 1
+
+    def test_validation_rerouted_through_options(self, capsys):
+        with pytest.raises(SystemExit, match="--checkpoint-every"):
+            main([
+                "update", "sssp", "--dataset", "topcats", "--ranks", "4",
+                "--scale-shift", "4", "--faults", "crash=1@5",
+            ])
+        with pytest.raises(SystemExit, match="--replicas"):
+            main([
+                "run", "sssp", "--dataset", "topcats", "--ranks", "4",
+                "--scale-shift", "4", "--faults", "crash_perm=1@5",
+                "--checkpoint-every", "2",
+            ])
+        with pytest.raises(SystemExit, match="max_subbuckets"):
+            main([
+                "run", "sssp", "--dataset", "topcats", "--ranks", "4",
+                "--scale-shift", "4", "--rebalance",
+                "--subbuckets", "128",
+            ])
+
+    def test_bad_fault_spec_rejected(self):
+        with pytest.raises(SystemExit, match="bad --faults spec"):
+            main([
+                "update", "sssp", "--dataset", "topcats", "--ranks", "4",
+                "--scale-shift", "4", "--faults", "nonsense=1",
+            ])
+
+
+class TestBenchIncremental:
+    def test_small_incremental_bench(self, capsys, tmp_path):
+        snap = tmp_path / "inc.json"
+        rc = main([
+            "bench", "--incremental", "--dataset", "topcats", "--ranks", "8",
+            "--scale-shift", "3", "--queries", "sssp", "--sources", "0",
+            "--batch-frac", "0.02", "--output", str(snap),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "incremental update benchmark" in out
+        assert "all identical (answers + full multisets, incl. chaos): yes" in out
+        import json
+
+        report = json.loads(snap.read_text())
+        assert report["benchmark"] == "incremental_update"
+        assert report["all_identical"] is True
+        chaos = report["queries"]["sssp"]["chaos"]
+        assert chaos["crash_in_update"] is True
+        assert chaos["recoveries"] >= 1
+
+    def test_mutually_exclusive_modes(self):
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(["bench", "--incremental", "--wire"])
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(["bench", "--incremental", "--recovery"])
